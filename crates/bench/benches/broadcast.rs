@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the standalone broadcast simulator (the Fig. 8
+//! engine): simulation throughput per structure at 4K nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use topology::{broadcast, BcastParams, Structure};
+
+fn bench_structures(c: &mut Criterion) {
+    let nodes: Vec<u32> = (0..4096).collect();
+    let failed: HashSet<u32> = (0..4096).step_by(100).collect(); // 1 %
+    let params = BcastParams::default();
+    let mut g = c.benchmark_group("broadcast_sim_4k");
+    for s in Structure::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, &s| {
+            b.iter(|| broadcast(black_box(s), &nodes, &failed, &failed, &params));
+        });
+    }
+    g.finish();
+}
+
+fn bench_failure_sweep(c: &mut Criterion) {
+    let nodes: Vec<u32> = (0..4096).collect();
+    let params = BcastParams::default();
+    c.bench_function("fptree_30pct_failures", |b| {
+        let failed: HashSet<u32> = (0..4096).step_by(3).collect();
+        b.iter(|| broadcast(Structure::FpTree, black_box(&nodes), &failed, &failed, &params));
+    });
+}
+
+criterion_group!(benches, bench_structures, bench_failure_sweep);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the discrete-event emulator: event throughput with
+//! realistic RM traffic, and ESlurm system simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eslurm::{EslurmConfig, EslurmSystemBuilder};
+use rm::{build_cluster, RmProfile};
+use simclock::SimTime;
+use std::hint::black_box;
+
+fn bench_heartbeat_storm(c: &mut Criterion) {
+    // 1024 Slurm slaves pushing synchronized heartbeats for 10 minutes.
+    let mut g = c.benchmark_group("des_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1024 * 20 * 2)); // ~events processed
+    g.bench_function("slurm_1024_nodes_10min", |b| {
+        b.iter(|| {
+            let mut h = build_cluster(RmProfile::slurm(), 1025, 3, None);
+            h.sim.run_until(SimTime::from_secs(600));
+            black_box(h.sim.events_processed())
+        });
+    });
+    g.finish();
+}
+
+fn bench_eslurm_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eslurm_system");
+    g.sample_size(10);
+    g.bench_function("sweeps_2048_nodes_10min", |b| {
+        b.iter(|| {
+            let cfg = EslurmConfig { n_satellites: 4, ..Default::default() };
+            let mut sys = EslurmSystemBuilder::new(cfg, 2048, 5).build();
+            sys.sim.run_until(SimTime::from_secs(600));
+            black_box(sys.master().sweeps.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heartbeat_storm, bench_eslurm_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the FP-Tree constructor: the paper requires the
+//! whole construction (leaf location + rearrangement) to stay `O(n)`
+//! because satellites rebuild a tree for *every* broadcast task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::HashSet;
+use std::hint::black_box;
+use topology::{leaf_positions, rearrange, CommTree, FpTreeConstructor};
+
+fn bench_leaf_positions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("leaf_positions");
+    for n in [1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| leaf_positions(black_box(n), 32));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rearrange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rearrange");
+    for n in [1_000u32, 10_000, 100_000] {
+        let list: Vec<u32> = (0..n).collect();
+        // 2 % suspects, as observed in production.
+        let suspects: HashSet<u32> = (0..n).step_by(50).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &list, |b, list| {
+            b.iter(|| rearrange(black_box(list), &suspects, 32));
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fptree_construct");
+    let ctor = FpTreeConstructor::new(32);
+    for n in [1_511u32, 16_384] {
+        // 1511 = the average FP-Tree size the paper reports per satellite.
+        let list: Vec<u32> = (0..n).collect();
+        let suspects: HashSet<u32> = (0..n).step_by(64).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &list, |b, list| {
+            b.iter(|| ctor.construct(black_box(list), &suspects));
+        });
+    }
+    g.finish();
+}
+
+fn bench_explicit_tree(c: &mut Criterion) {
+    c.bench_function("comm_tree_build_16k", |b| {
+        b.iter(|| CommTree::build(black_box(16_384), 32));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_leaf_positions,
+    bench_rearrange,
+    bench_full_construction,
+    bench_explicit_tree
+);
+criterion_main!(benches);

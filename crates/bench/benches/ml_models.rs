@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the ML substrate at the sizes the runtime-
+//! estimation framework uses (700-job interest window, K = 15 clusters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estimate::{features, EstimatorConfig, RuntimeEstimator};
+use ml::{KMeans, RandomForest, Regressor, Svr};
+use std::hint::black_box;
+use workload::TraceConfig;
+
+fn window_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let jobs = TraceConfig::small(700, 99).generate();
+    let x: Vec<Vec<f64>> = jobs.iter().map(features::features).collect();
+    let y: Vec<f64> = jobs.iter().map(features::target).collect();
+    (x, y)
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let (x, _) = window_data();
+    c.bench_function("kmeans_700x15", |b| {
+        b.iter(|| KMeans::fit(black_box(&x), 15, 60, 7));
+    });
+}
+
+fn bench_svr_cluster(c: &mut Criterion) {
+    // One per-cluster SVR: ~47 samples (700 / 15).
+    let (x, y) = window_data();
+    let (cx, cy) = (&x[..47], &y[..47]);
+    c.bench_function("svr_fit_47", |b| {
+        b.iter(|| {
+            let mut m = Svr::default_rbf();
+            m.fit(black_box(cx), cy);
+            m
+        });
+    });
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let (x, y) = window_data();
+    c.bench_function("random_forest_fit_700", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::new(40, 10, 3);
+            m.fit(black_box(&x), &y);
+            m
+        });
+    });
+}
+
+fn bench_full_retrain(c: &mut Criterion) {
+    let jobs = TraceConfig::small(800, 98).generate();
+    c.bench_function("framework_retrain_700", |b| {
+        b.iter(|| {
+            let mut est = RuntimeEstimator::new(EstimatorConfig::default());
+            for j in &jobs {
+                est.record_completion(j);
+            }
+            est.retrain(jobs.last().unwrap().submit);
+            black_box(est.current_k())
+        });
+    });
+}
+
+fn bench_estimate_latency(c: &mut Criterion) {
+    // The real-time estimation module must answer per submission.
+    let jobs = TraceConfig::small(800, 97).generate();
+    let mut est = RuntimeEstimator::new(EstimatorConfig::default());
+    for j in &jobs {
+        est.record_completion(j);
+    }
+    est.retrain(jobs.last().unwrap().submit);
+    c.bench_function("estimate_one_job", |b| {
+        b.iter(|| est.estimate(black_box(&jobs[400])));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kmeans,
+    bench_svr_cluster,
+    bench_forest,
+    bench_full_retrain,
+    bench_estimate_latency
+);
+criterion_main!(benches);

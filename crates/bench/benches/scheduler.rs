@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the backfill scheduler: replay throughput in
+//! jobs/second of simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sched::{simulate, BackfillConfig, UserLimit};
+use std::hint::black_box;
+use workload::TraceConfig;
+
+fn bench_backfill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backfill_replay");
+    g.sample_size(10);
+    for n_jobs in [1_000usize, 5_000] {
+        let jobs = TraceConfig::small(n_jobs, 55).generate();
+        g.throughput(Throughput::Elements(n_jobs as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n_jobs), &jobs, |b, jobs| {
+            b.iter(|| {
+                let mut policy = UserLimit::default();
+                simulate(black_box(jobs), &mut policy, &BackfillConfig::new(512))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_saturated_queue(c: &mut Criterion) {
+    // Tiny cluster => deep queue => stress on the EASY reservation scan.
+    let jobs = TraceConfig::small(2_000, 56).generate();
+    let mut g = c.benchmark_group("backfill_saturated");
+    g.sample_size(10);
+    g.bench_function("2000_jobs_64_nodes", |b| {
+        b.iter(|| {
+            let mut policy = UserLimit::default();
+            simulate(black_box(&jobs), &mut policy, &BackfillConfig::new(64))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_backfill, bench_saturated_queue);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Fig. 10 + Table VII — resource utilization and job-scheduling
+//! efficiency of the RMs on clusters of different scales, replaying a
+//! week-long trace through the EASY-backfill scheduler with per-RM
+//! dispatch-overhead models, RM outages, and walltime-limit policies.
+//!
+//! Cluster roster (Table VII): 1 024 nodes run all six RMs; 4 096 drops
+//! SGE and Torque (they cannot scale there); 16 384 and 20 480 run Slurm
+//! vs. ESlurm only.
+//!
+//! Paper headline (full-scale NG-Tianhe): ESlurm improves utilization by
+//! 47.2 % over Slurm (8.7 points from runtime estimation, 6.2 from the
+//! FP-Tree), cuts average wait by 60.5 % and average bounded slowdown by
+//! 75.8 %.
+
+use eslurm::PredictiveLimit;
+use eslurm_bench::{f, print_table, write_csv, ExpArgs};
+use estimate::EstimatorConfig;
+use sched::{simulate, BackfillConfig, DispatchModel, LimitPolicy, UserLimit};
+use simclock::{SimSpan, SimTime};
+use workload::{Job, TraceConfig};
+
+/// Per-RM dispatch/cleanup model at a given cluster scale. Centralized
+/// masters slow down as the cluster grows (the §II-B observation: >27 s
+/// responses at 20K+); serial launchers additionally pay per node.
+fn dispatch_for(rm: &str, nodes: u32) -> DispatchModel {
+    let scale = (nodes as f64 / 1024.0).max(1.0);
+    let per_node = |us: u64| SimSpan::from_micros(us);
+    match rm {
+        "SGE" => DispatchModel {
+            dispatch: SimSpan::from_secs_f64(1.0 * scale),
+            dispatch_per_node: per_node(10_000),
+            cleanup: SimSpan::from_secs_f64(0.5 * scale),
+            cleanup_per_node: per_node(10_000),
+        },
+        "Torque" => DispatchModel {
+            dispatch: SimSpan::from_secs_f64(1.2 * scale),
+            dispatch_per_node: per_node(10_000),
+            cleanup: SimSpan::from_secs_f64(0.6 * scale),
+            cleanup_per_node: per_node(10_000),
+        },
+        "OpenPBS" => DispatchModel {
+            dispatch: SimSpan::from_secs_f64(0.8 * scale),
+            dispatch_per_node: per_node(5_000),
+            cleanup: SimSpan::from_secs_f64(0.4 * scale),
+            cleanup_per_node: per_node(5_000),
+        },
+        "LSF" => DispatchModel {
+            dispatch: SimSpan::from_secs_f64(0.4 * scale),
+            dispatch_per_node: per_node(150),
+            cleanup: SimSpan::from_secs_f64(0.2 * scale),
+            cleanup_per_node: per_node(150),
+        },
+        "Slurm" => DispatchModel {
+            dispatch: SimSpan::from_secs_f64(0.3 * scale),
+            dispatch_per_node: per_node(100),
+            cleanup: SimSpan::from_secs_f64(0.15 * scale),
+            cleanup_per_node: per_node(100),
+        },
+        // ESlurm offloads the fan-out: flat dispatch, tiny per-node cost.
+        "ESlurm" | "ESlurm-noEst" => DispatchModel {
+            dispatch: SimSpan::from_millis(250),
+            dispatch_per_node: per_node(5),
+            cleanup: SimSpan::from_millis(120),
+            cleanup_per_node: per_node(5),
+        },
+        // FP-Tree off: failed nodes inside launch trees cost timeout
+        // stalls, which show up as a higher effective dispatch overhead
+        // (calibrated from the fig8 broadcast model's tree-vs-FP gap).
+        "ESlurm-noFP" => DispatchModel {
+            dispatch: SimSpan::from_millis(950),
+            dispatch_per_node: per_node(5),
+            cleanup: SimSpan::from_millis(450),
+            cleanup_per_node: per_node(5),
+        },
+        other => panic!("unknown RM {other}"),
+    }
+}
+
+/// Slurm's production instability at scale (§II-B): a crash every ~42 h
+/// with a ~90-minute reboot, during which nothing is scheduled.
+fn outages_for(rm: &str, nodes: u32, horizon: SimSpan) -> Vec<(SimTime, SimSpan)> {
+    if rm != "Slurm" || nodes < 16_384 {
+        return Vec::new();
+    }
+    let period = SimSpan::from_hours(42);
+    let reboot = SimSpan::from_secs(90 * 60);
+    let mut out = Vec::new();
+    let mut t = period;
+    while t.as_micros() < horizon.as_micros() {
+        out.push((SimTime(t.as_micros()), reboot));
+        t += period;
+    }
+    out
+}
+
+/// A week-long trace sized so the offered load saturates the cluster.
+fn trace_for(nodes: u32, days: u64, seed: u64) -> Vec<Job> {
+    let mut cfg = TraceConfig::tianhe2a().with_seed(seed);
+    cfg.max_nodes = (nodes / 2).max(64);
+    cfg.horizon = SimSpan::from_hours(days * 24);
+    // A third of production jobs arrive without any walltime request and
+    // fall to the 24 h partition default under user-limit RMs — the case
+    // the paper's estimation framework explicitly targets ("when the user
+    // does not submit a runtime estimate, we directly adopt the runtime
+    // estimation given by the estimation model").
+    cfg.no_estimate_prob = 0.33;
+    // Estimate node-seconds per job from a pilot sample, then size the
+    // job count for ~105 % offered load.
+    let pilot = cfg.clone().with_jobs(2_000).generate();
+    let mean_node_secs: f64 = pilot
+        .iter()
+        .map(|j| j.nodes as f64 * j.actual_runtime.as_secs_f64())
+        .sum::<f64>()
+        / pilot.len() as f64;
+    let capacity = nodes as f64 * days as f64 * 86_400.0;
+    cfg.jobs = ((capacity * 1.05) / mean_node_secs).round().max(500.0) as usize;
+    cfg.generate()
+}
+
+fn policy_for(rm: &str) -> Box<dyn LimitPolicy> {
+    match rm {
+        "ESlurm" | "ESlurm-noFP" => Box::new(PredictiveLimit::new(EstimatorConfig {
+            window: 2000,
+            ..Default::default()
+        })),
+        _ => Box::new(UserLimit::default()),
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let days: u64 = args.scale(7, 2);
+    let all: Vec<&str> = vec!["SGE", "Torque", "OpenPBS", "LSF", "Slurm", "ESlurm"];
+    let mid: Vec<&str> = vec!["OpenPBS", "LSF", "Slurm", "ESlurm"];
+    let big: Vec<&str> = vec!["Slurm", "ESlurm", "ESlurm-noEst", "ESlurm-noFP"];
+    let clusters: Vec<(u32, Vec<&str>)> = if args.quick {
+        vec![(256, all.clone()), (1024, big.clone())]
+    } else {
+        vec![(1024, all), (4096, mid), (16_384, big.clone()), (20_480, big)]
+    };
+
+    let mut csv = Vec::new();
+    for (nodes, rms) in clusters {
+        println!("\n#### cluster: {nodes} nodes, {days}-day trace ####");
+        let jobs = trace_for(nodes, days, args.seed);
+        println!("trace: {} jobs", jobs.len());
+        let mut rows = Vec::new();
+        let mut slurm_ref: Option<(f64, f64, f64)> = None;
+        for rm in rms {
+            let mut policy = policy_for(rm);
+            let cfg = BackfillConfig {
+                nodes,
+                algo: sched::SchedAlgo::Easy,
+                dispatch: dispatch_for(rm, nodes),
+                kill_at_limit: true,
+                max_resubmits: 3,
+                rm_outages: outages_for(rm, nodes, SimSpan::from_hours(days * 24 + 48)),
+            };
+            let r = simulate(&jobs, policy.as_mut(), &cfg);
+            let util = r.utilization();
+            let useful = r.useful_utilization();
+            let wait = r.avg_wait().as_secs_f64();
+            let slow = r.avg_slowdown();
+            if rm == "Slurm" {
+                slurm_ref = Some((useful, wait, slow));
+            }
+            println!(
+                "{rm:12} util {util:.3} (useful {useful:.3})  wait {:.0}s  slowdown {slow:.1}  killed {}  completed {}",
+                wait, r.killed, r.completed
+            );
+            rows.push(vec![
+                rm.to_string(),
+                f(util, 3),
+                f(useful, 3),
+                f(wait, 0),
+                f(slow, 2),
+                r.killed.to_string(),
+                r.completed.to_string(),
+            ]);
+            csv.push(vec![
+                nodes.to_string(),
+                rm.to_string(),
+                f(util, 4),
+                f(useful, 4),
+                f(wait, 1),
+                f(slow, 3),
+            ]);
+        }
+        print_table(
+            &format!("Fig 10 — scheduling efficiency on {nodes} nodes"),
+            &["RM", "utilization", "useful util", "avg wait (s)", "avg slowdown", "killed", "completed"],
+            &rows,
+        );
+        if let Some((u, w, s)) = slurm_ref {
+            if let Some(es) = rows.iter().find(|r| r[0] == "ESlurm") {
+                let eu: f64 = es[2].parse().unwrap();
+                let ew: f64 = es[3].parse().unwrap();
+                let esl: f64 = es[4].parse().unwrap();
+                println!(
+                    "ESlurm vs Slurm: useful utilization {:+.1}%  wait {:+.1}%  slowdown {:+.1}%",
+                    100.0 * (eu - u) / u,
+                    100.0 * (ew - w) / w,
+                    100.0 * (esl - s) / s
+                );
+                println!("  [paper at 20K+: utilization +47.2%, wait -60.5%, slowdown -75.8%]");
+            }
+        }
+    }
+    write_csv(
+        "fig10.csv",
+        &["nodes", "rm", "utilization", "useful_utilization", "avg_wait_s", "avg_slowdown"],
+        &csv,
+    );
+}

@@ -1,0 +1,110 @@
+//! Fig. 11 — (a) heartbeat-broadcast time vs. number of satellites on
+//! full-scale NG-Tianhe (optimum around 20 satellites ⇒ roughly one per
+//! 1 000 nodes of sweep share), and (b) the runtime-prediction model
+//! comparison (User, SVM, RandomForest, Last-2, IRPA, TRIP, PREP, ESlurm).
+//!
+//! Paper headline for (b): ESlurm reaches 84 % average accuracy at ~10 %
+//! underestimation; SVM/RandomForest/Last-2 sit below 70 % accuracy with
+//! > 25 % underestimation; user estimates are the least accurate.
+
+use emu::NodeId;
+use eslurm::{EslurmConfig, EslurmSystemBuilder};
+use eslurm_bench::{f, print_table, write_csv, ExpArgs};
+use estimate::{
+    evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2,
+    Prep, RuntimePredictor, Trip, UserEstimate,
+};
+use simclock::{SimSpan, SimTime};
+use workload::TraceConfig;
+
+fn main() {
+    let args = ExpArgs::parse();
+
+    // ---- (a) sweep-completion time vs satellite count.
+    let n: usize = args.scale(20_480, 2048);
+    let horizon = SimTime::from_secs(args.scale(3 * 3600, 1200));
+    let counts: Vec<usize> = args.scale(vec![10, 20, 30, 40, 50], vec![2, 5, 10, 20]);
+    let mut rows = Vec::new();
+    for &m in &counts {
+        let cfg = EslurmConfig {
+            n_satellites: m,
+            hb_sweep_interval: SimSpan::from_secs(120),
+            ..Default::default()
+        };
+        let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed).build();
+        sys.sim.run_until(horizon);
+        let master = sys.master();
+        let sweeps = &master.sweeps;
+        let avg = if sweeps.is_empty() {
+            f64::NAN
+        } else {
+            sweeps.iter().map(|s| s.completion.as_secs_f64()).sum::<f64>()
+                / sweeps.len() as f64
+        };
+        let master_sockets = sys.sim.meter(NodeId::MASTER).peak_sockets();
+        rows.push(vec![
+            m.to_string(),
+            f(avg, 3),
+            sweeps.len().to_string(),
+            master_sockets.to_string(),
+        ]);
+        println!("m={m:2}: avg sweep {avg:.3}s over {} sweeps", sweeps.len());
+    }
+    print_table(
+        &format!("Fig 11a — heartbeat broadcast time vs satellites ({n} nodes)"),
+        &["satellites", "avg sweep (s)", "sweeps", "master peak sockets"],
+        &rows,
+    );
+    println!("  [paper: minimum around 20 satellites on 20K+ nodes]");
+    write_csv(
+        "fig11a.csv",
+        &["satellites", "avg_sweep_s", "sweeps", "master_peak_sockets"],
+        &rows,
+    );
+
+    // ---- (b) runtime prediction model comparison on the NG-like trace.
+    let trace_cfg = if args.quick {
+        TraceConfig::ng_tianhe().with_seed(args.seed).shrunk_to(8_000)
+    } else {
+        TraceConfig::ng_tianhe().with_seed(args.seed).shrunk_to(25_000)
+    };
+    println!("\ngenerating NG-Tianhe-like trace ({} jobs) ...", trace_cfg.jobs);
+    let jobs = trace_cfg.generate();
+    let warmup = jobs.len() / 10;
+    let window = 700;
+
+    let mut models: Vec<Box<dyn RuntimePredictor>> = vec![
+        Box::new(UserEstimate),
+        Box::new(svm_baseline(window)),
+        Box::new(forest_baseline(window, args.seed)),
+        Box::new(Last2::default()),
+        Box::new(Irpa::new(window, args.seed + 1)),
+        Box::new(Trip::new(window)),
+        Box::new(Prep::new(window, args.seed + 2)),
+        // The interest window is the paper's admin-configurable knob; our
+        // synthetic trace's correlation persists past the 700-job gap the
+        // paper measured on its own traces, so the window is sized to our
+        // trace's correlation horizon (~2000 jobs, cf. fig5 output).
+        Box::new(EslurmPredictor::new(EstimatorConfig { window: 2000, ..Default::default() })),
+    ];
+    let mut rows = Vec::new();
+    for model in &mut models {
+        let name = model.name();
+        print!("evaluating {name} ... ");
+        let report = evaluate(&jobs, model.as_mut(), warmup);
+        println!("AEA {:.3}  UR {:.3}", report.aea, report.underestimate_rate);
+        rows.push(vec![
+            name,
+            f(report.aea, 3),
+            f(report.underestimate_rate, 3),
+            f(report.coverage, 3),
+        ]);
+    }
+    print_table(
+        "Fig 11b — runtime prediction models (NG-Tianhe-like trace)",
+        &["model", "avg accuracy", "underestimate rate", "coverage"],
+        &rows,
+    );
+    println!("  [paper: ESlurm 84% accuracy / ~10% UR; SVM, RF, Last-2 < 70% with UR > 25%]");
+    write_csv("fig11b.csv", &["model", "aea", "underestimate_rate", "coverage"], &rows);
+}

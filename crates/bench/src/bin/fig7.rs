@@ -1,0 +1,246 @@
+//! Fig. 7 — master-node resource usage of six RMs on 4K nodes over 24
+//! emulated hours (1 Hz sampling), plus job occupation time vs. job size.
+//!
+//! Expected shapes (paper §VII-A):
+//! * CPU (a/b): SGE/Torque/OpenPBS high (they poll every node), Slurm low,
+//!   ESlurm lowest;
+//! * virtual memory (c): Slurm ≈ 10 GB tops the field; ESlurm < 2 GB;
+//! * real memory (d): ESlurm lowest (~60 MB);
+//! * sockets (e): OpenPBS/SGE thousands of persistent connections,
+//!   LSF/Slurm bursts ≥ 1000, ESlurm < 100;
+//! * occupation (f): SGE/Torque/OpenPBS blow up with job size; LSF, Slurm,
+//!   and ESlurm stay flat, ESlurm < 15 s.
+
+use emu::NodeId;
+use eslurm::{EslurmConfig, EslurmSystemBuilder};
+use eslurm_bench::{f, fmt_bytes, print_table, write_csv, ExpArgs};
+use rand::RngExt;
+use rm::{build_cluster, inject_job, inject_job_stream, RmProfile};
+use simclock::rng::stream_rng;
+use simclock::{SimSpan, SimTime};
+
+struct Usage {
+    name: String,
+    cpu_util_mean: f64,
+    cpu_time: SimSpan,
+    virt_mean: u64,
+    real_mean: u64,
+    sockets_mean: f64,
+    sockets_peak: u32,
+}
+
+fn summarize(name: &str, series: &emu::SampleSeries, peak_sockets: u32) -> Usage {
+    Usage {
+        name: name.to_string(),
+        cpu_util_mean: series.mean(|s| s.cpu_util),
+        cpu_time: series.final_cpu_time(),
+        virt_mean: series.mean(|s| s.virt_mem as f64) as u64,
+        real_mean: series.mean(|s| s.real_mem as f64) as u64,
+        sockets_mean: series.mean(|s| s.sockets as f64),
+        sockets_peak: peak_sockets,
+    }
+}
+
+fn dump_series(name: &str, series: &emu::SampleSeries) {
+    // Downsample to one row per minute to keep CSVs manageable.
+    let rows: Vec<Vec<String>> = series
+        .samples
+        .iter()
+        .step_by(60)
+        .map(|s| {
+            vec![
+                s.at.as_secs().to_string(),
+                f(s.cpu_util, 4),
+                s.cpu_time.as_secs().to_string(),
+                s.virt_mem.to_string(),
+                s.real_mem.to_string(),
+                s.sockets.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        &format!("fig7_series_{name}.csv"),
+        &["t_s", "cpu_util", "cpu_time_s", "virt_bytes", "real_bytes", "sockets"],
+        &rows,
+    );
+}
+
+/// Inject a Fig. 7-style job stream into an ESlurm system (same
+/// distribution as [`rm::inject_job_stream`], mapped onto slave indices).
+fn eslurm_job_stream(
+    sys: &mut eslurm::EslurmSystem,
+    horizon: SimSpan,
+    rate_per_hour: f64,
+    mean_runtime: SimSpan,
+    seed: u64,
+) {
+    let n = sys.n_slaves as u32;
+    let mut rng = stream_rng(seed, 0x10B5);
+    let mut t = 0.0f64;
+    let mut job = 0u64;
+    let rate = rate_per_hour / 3600.0;
+    loop {
+        t += simclock::rng::exponential(&mut rng, rate);
+        if t >= horizon.as_secs_f64() {
+            break;
+        }
+        job += 1;
+        let max_exp = (n as f64).log2();
+        let count = 2f64.powf(rng.random::<f64>() * max_exp).round().max(1.0) as u32;
+        let start = rng.random_range(0..n - count.min(n - 1));
+        let idxs: Vec<usize> = (start..start + count).map(|i| i as usize).collect();
+        let runtime = SimSpan::from_secs_f64(
+            simclock::rng::exponential(&mut rng, 1.0 / mean_runtime.as_secs_f64()).max(5.0),
+        );
+        sys.submit(SimTime::from_secs_f64(t), job, &idxs, runtime);
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n: usize = args.scale(4096, 512);
+    let horizon = SimSpan::from_hours(args.scale(24, 2));
+    let horizon_t = SimTime::ZERO + horizon;
+    let rate = 42.0; // ≈ 1K jobs/day
+    let mean_rt = SimSpan::from_secs(1200);
+
+    println!("Fig 7: {n} nodes, {} h horizon, ~1K jobs/day", horizon.as_secs() / 3600);
+
+    let mut usages: Vec<Usage> = Vec::new();
+
+    // ---- the five centralized baselines.
+    for profile in RmProfile::baselines() {
+        let name = profile.name;
+        print!("running {name} ... ");
+        let mut h = build_cluster(profile, n + 1, args.seed, Some(horizon_t));
+        inject_job_stream(&mut h, n as u32, horizon, rate, n as u32, mean_rt, args.seed + 1);
+        h.sim.run_until(horizon_t);
+        let series = h.sim.series(NodeId::MASTER).expect("master tracked");
+        println!("{} events", h.sim.events_processed());
+        usages.push(summarize(name, series, h.sim.meter(NodeId::MASTER).peak_sockets()));
+        dump_series(name, series);
+    }
+
+    // ---- ESlurm with two satellites (as deployed on Tianhe-2A).
+    {
+        print!("running ESlurm ... ");
+        let cfg = EslurmConfig { n_satellites: 2, ..Default::default() };
+        let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed)
+            .sample_until(horizon_t, false)
+            .build();
+        eslurm_job_stream(&mut sys, horizon, rate, mean_rt, args.seed + 1);
+        sys.sim.run_until(horizon_t);
+        println!("{} events", sys.sim.events_processed());
+        let series = sys.sim.series(NodeId::MASTER).expect("master tracked");
+        usages.push(summarize(
+            "ESlurm",
+            series,
+            sys.sim.meter(NodeId::MASTER).peak_sockets(),
+        ));
+        dump_series("ESlurm", series);
+
+        // Satellite demands (paper §VII-A: ~6 min CPU, 1.2 GB virt,
+        // ~42 MB real per satellite over 24 h).
+        let mut rows = Vec::new();
+        for i in 0..2usize {
+            let m = sys.sim.meter(NodeId(1 + i as u32));
+            rows.push(vec![
+                format!("satellite {}", i + 1),
+                format!("{:.1} min", m.cpu_time().as_secs_f64() / 60.0),
+                fmt_bytes(m.virt_mem()),
+                fmt_bytes(m.real_mem()),
+                m.peak_sockets().to_string(),
+            ]);
+        }
+        print_table(
+            "Fig 7 (companion) — satellite resource demands",
+            &["node", "CPU time", "virt", "real", "peak sockets"],
+            &rows,
+        );
+    }
+
+    // ---- summary table (a–e).
+    let rows: Vec<Vec<String>> = usages
+        .iter()
+        .map(|u| {
+            vec![
+                u.name.clone(),
+                f(100.0 * u.cpu_util_mean, 2),
+                format!("{:.1}", u.cpu_time.as_secs_f64() / 60.0),
+                fmt_bytes(u.virt_mean),
+                fmt_bytes(u.real_mean),
+                f(u.sockets_mean, 1),
+                u.sockets_peak.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 7a–e — master resource usage (means over the run)",
+        &["RM", "CPU %", "CPU min", "virt", "real", "sockets", "peak sockets"],
+        &rows,
+    );
+    write_csv(
+        "fig7_summary.csv",
+        &["rm", "cpu_util", "cpu_time_min", "virt_bytes", "real_bytes", "sockets_mean", "sockets_peak"],
+        &rows,
+    );
+
+    // ---- (f) job occupation time vs size (10 s fixed runtime, idle
+    //      cluster; paper: ESlurm always < 15 s).
+    let sizes: Vec<u32> = if args.quick {
+        vec![64, 256, 512]
+    } else {
+        vec![64, 256, 1024, 4096]
+    };
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        let mut row = vec![size.to_string()];
+        for profile in RmProfile::baselines() {
+            let mut h = build_cluster(profile, n + 1, args.seed, None);
+            inject_job(
+                &mut h,
+                SimTime::from_secs(60),
+                1,
+                (1..=size).collect(),
+                SimSpan::from_secs(10),
+            );
+            h.sim.run_until(SimTime::from_secs(600));
+            let occ = h
+                .master_actor()
+                .records
+                .first()
+                .map(|r| r.occupation().as_secs_f64())
+                .unwrap_or(f64::NAN);
+            row.push(f(occ, 2));
+        }
+        {
+            let cfg = EslurmConfig { n_satellites: 2, ..Default::default() };
+            let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed).build();
+            sys.submit(
+                SimTime::from_secs(60),
+                1,
+                &(0..size as usize).collect::<Vec<_>>(),
+                SimSpan::from_secs(10),
+            );
+            sys.sim.run_until(SimTime::from_secs(600));
+            let occ = sys
+                .master()
+                .records
+                .first()
+                .map(|r| r.occupation().as_secs_f64())
+                .unwrap_or(f64::NAN);
+            row.push(f(occ, 2));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 7f — job occupation time vs job size (s; 10 s runtime)",
+        &["nodes", "SGE", "Torque", "OpenPBS", "LSF", "Slurm", "ESlurm"],
+        &rows,
+    );
+    write_csv(
+        "fig7f.csv",
+        &["nodes", "sge_s", "torque_s", "openpbs_s", "lsf_s", "slurm_s", "eslurm_s"],
+        &rows,
+    );
+}

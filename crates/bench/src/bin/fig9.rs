@@ -1,0 +1,153 @@
+//! Fig. 9 — Slurm vs. ESlurm on full-scale Tianhe-2A (16 384 nodes, 24
+//! emulated hours, 1 Hz sampling).
+//!
+//! Paper: ESlurm's master uses < 40 % of Slurm's CPU time, saves > 80 % of
+//! memory, and its two satellites carry the (balanced) communication load
+//! with ≤ 80 concurrent sockets each, vs. Slurm's > 1000-socket bursts.
+
+use emu::NodeId;
+use eslurm::{EslurmConfig, EslurmSystemBuilder};
+use eslurm_bench::{f, fmt_bytes, print_table, write_csv, ExpArgs};
+use rm::{build_cluster, inject_job_stream, RmProfile};
+use simclock::{SimSpan, SimTime};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n: usize = args.scale(16_384, 1024);
+    let horizon = SimSpan::from_hours(args.scale(24, 2));
+    let horizon_t = SimTime::ZERO + horizon;
+    let rate = 60.0;
+    let mean_rt = SimSpan::from_secs(1500);
+
+    println!("Fig 9: {n} nodes, {} h horizon", horizon.as_secs() / 3600);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+
+    // ---- Slurm.
+    {
+        print!("running Slurm ... ");
+        let mut h = build_cluster(RmProfile::slurm(), n + 1, args.seed, Some(horizon_t));
+        inject_job_stream(&mut h, n as u32, horizon, rate, n as u32, mean_rt, args.seed + 1);
+        h.sim.run_until(horizon_t);
+        println!("{} events", h.sim.events_processed());
+        let s = h.sim.series(NodeId::MASTER).expect("tracked");
+        let peak = h.sim.meter(NodeId::MASTER).peak_sockets();
+        rows.push(vec![
+            "Slurm master".into(),
+            format!("{:.1}", s.final_cpu_time().as_secs_f64() / 60.0),
+            fmt_bytes(s.mean(|x| x.virt_mem as f64) as u64),
+            fmt_bytes(s.mean(|x| x.real_mem as f64) as u64),
+            f(s.mean(|x| x.sockets as f64), 1),
+            peak.to_string(),
+        ]);
+        csv.push(vec![
+            "slurm_master".to_string(),
+            f(s.final_cpu_time().as_secs_f64(), 1),
+            (s.mean(|x| x.virt_mem as f64) as u64).to_string(),
+            (s.mean(|x| x.real_mem as f64) as u64).to_string(),
+            f(s.mean(|x| x.sockets as f64), 2),
+            peak.to_string(),
+        ]);
+    }
+
+    // ---- ESlurm with two satellites.
+    {
+        print!("running ESlurm ... ");
+        let cfg = EslurmConfig { n_satellites: 2, ..Default::default() };
+        let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed)
+            .sample_until(horizon_t, true)
+            .build();
+        // Same stream shape as the Slurm run.
+        let n_u32 = n as u32;
+        let mut rng = simclock::rng::stream_rng(args.seed + 1, 0x10B5);
+        let mut t = 0.0f64;
+        let mut job = 0u64;
+        loop {
+            t += simclock::rng::exponential(&mut rng, rate / 3600.0);
+            if t >= horizon.as_secs_f64() {
+                break;
+            }
+            job += 1;
+            let max_exp = (n_u32 as f64).log2();
+            let count = 2f64
+                .powf(rand::RngExt::random::<f64>(&mut rng) * max_exp)
+                .round()
+                .max(1.0) as u32;
+            let start = rand::RngExt::random_range(&mut rng, 0..n_u32 - count.min(n_u32 - 1));
+            let idxs: Vec<usize> = (start..start + count).map(|i| i as usize).collect();
+            let rt = SimSpan::from_secs_f64(
+                simclock::rng::exponential(&mut rng, 1.0 / mean_rt.as_secs_f64()).max(5.0),
+            );
+            sys.submit(SimTime::from_secs_f64(t), job, &idxs, rt);
+        }
+        sys.sim.run_until(horizon_t);
+        println!("{} events", sys.sim.events_processed());
+
+        let s = sys.sim.series(NodeId::MASTER).expect("tracked");
+        let peak = sys.sim.meter(NodeId::MASTER).peak_sockets();
+        rows.push(vec![
+            "ESlurm master".into(),
+            format!("{:.1}", s.final_cpu_time().as_secs_f64() / 60.0),
+            fmt_bytes(s.mean(|x| x.virt_mem as f64) as u64),
+            fmt_bytes(s.mean(|x| x.real_mem as f64) as u64),
+            f(s.mean(|x| x.sockets as f64), 1),
+            peak.to_string(),
+        ]);
+        csv.push(vec![
+            "eslurm_master".to_string(),
+            f(s.final_cpu_time().as_secs_f64(), 1),
+            (s.mean(|x| x.virt_mem as f64) as u64).to_string(),
+            (s.mean(|x| x.real_mem as f64) as u64).to_string(),
+            f(s.mean(|x| x.sockets as f64), 2),
+            peak.to_string(),
+        ]);
+
+        for i in 0..2usize {
+            let node = NodeId(1 + i as u32);
+            let s = sys.sim.series(node).expect("satellite tracked");
+            let peak = sys.sim.meter(node).peak_sockets();
+            rows.push(vec![
+                format!("ESlurm satellite {}", i + 1),
+                format!("{:.1}", s.final_cpu_time().as_secs_f64() / 60.0),
+                fmt_bytes(s.mean(|x| x.virt_mem as f64) as u64),
+                fmt_bytes(s.mean(|x| x.real_mem as f64) as u64),
+                f(s.mean(|x| x.sockets as f64), 1),
+                peak.to_string(),
+            ]);
+            csv.push(vec![
+                format!("eslurm_satellite_{}", i + 1),
+                f(s.final_cpu_time().as_secs_f64(), 1),
+                (s.mean(|x| x.virt_mem as f64) as u64).to_string(),
+                (s.mean(|x| x.real_mem as f64) as u64).to_string(),
+                f(s.mean(|x| x.sockets as f64), 2),
+                peak.to_string(),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!("Fig 9 — Slurm vs ESlurm on {n} nodes"),
+        &["node", "CPU min", "virt", "real", "sockets", "peak sockets"],
+        &rows,
+    );
+    write_csv(
+        "fig9_summary.csv",
+        &["node", "cpu_time_s", "virt_bytes", "real_bytes", "sockets_mean", "sockets_peak"],
+        &csv,
+    );
+
+    // Headline ratios the paper calls out.
+    let cpu_slurm: f64 = csv[0][1].parse().unwrap();
+    let cpu_eslurm: f64 = csv[1][1].parse().unwrap();
+    let mem_slurm: f64 = csv[0][2].parse().unwrap();
+    let mem_eslurm: f64 = csv[1][2].parse().unwrap();
+    println!(
+        "\nESlurm master CPU = {:.0}% of Slurm's  [paper: < 40%]",
+        100.0 * cpu_eslurm / cpu_slurm.max(1e-9)
+    );
+    println!(
+        "ESlurm master virtual memory saving = {:.0}%  [paper: > 80%]",
+        100.0 * (1.0 - mem_eslurm / mem_slurm.max(1e-9))
+    );
+}

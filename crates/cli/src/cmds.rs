@@ -1,0 +1,263 @@
+//! The CLI subcommands.
+
+use crate::opts::Opts;
+use eslurm::{EslurmConfig, EslurmSystemBuilder, PredictiveLimit};
+use estimate::{
+    evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2,
+    Prep, RuntimePredictor, Trip, UserEstimate,
+};
+use sched::{simulate as run_schedule, BackfillConfig, LimitPolicy, OracleLimit, SchedAlgo, UserLimit};
+use simclock::{SimSpan, SimTime};
+use std::path::Path;
+use workload::{stats, swf, trace, Job, TraceConfig};
+
+fn help(name: &str, summary: &str, o: &Opts) -> Result<(), String> {
+    println!("eslurm {name} — {summary}\noptions:");
+    for k in o.known() {
+        println!("    --{k} <value>");
+    }
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Vec<Job>, String> {
+    let p = Path::new(path);
+    let jobs = if path.ends_with(".swf") {
+        swf::load_swf(p, &swf::SwfImportOptions::default())
+    } else {
+        trace::load_jsonl(p)
+    }
+    .map_err(|e| format!("loading {path}: {e}"))?;
+    if jobs.is_empty() {
+        return Err(format!("{path}: trace is empty"));
+    }
+    Ok(jobs)
+}
+
+fn save_trace(jobs: &[Job], path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    if path.ends_with(".swf") {
+        swf::save_swf(jobs, p)
+    } else {
+        trace::save_jsonl(jobs, p)
+    }
+    .map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// `eslurm gen-trace --jobs N --system tianhe2a|ng --seed S --out FILE`
+pub fn gen_trace(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["jobs", "system", "seed", "out"])?;
+    if o.wants_help() {
+        return help("gen-trace", "generate a synthetic workload trace", &o);
+    }
+    let system = o.get("system").unwrap_or("tianhe2a");
+    let seed = o.get_or("seed", 42u64)?;
+    let mut cfg = match system {
+        "tianhe2a" => TraceConfig::tianhe2a(),
+        "ng" | "ng-tianhe" => TraceConfig::ng_tianhe(),
+        other => return Err(format!("unknown --system {other} (tianhe2a | ng)")),
+    }
+    .with_seed(seed);
+    let jobs = o.get_or("jobs", 0usize)?;
+    if jobs > 0 {
+        cfg = cfg.shrunk_to(jobs);
+    }
+    let out = o.get("out").unwrap_or("trace.jsonl");
+    let generated = cfg.generate();
+    save_trace(&generated, out)?;
+    let s = stats::summarize(&generated);
+    println!(
+        "wrote {} jobs ({} users, {} job names) to {out}",
+        s.jobs, s.users, s.names
+    );
+    Ok(())
+}
+
+/// `eslurm analyze FILE`
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["samples", "seed"])?;
+    if o.wants_help() {
+        return help("analyze", "workload statistics for a trace", &o);
+    }
+    let jobs = load_trace(o.positional(0, "trace file")?)?;
+    let samples = o.get_or("samples", 20_000usize)?;
+    let seed = o.get_or("seed", 1u64)?;
+
+    let s = stats::summarize(&jobs);
+    println!("jobs: {}   users: {}   names: {}", s.jobs, s.users, s.names);
+    println!(
+        "mean runtime: {:.0}s   mean nodes: {:.1}",
+        s.mean_runtime_s, s.mean_nodes
+    );
+    println!(
+        "user estimates: {:.1}% overestimated (P > 1)",
+        100.0 * s.frac_overestimated
+    );
+    println!(
+        "24h same-job resubmission: per-user {:.3} / per-job {:.3}",
+        stats::resubmit_within_24h_prob(&jobs),
+        stats::resubmit_within_24h_prob_job_weighted(&jobs)
+    );
+    println!(
+        ">6h jobs submitted 18:00-24:00: {:.1}%",
+        100.0 * stats::frac_long_jobs_in_evening(&jobs)
+    );
+    println!("\ncorrelation vs submission interval (hours):");
+    for (h, r) in stats::correlation_vs_interval(&jobs, &[0.0, 1.0, 10.0, 30.0, 100.0], samples, seed)
+    {
+        println!("    {h:6.1}h  {r:.3}");
+    }
+    println!("correlation vs job-ID gap:");
+    for (g, r) in stats::correlation_vs_id_gap(&jobs, &[1, 10, 100, 700, 2000], samples, seed) {
+        println!("    {g:6}    {r:.3}");
+    }
+    println!("\njob-size histogram (nodes <= bucket):");
+    for (bound, count) in stats::size_histogram(&jobs) {
+        if count > 0 {
+            println!("    {bound:6}  {count}");
+        }
+    }
+    Ok(())
+}
+
+/// `eslurm replay FILE --nodes N --policy user|predictive|oracle --algo ...`
+pub fn replay(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["nodes", "policy", "algo", "resubmits"])?;
+    if o.wants_help() {
+        return help("replay", "replay a trace through the backfill scheduler", &o);
+    }
+    let jobs = load_trace(o.positional(0, "trace file")?)?;
+    let nodes = o.get_or("nodes", 1024u32)?;
+    let algo = match o.get("algo").unwrap_or("easy") {
+        "easy" => SchedAlgo::Easy,
+        "fcfs" => SchedAlgo::Fcfs,
+        "conservative" => SchedAlgo::Conservative,
+        other => return Err(format!("unknown --algo {other} (easy | fcfs | conservative)")),
+    };
+    let mut policy: Box<dyn LimitPolicy> = match o.get("policy").unwrap_or("user") {
+        "user" => Box::new(UserLimit::default()),
+        "predictive" => Box::new(PredictiveLimit::new(EstimatorConfig::default())),
+        "oracle" => Box::new(OracleLimit),
+        other => return Err(format!("unknown --policy {other} (user | predictive | oracle)")),
+    };
+    let cfg = BackfillConfig {
+        algo,
+        max_resubmits: o.get_or("resubmits", 3u32)?,
+        ..BackfillConfig::new(nodes)
+    };
+    println!(
+        "replaying {} jobs on {nodes} nodes ({:?}, {} limits) ...",
+        jobs.len(),
+        algo,
+        policy.name()
+    );
+    let r = run_schedule(&jobs, policy.as_mut(), &cfg);
+    println!("completed:        {}", r.completed);
+    println!("killed at limit:  {} ({} abandoned)", r.killed, r.abandoned);
+    println!("utilization:      {:.3} (useful {:.3})", r.utilization(), r.useful_utilization());
+    println!("avg wait:         {:.0}s", r.avg_wait().as_secs_f64());
+    println!("avg slowdown:     {:.2}", r.avg_slowdown());
+    println!("makespan:         {:.1}h", r.makespan.as_secs_f64() / 3600.0);
+    Ok(())
+}
+
+/// `eslurm predict FILE [--warmup N] [--window N]`
+pub fn predict(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["warmup", "window", "seed"])?;
+    if o.wants_help() {
+        return help("predict", "compare runtime-prediction models", &o);
+    }
+    let jobs = load_trace(o.positional(0, "trace file")?)?;
+    let warmup = o.get_or("warmup", jobs.len() / 10)?;
+    let window = o.get_or("window", 2000usize)?;
+    let seed = o.get_or("seed", 7u64)?;
+    let mut models: Vec<Box<dyn RuntimePredictor>> = vec![
+        Box::new(UserEstimate),
+        Box::new(Last2::default()),
+        Box::new(svm_baseline(window.min(700))),
+        Box::new(forest_baseline(window.min(700), seed)),
+        Box::new(Irpa::new(window.min(700), seed + 1)),
+        Box::new(Trip::new(window.min(700))),
+        Box::new(Prep::new(window.min(700), seed + 2)),
+        Box::new(EslurmPredictor::new(EstimatorConfig { window, ..Default::default() })),
+    ];
+    println!("{:14} {:>9} {:>14} {:>9}", "model", "accuracy", "underestimate", "coverage");
+    for m in &mut models {
+        let r = evaluate(&jobs, m.as_mut(), warmup);
+        println!(
+            "{:14} {:>9.3} {:>14.3} {:>9.2}",
+            r.name, r.aea, r.underestimate_rate, r.coverage
+        );
+    }
+    Ok(())
+}
+
+/// `eslurm simulate --nodes N --satellites M --minutes T --jobs J`
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["nodes", "satellites", "minutes", "jobs", "seed"])?;
+    if o.wants_help() {
+        return help("simulate", "run an emulated ESlurm cluster", &o);
+    }
+    let nodes = o.get_or("nodes", 256usize)?;
+    let satellites = o.get_or("satellites", 2usize)?;
+    let minutes = o.get_or("minutes", 10u64)?;
+    let n_jobs = o.get_or("jobs", 20u64)?;
+    let seed = o.get_or("seed", 42u64)?;
+
+    let cfg = EslurmConfig {
+        n_satellites: satellites,
+        eq1_width: (nodes / satellites.max(1)).max(32),
+        relay_width: 32,
+        ..Default::default()
+    };
+    let mut sys = EslurmSystemBuilder::new(cfg, nodes, seed).build();
+    let horizon = SimTime::ZERO + SimSpan::from_secs(minutes * 60);
+    for j in 0..n_jobs {
+        let size = ((j % 5 + 1) as usize * nodes / 8).max(1).min(nodes);
+        let start = (j as usize * 13) % (nodes - size + 1);
+        sys.submit(
+            SimTime::from_secs(5 + j * 7),
+            j,
+            &(start..start + size).collect::<Vec<_>>(),
+            SimSpan::from_secs(60),
+        );
+    }
+    sys.sim.run_until(horizon);
+
+    let master = sys.master();
+    println!(
+        "emulated {nodes} compute nodes + {satellites} satellites for {minutes} virtual minutes"
+    );
+    println!("jobs completed:    {}/{n_jobs}", master.records.len());
+    if let Some(r) = master.records.first() {
+        println!("first occupation:  {:.3}s", r.occupation().as_secs_f64());
+    }
+    println!("heartbeat sweeps:  {}", master.sweeps.len());
+    println!(
+        "reassignments:     {}   takeovers: {}",
+        master.reassignments, master.takeovers
+    );
+    let m = sys.sim.meter(emu::NodeId::MASTER);
+    println!(
+        "master meters:     cpu {:.1}s  virt {:.2} GiB  real {:.1} MiB  peak sockets {}",
+        m.cpu_time().as_secs_f64(),
+        m.virt_mem() as f64 / (1u64 << 30) as f64,
+        m.real_mem() as f64 / (1u64 << 20) as f64,
+        m.peak_sockets()
+    );
+    println!("events processed:  {}", sys.sim.events_processed());
+    Ok(())
+}
+
+/// `eslurm convert IN OUT`
+pub fn convert(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["cores-per-node"])?;
+    if o.wants_help() {
+        return help("convert", "convert between .jsonl and .swf traces", &o);
+    }
+    let input = o.positional(0, "input file")?;
+    let output = o.positional(1, "output file")?;
+    let jobs = load_trace(input)?;
+    save_trace(&jobs, output)?;
+    println!("converted {} jobs: {input} -> {output}", jobs.len());
+    Ok(())
+}

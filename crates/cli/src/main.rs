@@ -1,0 +1,60 @@
+//! `eslurm` — the command-line front-end of the ESlurm reproduction.
+//!
+//! ```text
+//! eslurm gen-trace --jobs 10000 --system tianhe2a --out trace.jsonl
+//! eslurm analyze trace.jsonl
+//! eslurm replay trace.jsonl --nodes 1024 --policy predictive --algo easy
+//! eslurm predict trace.jsonl
+//! eslurm simulate --nodes 512 --satellites 4 --minutes 30 --jobs 50
+//! eslurm convert trace.jsonl trace.swf
+//! ```
+
+mod cmds;
+mod opts;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+eslurm — distributed resource management, emulated
+
+USAGE:
+    eslurm <COMMAND> [OPTIONS]
+
+COMMANDS:
+    gen-trace   Generate a synthetic workload trace (.jsonl or .swf)
+    analyze     Workload statistics (Fig. 5 analyses) for a trace file
+    replay      Replay a trace through the backfill scheduler
+    predict     Compare runtime-prediction models on a trace
+    simulate    Run an emulated ESlurm cluster and report RM metrics
+    convert     Convert between .jsonl and .swf trace formats
+    help        Show this message
+
+Run `eslurm <COMMAND> --help` for per-command options.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "gen-trace" => cmds::gen_trace(rest),
+        "analyze" => cmds::analyze(rest),
+        "replay" => cmds::replay(rest),
+        "predict" => cmds::predict(rest),
+        "simulate" => cmds::simulate(rest),
+        "convert" => cmds::convert(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! A small, dependency-free option parser: `--key value` pairs and
+//! positional arguments, with typed getters and unknown-flag detection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options.
+pub struct Opts {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+    known: Vec<&'static str>,
+    help: bool,
+}
+
+impl Opts {
+    /// Parse `args`, accepting only the `known` `--flags`.
+    pub fn parse(args: &[String], known: &[&'static str]) -> Result<Opts, String> {
+        let mut flags = BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut help = false;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--help" || a == "-h" {
+                help = true;
+            } else if let Some(name) = a.strip_prefix("--") {
+                if !known.contains(&name) {
+                    return Err(format!(
+                        "unknown option --{name} (expected one of: {})",
+                        known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+                    ));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?
+                    .clone();
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Opts { flags, positional, known: known.to_vec(), help })
+    }
+
+    /// Whether `--help` was requested.
+    pub fn wants_help(&self) -> bool {
+        self.help
+    }
+
+    /// The list of accepted flags (for help text).
+    pub fn known(&self) -> &[&'static str] {
+        &self.known
+    }
+
+    /// A required positional argument.
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing {what} argument"))
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// A typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let o = Opts::parse(&args(&["file.jsonl", "--jobs", "100"]), &["jobs", "seed"]).unwrap();
+        assert_eq!(o.positional(0, "input").unwrap(), "file.jsonl");
+        assert_eq!(o.get_or("jobs", 0usize).unwrap(), 100);
+        assert_eq!(o.get_or("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(Opts::parse(&args(&["--bogus", "1"]), &["jobs"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Opts::parse(&args(&["--jobs"]), &["jobs"]).is_err());
+    }
+
+    #[test]
+    fn bad_typed_value_reports_flag() {
+        let o = Opts::parse(&args(&["--jobs", "abc"]), &["jobs"]).unwrap();
+        let err = o.get_or("jobs", 0usize).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Fault injection: scheduled node outages.
+//!
+//! A [`FaultPlan`] is a ground-truth schedule of node down/up intervals.
+//! Messages to a node that is down at delivery time are dropped, which is
+//! how failures surface to the protocols (timeouts). The plan also feeds the
+//! monitoring substrate, which turns upcoming outages into (noisy) alerts
+//! for the FP-Tree's failure predictor.
+//!
+//! [`FaultPlanBuilder::tianhe_like`] mimics the failure mix the paper
+//! reports from ten days of production: many small events (1–8 nodes) plus
+//! one large maintenance event (600+ nodes at once).
+
+use crate::node::NodeId;
+use rand::RngExt;
+use simclock::rng::stream_rng;
+use simclock::{SimSpan, SimTime};
+
+/// One outage of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outage {
+    /// The affected node.
+    pub node: NodeId,
+    /// When the node goes down.
+    pub down_at: SimTime,
+    /// When the node comes back (may be past the simulation horizon).
+    pub up_at: SimTime,
+}
+
+/// A schedule of node outages, queryable by `(node, time)`.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// All outages, sorted by `down_at`.
+    outages: Vec<Outage>,
+    /// Per-node outage indices for fast lookup.
+    by_node: Vec<Vec<u32>>,
+}
+
+impl FaultPlan {
+    /// A plan with no failures for `n` nodes.
+    pub fn none(n: usize) -> Self {
+        FaultPlan {
+            outages: Vec::new(),
+            by_node: vec![Vec::new(); n],
+        }
+    }
+
+    /// Build from an explicit outage list for `n` nodes.
+    pub fn from_outages(n: usize, mut outages: Vec<Outage>) -> Self {
+        outages.sort_by_key(|o| (o.down_at, o.node));
+        let mut by_node = vec![Vec::new(); n];
+        for (i, o) in outages.iter().enumerate() {
+            assert!(o.node.index() < n, "outage for node outside cluster");
+            assert!(o.up_at > o.down_at, "outage must have positive duration");
+            by_node[o.node.index()].push(i as u32);
+        }
+        FaultPlan { outages, by_node }
+    }
+
+    /// Whether `node` is up at time `t`.
+    pub fn is_up(&self, node: NodeId, t: SimTime) -> bool {
+        self.by_node
+            .get(node.index())
+            .map(|idxs| {
+                idxs.iter().all(|&i| {
+                    let o = &self.outages[i as usize];
+                    t < o.down_at || t >= o.up_at
+                })
+            })
+            .unwrap_or(true)
+    }
+
+    /// All outages, sorted by start time.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// The set of nodes that are down at time `t`.
+    pub fn down_at(&self, t: SimTime) -> Vec<NodeId> {
+        let mut down: Vec<NodeId> = self
+            .outages
+            .iter()
+            .filter(|o| t >= o.down_at && t < o.up_at)
+            .map(|o| o.node)
+            .collect();
+        down.sort();
+        down.dedup();
+        down
+    }
+
+    /// Nodes whose outage starts within `(t, t + horizon]` — the information
+    /// an ideal monitoring system could know in advance.
+    pub fn failing_within(&self, t: SimTime, horizon: SimSpan) -> Vec<NodeId> {
+        let end = t + horizon;
+        let mut v: Vec<NodeId> = self
+            .outages
+            .iter()
+            .filter(|o| o.down_at > t && o.down_at <= end)
+            .map(|o| o.node)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Number of nodes in the plan's cluster.
+    pub fn cluster_size(&self) -> usize {
+        self.by_node.len()
+    }
+
+    /// If `node` is down at `t`, the time it next comes back up; `None` when
+    /// the node is up at `t`.
+    pub fn next_up_after(&self, node: NodeId, t: SimTime) -> Option<SimTime> {
+        self.by_node.get(node.index()).and_then(|idxs| {
+            idxs.iter()
+                .map(|&i| &self.outages[i as usize])
+                .filter(|o| t >= o.down_at && t < o.up_at)
+                .map(|o| o.up_at)
+                .max()
+        })
+    }
+}
+
+/// Randomized construction of realistic fault plans.
+#[derive(Clone, Debug)]
+pub struct FaultPlanBuilder {
+    n: usize,
+    seed: u64,
+    horizon: SimSpan,
+    small_events: usize,
+    small_event_max_nodes: usize,
+    large_events: usize,
+    large_event_nodes: usize,
+    mean_outage: SimSpan,
+}
+
+impl FaultPlanBuilder {
+    /// Start a builder for a cluster of `n` nodes over `horizon` of virtual
+    /// time, seeded for reproducibility.
+    pub fn new(n: usize, horizon: SimSpan, seed: u64) -> Self {
+        FaultPlanBuilder {
+            n,
+            seed,
+            horizon,
+            small_events: 0,
+            small_event_max_nodes: 8,
+            large_events: 0,
+            large_event_nodes: 0,
+            mean_outage: SimSpan::from_secs(3600),
+        }
+    }
+
+    /// Schedule `count` small failure events of 1..=`max_nodes` nodes each.
+    pub fn small_events(mut self, count: usize, max_nodes: usize) -> Self {
+        self.small_events = count;
+        self.small_event_max_nodes = max_nodes.max(1);
+        self
+    }
+
+    /// Schedule `count` large events taking down `nodes` nodes at once
+    /// (hardware replacement / maintenance).
+    pub fn large_events(mut self, count: usize, nodes: usize) -> Self {
+        self.large_events = count;
+        self.large_event_nodes = nodes;
+        self
+    }
+
+    /// Mean outage duration (exponentially distributed).
+    pub fn mean_outage(mut self, d: SimSpan) -> Self {
+        self.mean_outage = d;
+        self
+    }
+
+    /// The failure mix of the paper's ten-day 4K-node deployment, scaled to
+    /// the given cluster size and horizon: 28 small events on ≤8 nodes plus
+    /// one 600-node maintenance event per 10 days per 4 096 nodes.
+    pub fn tianhe_like(n: usize, horizon: SimSpan, seed: u64) -> Self {
+        let scale = (n as f64 / 4096.0) * (horizon.as_secs_f64() / (10.0 * 86_400.0));
+        let small = (28.0 * scale).round().max(1.0) as usize;
+        let large = if scale >= 0.5 { 1 } else { 0 };
+        FaultPlanBuilder::new(n, horizon, seed)
+            .small_events(small, 8)
+            .large_events(large, ((600.0 * n as f64 / 4096.0) as usize).min(n / 4))
+            .mean_outage(SimSpan::from_secs(2 * 3600))
+    }
+
+    /// Materialize the plan.
+    pub fn build(self) -> FaultPlan {
+        let mut rng = stream_rng(self.seed, 0xFA);
+        let mut outages = Vec::new();
+        let horizon_us = self.horizon.as_micros().max(1);
+        let push_event = |rng: &mut rand::rngs::StdRng, nodes: usize, out: &mut Vec<Outage>| {
+            let at = SimTime(rng.random_range(0..horizon_us));
+            // Failed nodes cluster physically (same board/chassis): pick a
+            // contiguous id range starting at a random point.
+            let start = rng.random_range(0..self.n as u32);
+            let dur = simclock::rng::exponential(rng, 1.0 / self.mean_outage.as_secs_f64().max(1.0));
+            let dur = SimSpan::from_secs_f64(dur.max(60.0));
+            for k in 0..nodes {
+                let node = NodeId((start + k as u32) % self.n as u32);
+                out.push(Outage {
+                    node,
+                    down_at: at,
+                    up_at: at + dur,
+                });
+            }
+        };
+        for _ in 0..self.small_events {
+            let nodes = rng.random_range(1..=self.small_event_max_nodes);
+            push_event(&mut rng, nodes, &mut outages);
+        }
+        for _ in 0..self.large_events {
+            push_event(&mut rng, self.large_event_nodes, &mut outages);
+        }
+        FaultPlan::from_outages(self.n, outages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_everything_up() {
+        let p = FaultPlan::none(10);
+        assert!(p.is_up(NodeId(3), SimTime::from_secs(100)));
+        assert!(p.down_at(SimTime::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn outage_window_respected() {
+        let p = FaultPlan::from_outages(
+            4,
+            vec![Outage {
+                node: NodeId(2),
+                down_at: SimTime::from_secs(10),
+                up_at: SimTime::from_secs(20),
+            }],
+        );
+        assert!(p.is_up(NodeId(2), SimTime::from_secs(9)));
+        assert!(!p.is_up(NodeId(2), SimTime::from_secs(10)));
+        assert!(!p.is_up(NodeId(2), SimTime::from_secs(19)));
+        assert!(p.is_up(NodeId(2), SimTime::from_secs(20)));
+        assert!(p.is_up(NodeId(1), SimTime::from_secs(15)));
+        assert_eq!(p.down_at(SimTime::from_secs(15)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn failing_within_horizon() {
+        let p = FaultPlan::from_outages(
+            4,
+            vec![
+                Outage {
+                    node: NodeId(1),
+                    down_at: SimTime::from_secs(50),
+                    up_at: SimTime::from_secs(60),
+                },
+                Outage {
+                    node: NodeId(3),
+                    down_at: SimTime::from_secs(500),
+                    up_at: SimTime::from_secs(600),
+                },
+            ],
+        );
+        let soon = p.failing_within(SimTime::from_secs(40), SimSpan::from_secs(30));
+        assert_eq!(soon, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn builder_is_deterministic_and_in_range() {
+        let h = SimSpan::from_hours(24);
+        let a = FaultPlanBuilder::new(100, h, 9).small_events(10, 4).build();
+        let b = FaultPlanBuilder::new(100, h, 9).small_events(10, 4).build();
+        assert_eq!(a.outages(), b.outages());
+        assert!(!a.outages().is_empty());
+        for o in a.outages() {
+            assert!(o.node.index() < 100);
+            assert!(o.down_at.as_micros() < h.as_micros());
+            assert!(o.up_at > o.down_at);
+        }
+    }
+
+    #[test]
+    fn tianhe_like_has_large_event_at_scale() {
+        let p = FaultPlanBuilder::tianhe_like(4096, SimSpan::from_hours(240), 7).build();
+        // 28 small events plus one ~600-node event => >600 outages.
+        assert!(p.outages().len() > 600, "got {}", p.outages().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_outage_rejected() {
+        let t = SimTime::from_secs(5);
+        FaultPlan::from_outages(
+            2,
+            vec![Outage {
+                node: NodeId(0),
+                down_at: t,
+                up_at: t,
+            }],
+        );
+    }
+}

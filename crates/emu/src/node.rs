@@ -1,0 +1,56 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Identifier of an emulated node.
+///
+/// Node 0 is conventionally the master node; the roles of the remaining ids
+/// are assigned by the resource-manager layer (satellites, then compute
+/// nodes). A `u32` is deliberate: clusters in the paper reach 20K+ nodes and
+/// node ids appear in every message and tree, so keeping them 4 bytes keeps
+/// node lists and trees compact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Conventional id of the master node.
+    pub const MASTER: NodeId = NodeId(0);
+
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_basics() {
+        let n = NodeId(17);
+        assert_eq!(n.index(), 17);
+        assert_eq!(format!("{n}"), "n17");
+        assert_eq!(NodeId::from(17u32), n);
+        assert!(NodeId(3) < NodeId(4));
+        assert_eq!(NodeId::MASTER, NodeId(0));
+    }
+}

@@ -1,0 +1,439 @@
+//! The real-thread transport: every node runs its actor on an OS thread,
+//! exchanging messages over crossbeam channels.
+//!
+//! This transport exists to validate that the protocol logic driving the
+//! large-scale DES experiments is genuinely concurrent-safe and
+//! transport-independent: integration tests run the same master/satellite/
+//! slave actors here at small scale and check they reach the same protocol
+//! outcomes. Unlike the DES, wall-clock timing is real (channel latency is
+//! sub-microsecond), so tests assert on protocol results, not on durations.
+
+use crate::actor::{Actor, Context, Payload};
+use crate::fault::FaultPlan;
+use crate::meter::Meter;
+use crate::node::NodeId;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use simclock::rng::stream_rng;
+use simclock::{SimSpan, SimTime};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Ctl<M> {
+    Msg { from: NodeId, msg: M },
+    Stop,
+}
+
+struct Shared {
+    meters: Vec<Mutex<Meter>>,
+    up: Vec<AtomicBool>,
+    start: Instant,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+/// Timer entry in a node's local heap (min-heap by deadline).
+struct TimerEntry {
+    deadline: Instant,
+    token: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.token == other.token
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.deadline.cmp(&self.deadline) // reversed: min-heap
+    }
+}
+
+struct ThreadCtx<'a, M> {
+    shared: &'a Shared,
+    senders: &'a [Sender<Ctl<M>>],
+    me: NodeId,
+    timers: &'a mut BinaryHeap<TimerEntry>,
+    socket_closes: &'a mut Vec<(Instant, NodeId)>,
+    rng: &'a mut StdRng,
+}
+
+impl<M: Payload> Context<M> for ThreadCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        self.shared.meters[self.me.index()].lock().count_sent();
+        // A send to a stopped node's closed channel is a drop, like a send
+        // to a failed node.
+        let _ = self.senders[to.index()].send(Ctl::Msg { from: self.me, msg });
+    }
+
+    fn set_timer(&mut self, after: SimSpan, token: u64) {
+        self.timers.push(TimerEntry {
+            deadline: Instant::now() + Duration::from_micros(after.as_micros()),
+            token,
+        });
+    }
+
+    fn charge_cpu(&mut self, span: SimSpan) {
+        self.shared.meters[self.me.index()].lock().charge_cpu(span);
+    }
+
+    fn alloc_virt(&mut self, delta: i64) {
+        self.shared.meters[self.me.index()].lock().alloc_virt(delta);
+    }
+
+    fn alloc_real(&mut self, delta: i64) {
+        self.shared.meters[self.me.index()].lock().alloc_real(delta);
+    }
+
+    fn open_socket(&mut self, peer: NodeId) {
+        self.shared.meters[self.me.index()].lock().open_socket();
+        self.shared.meters[peer.index()].lock().open_socket();
+    }
+
+    fn close_socket(&mut self, peer: NodeId) {
+        self.shared.meters[self.me.index()].lock().close_socket();
+        self.shared.meters[peer.index()].lock().close_socket();
+    }
+
+    fn open_socket_for(&mut self, peer: NodeId, dur: SimSpan) {
+        self.open_socket(peer);
+        self.socket_closes
+            .push((Instant::now() + Duration::from_micros(dur.as_micros()), peer));
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    fn is_up(&self, node: NodeId) -> bool {
+        self.shared.up[node.index()].load(Ordering::Acquire)
+    }
+}
+
+/// A running cluster of actor threads.
+pub struct ThreadCluster<M: Payload, A: Actor<M> + 'static> {
+    shared: Arc<Shared>,
+    senders: Vec<Sender<Ctl<M>>>,
+    handles: Vec<JoinHandle<A>>,
+    fault_stop: Option<Sender<()>>,
+    fault_handle: Option<JoinHandle<()>>,
+}
+
+impl<M: Payload, A: Actor<M> + 'static> ThreadCluster<M, A> {
+    /// Spawn one thread per actor; node `i` runs `actors[i]`.
+    pub fn start(actors: Vec<A>, seed: u64) -> Self {
+        let n = actors.len();
+        let shared = Arc::new(Shared {
+            meters: (0..n).map(|_| Mutex::new(Meter::new())).collect(),
+            up: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            start: Instant::now(),
+        });
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..n).map(|_| channel::unbounded::<Ctl<M>>()).unzip();
+
+        let handles = actors
+            .into_iter()
+            .enumerate()
+            .map(|(i, actor)| {
+                let shared = Arc::clone(&shared);
+                let senders = senders.clone();
+                let rx = receivers[i].clone();
+                std::thread::Builder::new()
+                    .name(format!("emu-node-{i}"))
+                    .spawn(move || node_loop(NodeId(i as u32), actor, shared, senders, rx, seed))
+                    .expect("spawn emu node thread")
+            })
+            .collect();
+
+        ThreadCluster { shared, senders, handles, fault_stop: None, fault_handle: None }
+    }
+
+    /// Apply `plan` automatically: a background thread flips each node's
+    /// up/down flag at the plan's (virtual-second = real-second) instants.
+    /// Call right after `start`; outages already in the past are applied
+    /// immediately.
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        let shared = Arc::clone(&self.shared);
+        let (tx, rx) = channel::bounded::<()>(1);
+        let handle = std::thread::Builder::new()
+            .name("emu-fault-injector".into())
+            .spawn(move || {
+                // Collect (real deadline, node, up?) transitions.
+                let mut transitions: Vec<(Duration, usize, bool)> = Vec::new();
+                for o in plan.outages() {
+                    transitions.push((
+                        Duration::from_micros(o.down_at.as_micros()),
+                        o.node.index(),
+                        false,
+                    ));
+                    transitions.push((
+                        Duration::from_micros(o.up_at.as_micros()),
+                        o.node.index(),
+                        true,
+                    ));
+                }
+                transitions.sort_by_key(|t| t.0);
+                for (after, node, up) in transitions {
+                    let elapsed = shared.start.elapsed();
+                    if after > elapsed {
+                        match rx.recv_timeout(after - elapsed) {
+                            Err(RecvTimeoutError::Timeout) => {}
+                            _ => return, // shutdown requested
+                        }
+                    }
+                    shared.up[node].store(up, Ordering::Release);
+                }
+                // Park until shutdown so the channel stays open.
+                let _ = rx.recv();
+            })
+            .expect("spawn fault injector");
+        self.fault_stop = Some(tx);
+        self.fault_handle = Some(handle);
+    }
+
+    /// Send a message into the cluster from outside (e.g. a simulated user).
+    pub fn inject(&self, from: NodeId, to: NodeId, msg: M) {
+        let _ = self.senders[to.index()].send(Ctl::Msg { from, msg });
+    }
+
+    /// Mark a node up or down. Down nodes drop incoming messages and defer
+    /// timers, emulating a crashed daemon.
+    pub fn set_up(&self, node: NodeId, up: bool) {
+        self.shared.up[node.index()].store(up, Ordering::Release);
+    }
+
+    /// Snapshot a node's meter.
+    pub fn meter(&self, node: NodeId) -> Meter {
+        self.shared.meters[node.index()].lock().clone()
+    }
+
+    /// Elapsed cluster time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Stop all nodes and return their final actor states with meters.
+    pub fn shutdown(mut self) -> Vec<(A, Meter)> {
+        if let Some(stop) = self.fault_stop.take() {
+            drop(stop); // closes the channel; injector exits
+        }
+        if let Some(h) = self.fault_handle.take() {
+            let _ = h.join();
+        }
+        for s in &self.senders {
+            let _ = s.send(Ctl::Stop);
+        }
+        self.handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let actor = h.join().expect("emu node thread panicked");
+                let meter = self.shared.meters[i].lock().clone();
+                (actor, meter)
+            })
+            .collect()
+    }
+}
+
+fn node_loop<M: Payload, A: Actor<M>>(
+    me: NodeId,
+    mut actor: A,
+    shared: Arc<Shared>,
+    senders: Vec<Sender<Ctl<M>>>,
+    rx: Receiver<Ctl<M>>,
+    seed: u64,
+) -> A {
+    let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let mut socket_closes: Vec<(Instant, NodeId)> = Vec::new();
+    let mut rng = stream_rng(seed, me.0 as u64);
+
+    {
+        let mut ctx = ThreadCtx {
+            shared: &shared,
+            senders: &senders,
+            me,
+            timers: &mut timers,
+            socket_closes: &mut socket_closes,
+            rng: &mut rng,
+        };
+        actor.on_start(&mut ctx);
+    }
+
+    loop {
+        // Auto-close expired ephemeral sockets.
+        let now = Instant::now();
+        socket_closes.retain(|(deadline, peer)| {
+            if *deadline <= now {
+                shared.meters[me.index()].lock().close_socket();
+                shared.meters[peer.index()].lock().close_socket();
+                false
+            } else {
+                true
+            }
+        });
+
+        let up = shared.up[me.index()].load(Ordering::Acquire);
+
+        // Fire due timers (only while up; a down daemon resumes later).
+        if up {
+            while timers
+                .peek()
+                .map(|t| t.deadline <= Instant::now())
+                .unwrap_or(false)
+            {
+                let t = timers.pop().expect("peeked timer vanished");
+                let mut ctx = ThreadCtx {
+                    shared: &shared,
+                    senders: &senders,
+                    me,
+                    timers: &mut timers,
+                    socket_closes: &mut socket_closes,
+                    rng: &mut rng,
+                };
+                actor.on_timer(&mut ctx, t.token);
+            }
+        }
+
+        // Wait for the next message, bounded by the next timer deadline.
+        let wait = timers
+            .peek()
+            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(5));
+        match rx.recv_timeout(wait) {
+            Ok(Ctl::Stop) => return actor,
+            Ok(Ctl::Msg { from, msg }) => {
+                if !shared.up[me.index()].load(Ordering::Acquire) {
+                    continue; // down: drop the message
+                }
+                shared.meters[me.index()].lock().count_received();
+                let mut ctx = ThreadCtx {
+                    shared: &shared,
+                    senders: &senders,
+                    me,
+                    timers: &mut timers,
+                    socket_closes: &mut socket_closes,
+                    rng: &mut rng,
+                };
+                actor.on_message(&mut ctx, from, msg);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return actor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        seen: Vec<u64>,
+    }
+    impl Actor<u64> for Echo {
+        fn on_message(&mut self, ctx: &mut dyn Context<u64>, from: NodeId, msg: u64) {
+            self.seen.push(msg);
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_exchange_messages() {
+        let cluster = ThreadCluster::start(
+            vec![Echo { seen: vec![] }, Echo { seen: vec![] }],
+            7,
+        );
+        cluster.inject(NodeId(0), NodeId(1), 6);
+        std::thread::sleep(Duration::from_millis(100));
+        let done = cluster.shutdown();
+        assert_eq!(done[1].0.seen, vec![6, 4, 2, 0]);
+        assert_eq!(done[0].0.seen, vec![5, 3, 1]);
+        let (sent0, recv0) = done[0].1.msg_counts();
+        assert_eq!(sent0, 3);
+        assert_eq!(recv0, 3);
+    }
+
+    struct TickOnce {
+        fired: bool,
+    }
+    impl Actor<u64> for TickOnce {
+        fn on_start(&mut self, ctx: &mut dyn Context<u64>) {
+            ctx.set_timer(SimSpan::from_millis(10), 42);
+        }
+        fn on_message(&mut self, _: &mut dyn Context<u64>, _: NodeId, _: u64) {}
+        fn on_timer(&mut self, _: &mut dyn Context<u64>, token: u64) {
+            assert_eq!(token, 42);
+            self.fired = true;
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        let cluster = ThreadCluster::start(vec![TickOnce { fired: false }], 7);
+        std::thread::sleep(Duration::from_millis(80));
+        let done = cluster.shutdown();
+        assert!(done[0].0.fired);
+    }
+
+    #[test]
+    fn fault_plan_toggles_liveness_automatically() {
+        use crate::fault::{FaultPlan, Outage};
+        let mut cluster = ThreadCluster::start(
+            vec![Echo { seen: vec![] }, Echo { seen: vec![] }],
+            9,
+        );
+        // Node 1 is down for the window [0ms, 150ms).
+        cluster.apply_fault_plan(FaultPlan::from_outages(
+            2,
+            vec![Outage {
+                node: NodeId(1),
+                down_at: simclock::SimTime::ZERO,
+                up_at: simclock::SimTime::from_millis(150),
+            }],
+        ));
+        std::thread::sleep(Duration::from_millis(30));
+        cluster.inject(NodeId(0), NodeId(1), 0); // dropped: node down
+        std::thread::sleep(Duration::from_millis(220));
+        cluster.inject(NodeId(0), NodeId(1), 0); // delivered: node back up
+        std::thread::sleep(Duration::from_millis(60));
+        let done = cluster.shutdown();
+        assert_eq!(done[1].0.seen, vec![0], "exactly the post-recovery message");
+    }
+
+    #[test]
+    fn down_node_drops_messages() {
+        let cluster = ThreadCluster::start(
+            vec![Echo { seen: vec![] }, Echo { seen: vec![] }],
+            7,
+        );
+        cluster.set_up(NodeId(1), false);
+        cluster.inject(NodeId(0), NodeId(1), 5);
+        std::thread::sleep(Duration::from_millis(60));
+        let done = cluster.shutdown();
+        assert!(done[1].0.seen.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! The satellite-node state machine (paper Fig. 2 / Table II), maintained
+//! by the master for every satellite in its pool.
+
+use simclock::{SimSpan, SimTime};
+
+/// Satellite states (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatState {
+    /// State not yet established.
+    Unknown,
+    /// Operating as expected; eligible for broadcast tasks.
+    Running,
+    /// Currently processing broadcast tasks.
+    Busy,
+    /// Failed; awaiting recovery or timeout.
+    Fault,
+    /// Shut down; requires administrator intervention.
+    Down,
+}
+
+impl SatState {
+    /// Stable wire id for heartbeat replies.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            SatState::Unknown => 0,
+            SatState::Running => 1,
+            SatState::Busy => 2,
+            SatState::Fault => 3,
+            SatState::Down => 4,
+        }
+    }
+
+    /// Inverse of [`SatState::wire_id`].
+    pub fn from_wire(id: u8) -> SatState {
+        match id {
+            1 => SatState::Running,
+            2 => SatState::Busy,
+            3 => SatState::Fault,
+            4 => SatState::Down,
+            _ => SatState::Unknown,
+        }
+    }
+}
+
+/// Events driving the state machine (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatEvent {
+    /// A broadcast task was assigned to the satellite.
+    TaskAssigned,
+    /// The satellite processed a broadcast task successfully.
+    BtSuccess,
+    /// The satellite failed to process a broadcast task.
+    BtFailure,
+    /// Heartbeat answered: the satellite is healthy.
+    HbSuccess,
+    /// Heartbeat missed: the satellite is abnormal.
+    HbFailure,
+    /// Administrator shutdown command.
+    Shutdown,
+}
+
+/// One satellite's state as tracked by the master.
+#[derive(Clone, Copy, Debug)]
+pub struct SatFsm {
+    state: SatState,
+    /// When the satellite entered FAULT (for the TIMEOUT transition).
+    fault_since: Option<SimTime>,
+    /// FAULT → DOWN after this long (paper: ≥ 20 min).
+    pub fault_timeout: SimSpan,
+}
+
+impl SatFsm {
+    /// A fresh FSM in UNKNOWN with the paper's 20-minute fault timeout.
+    pub fn new() -> Self {
+        SatFsm {
+            state: SatState::Unknown,
+            fault_since: None,
+            fault_timeout: SimSpan::from_secs(20 * 60),
+        }
+    }
+
+    /// Current state, applying the FAULT-timeout transition lazily.
+    pub fn state(&self, now: SimTime) -> SatState {
+        if self.state == SatState::Fault {
+            if let Some(since) = self.fault_since {
+                if now.since(since) >= self.fault_timeout {
+                    return SatState::Down;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// Whether the satellite may be assigned broadcast work.
+    pub fn is_available(&self, now: SimTime) -> bool {
+        matches!(self.state(now), SatState::Running)
+    }
+
+    /// Apply an event at `now`; returns the resulting state.
+    pub fn apply(&mut self, event: SatEvent, now: SimTime) -> SatState {
+        // Materialize a pending FAULT→DOWN first.
+        if self.state(now) == SatState::Down {
+            self.state = SatState::Down;
+        }
+        let next = match (self.state, event) {
+            // DOWN is terminal without administrator action.
+            (SatState::Down, _) => SatState::Down,
+            (_, SatEvent::Shutdown) => SatState::Down,
+            (_, SatEvent::HbFailure) => SatState::Fault,
+            (_, SatEvent::BtFailure) => SatState::Fault,
+            (SatState::Fault, SatEvent::HbSuccess) => SatState::Running,
+            (SatState::Unknown, SatEvent::HbSuccess) => SatState::Running,
+            (SatState::Running, SatEvent::TaskAssigned) => SatState::Busy,
+            (SatState::Busy, SatEvent::BtSuccess) => SatState::Running,
+            (s, SatEvent::HbSuccess) => s, // healthy, stay put (Busy stays Busy)
+            (s, SatEvent::BtSuccess) => {
+                // Stray success (e.g. after reassignment) keeps the state.
+                if s == SatState::Busy {
+                    SatState::Running
+                } else {
+                    s
+                }
+            }
+            (s, SatEvent::TaskAssigned) => s, // only RUNNING satellites get work
+        };
+        if next == SatState::Fault && self.state != SatState::Fault {
+            self.fault_since = Some(now);
+        }
+        if next != SatState::Fault {
+            self.fault_since = None;
+        }
+        self.state = next;
+        next
+    }
+
+    /// Administrator intervention: bring a DOWN satellite back to UNKNOWN
+    /// (it must prove health before receiving work again).
+    pub fn admin_reset(&mut self) {
+        self.state = SatState::Unknown;
+        self.fault_since = None;
+    }
+}
+
+impl Default for SatFsm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn boot_sequence_unknown_to_running() {
+        let mut f = SatFsm::new();
+        assert_eq!(f.state(t(0)), SatState::Unknown);
+        assert!(!f.is_available(t(0)));
+        f.apply(SatEvent::HbSuccess, t(1));
+        assert_eq!(f.state(t(1)), SatState::Running);
+        assert!(f.is_available(t(1)));
+    }
+
+    #[test]
+    fn task_cycle_running_busy_running() {
+        let mut f = SatFsm::new();
+        f.apply(SatEvent::HbSuccess, t(1));
+        f.apply(SatEvent::TaskAssigned, t(2));
+        assert_eq!(f.state(t(2)), SatState::Busy);
+        assert!(!f.is_available(t(2)));
+        f.apply(SatEvent::BtSuccess, t(3));
+        assert_eq!(f.state(t(3)), SatState::Running);
+    }
+
+    #[test]
+    fn bt_failure_faults_then_recovers_on_heartbeat() {
+        let mut f = SatFsm::new();
+        f.apply(SatEvent::HbSuccess, t(1));
+        f.apply(SatEvent::TaskAssigned, t(2));
+        f.apply(SatEvent::BtFailure, t(3));
+        assert_eq!(f.state(t(3)), SatState::Fault);
+        f.apply(SatEvent::HbSuccess, t(10));
+        assert_eq!(f.state(t(10)), SatState::Running);
+    }
+
+    #[test]
+    fn prolonged_fault_times_out_to_down() {
+        let mut f = SatFsm::new();
+        f.apply(SatEvent::HbSuccess, t(1));
+        f.apply(SatEvent::HbFailure, t(2));
+        assert_eq!(f.state(t(2)), SatState::Fault);
+        // 19 minutes: still FAULT.
+        assert_eq!(f.state(t(2 + 19 * 60)), SatState::Fault);
+        // 20 minutes: DOWN, and permanently so.
+        assert_eq!(f.state(t(2 + 20 * 60)), SatState::Down);
+        f.apply(SatEvent::HbSuccess, t(2 + 21 * 60));
+        assert_eq!(f.state(t(2 + 21 * 60)), SatState::Down);
+    }
+
+    #[test]
+    fn shutdown_is_terminal_until_admin_reset() {
+        let mut f = SatFsm::new();
+        f.apply(SatEvent::HbSuccess, t(1));
+        f.apply(SatEvent::Shutdown, t(2));
+        assert_eq!(f.state(t(2)), SatState::Down);
+        f.apply(SatEvent::HbSuccess, t(3));
+        assert_eq!(f.state(t(3)), SatState::Down);
+        f.admin_reset();
+        assert_eq!(f.state(t(4)), SatState::Unknown);
+        f.apply(SatEvent::HbSuccess, t(5));
+        assert!(f.is_available(t(5)));
+    }
+
+    #[test]
+    fn unknown_satellites_get_no_work() {
+        let mut f = SatFsm::new();
+        f.apply(SatEvent::TaskAssigned, t(1));
+        assert_eq!(f.state(t(1)), SatState::Unknown);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for s in [
+            SatState::Unknown,
+            SatState::Running,
+            SatState::Busy,
+            SatState::Fault,
+            SatState::Down,
+        ] {
+            assert_eq!(SatState::from_wire(s.wire_id()), s);
+        }
+    }
+}

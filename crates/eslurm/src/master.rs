@@ -1,0 +1,541 @@
+//! The ESlurm master daemon (paper §III): keeps the global view of
+//! resources and jobs, but offloads every large-scale communication to the
+//! satellite layer — dynamic satellite allocation (Eq. 1), round-robin
+//! mapping, BT/HB failure detection with the Table II state machine,
+//! task reassignment, and master takeover after the reassignment threshold.
+
+use crate::config::{partition, satellites_needed, EslurmConfig};
+use crate::fsm::{SatEvent, SatFsm, SatState};
+use emu::{Actor, Context, NodeId};
+use rm::master::JobRecord;
+use rm::proto::{CtlKind, NodeSlice, RmMsg};
+use simclock::{SimSpan, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+use topology::split_balanced;
+
+const TOKEN_SWEEP: u64 = 0;
+const TOKEN_SAT_HB: u64 = 1;
+const TOKEN_DISPATCH: u64 = 2;
+const TOKEN_BASE: u64 = 8;
+const JOB_RUN_DONE: u64 = 3;
+const TASK_TIMEOUT: u64 = 4;
+const QUERY_REPLY: u64 = 5;
+/// Sweep pseudo-job ids live above this bit.
+const SWEEP_BIT: u64 = 1 << 62;
+
+/// One completed heartbeat sweep (drives Fig. 11a).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRecord {
+    /// When the sweep started.
+    pub started: SimTime,
+    /// Submission-to-last-report latency.
+    pub completion: SimSpan,
+    /// Nodes confirmed alive.
+    pub reached: u32,
+}
+
+enum JobKind {
+    Real { runtime: SimSpan },
+    Sweep,
+}
+
+struct JobState {
+    kind: JobKind,
+    nodes: NodeSlice,
+    submitted: SimTime,
+    launch_done: Option<SimTime>,
+    phase: CtlKind,
+    tasks_total: u32,
+    tasks_done: u32,
+    reached: u32,
+}
+
+struct Task {
+    job: u64,
+    kind: CtlKind,
+    list: NodeSlice,
+    sat: Option<usize>,
+    attempts: u32,
+    done: bool,
+    /// Takeover aggregation (when the master relays directly).
+    takeover_expected: u32,
+    takeover_received: u32,
+    takeover_reached: u32,
+}
+
+/// The ESlurm master actor.
+pub struct EslurmMaster {
+    cfg: EslurmConfig,
+    slaves: NodeSlice,
+    satellites: Vec<u32>,
+    fsm: Vec<SatFsm>,
+    hb_pending: Vec<bool>,
+    rr: usize,
+    jobs: BTreeMap<u64, JobState>,
+    tasks: BTreeMap<u64, Task>,
+    dispatch_q: VecDeque<u64>,
+    dispatching: bool,
+    next_task: u64,
+    sweep_seq: u64,
+    /// Completed jobs, in completion order.
+    pub records: Vec<JobRecord>,
+    /// Completed heartbeat sweeps.
+    pub sweeps: Vec<SweepRecord>,
+    /// Broadcast tasks handed to a different satellite after a failure.
+    pub reassignments: u64,
+    /// Broadcast tasks the master had to handle itself.
+    pub takeovers: u64,
+    /// Serial work backlog (delays user-request replies).
+    busy_until: SimTime,
+    pending_queries: BTreeMap<u64, NodeId>,
+    query_arrival: BTreeMap<u64, SimTime>,
+    /// `(request id, response latency)` for served user requests.
+    pub query_log: Vec<(u64, SimSpan)>,
+}
+
+impl EslurmMaster {
+    /// A master over `slaves` (compute node ids) and `satellites`.
+    pub fn new(cfg: EslurmConfig, slaves: Vec<u32>, satellites: Vec<u32>) -> Self {
+        let m = satellites.len();
+        assert!(m >= 1, "ESlurm needs at least one satellite");
+        EslurmMaster {
+            cfg,
+            slaves: NodeSlice::new(slaves),
+            satellites,
+            fsm: vec![SatFsm::new(); m],
+            hb_pending: vec![false; m],
+            rr: 0,
+            jobs: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            dispatch_q: VecDeque::new(),
+            dispatching: false,
+            next_task: 0,
+            sweep_seq: 0,
+            records: Vec::new(),
+            sweeps: Vec::new(),
+            reassignments: 0,
+            takeovers: 0,
+            busy_until: SimTime::ZERO,
+            pending_queries: BTreeMap::new(),
+            query_arrival: BTreeMap::new(),
+            query_log: Vec::new(),
+        }
+    }
+
+    /// Track serial daemon work (CPU + reply backlog).
+    fn track_work(busy_until: &mut SimTime, ctx: &mut dyn Context<RmMsg>, cost: SimSpan) {
+        ctx.charge_cpu(cost);
+        *busy_until = (*busy_until).max(ctx.now()) + cost;
+    }
+
+    /// Current FSM state of satellite `idx`.
+    pub fn satellite_state(&self, idx: usize, now: SimTime) -> SatState {
+        self.fsm[idx].state(now)
+    }
+
+    fn start_ctl(&mut self, ctx: &mut dyn Context<RmMsg>, job: u64, kind: CtlKind) {
+        let state = self.jobs.get_mut(&job).expect("ctl for unknown job");
+        state.phase = kind;
+        state.tasks_done = 0;
+        state.reached = 0;
+        let list = state.nodes.clone();
+        let n = satellites_needed(list.len(), self.cfg.eq1_width, self.satellites.len());
+        let parts = partition(list.len(), n);
+        state.tasks_total = parts.len() as u32;
+        let task_ids: Vec<u64> = parts
+            .iter()
+            .map(|&(lo, len)| {
+                let id = self.next_task;
+                self.next_task += 1;
+                self.tasks.insert(
+                    id,
+                    Task {
+                        job,
+                        kind,
+                        list: list.slice(lo, lo + len),
+                        sat: None,
+                        attempts: 0,
+                        done: false,
+                        takeover_expected: 0,
+                        takeover_received: 0,
+                        takeover_reached: 0,
+                    },
+                );
+                id
+            })
+            .collect();
+        for id in task_ids {
+            self.assign_task(ctx, id);
+        }
+    }
+
+    /// Round-robin over RUNNING satellites; `None` if the pool is dry.
+    fn next_satellite(&mut self, now: SimTime) -> Option<usize> {
+        let m = self.satellites.len();
+        for k in 0..m {
+            let idx = (self.rr + k) % m;
+            if self.fsm[idx].is_available(now) {
+                self.rr = (idx + 1) % m;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn assign_task(&mut self, ctx: &mut dyn Context<RmMsg>, task_id: u64) {
+        match self.next_satellite(ctx.now()) {
+            Some(idx) => {
+                self.fsm[idx].apply(SatEvent::TaskAssigned, ctx.now());
+                let task = self.tasks.get_mut(&task_id).expect("assigning unknown task");
+                task.sat = Some(idx);
+                self.dispatch_q.push_back(task_id);
+                if !self.dispatching {
+                    self.dispatching = true;
+                    ctx.set_timer(self.cfg.task_prep_cpu, TOKEN_DISPATCH);
+                }
+            }
+            None => self.take_over(ctx, task_id),
+        }
+    }
+
+    /// The master handles a broadcast itself (reassignment threshold
+    /// exceeded or no satellite available) — correctness over offload.
+    fn take_over(&mut self, ctx: &mut dyn Context<RmMsg>, task_id: u64) {
+        self.takeovers += 1;
+        let task = self.tasks.get_mut(&task_id).expect("takeover of unknown task");
+        task.sat = None;
+        if task.list.is_empty() {
+            let (job, kind) = (task.job, task.kind);
+            task.done = true;
+            self.task_completed(ctx, job, kind, 0);
+            return;
+        }
+        let w = self.cfg.relay_width.max(2);
+        let task_len = task.list.len();
+        let k = if task_len < w { task_len } else { w };
+        let chunks = split_balanced(task_len, k);
+        task.takeover_expected = chunks.len() as u32;
+        let (job, kind) = (task.job, task.kind);
+        let list = task.list.clone();
+        for (lo, len) in chunks {
+            let head = list.nodes()[lo];
+            Self::track_work(&mut self.busy_until, ctx, self.cfg.msg_cpu);
+            ctx.open_socket_for(NodeId(head), self.cfg.conn_lifetime);
+            ctx.send(
+                NodeId(head),
+                RmMsg::JobCtl { job, kind, list: list.slice(lo + 1, lo + len), width: w as u16 },
+            );
+        }
+        let depth = topology::relay_depth(task_len, w) as u64;
+        ctx.set_timer(
+            self.cfg.task_timeout * (depth + 1),
+            task_id * TOKEN_BASE + TASK_TIMEOUT,
+        );
+    }
+
+    fn task_completed(
+        &mut self,
+        ctx: &mut dyn Context<RmMsg>,
+        job: u64,
+        kind: CtlKind,
+        reached: u32,
+    ) {
+        let (is_sweep, runtime) = {
+            let Some(state) = self.jobs.get_mut(&job) else { return };
+            if state.phase != kind {
+                return; // stale completion from a previous phase
+            }
+            state.tasks_done += 1;
+            state.reached += reached;
+            if state.tasks_done < state.tasks_total {
+                return;
+            }
+            match state.kind {
+                JobKind::Sweep => (true, SimSpan::ZERO),
+                JobKind::Real { runtime } => (false, runtime),
+            }
+        };
+        // Whole broadcast finished.
+        if is_sweep {
+            let state = self.jobs.remove(&job).expect("sweep vanished");
+            self.sweeps.push(SweepRecord {
+                started: state.submitted,
+                completion: ctx.now() - state.submitted,
+                reached: state.reached,
+            });
+            return;
+        }
+        match kind {
+            CtlKind::Launch => {
+                let state = self.jobs.get_mut(&job).expect("job vanished");
+                state.launch_done = Some(ctx.now());
+                ctx.set_timer(runtime, job * TOKEN_BASE + JOB_RUN_DONE);
+            }
+            CtlKind::Terminate => {
+                let state = self.jobs.remove(&job).expect("job vanished");
+                Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
+                let keep = self.cfg.job_record_leak as i64;
+                ctx.alloc_virt(-(self.cfg.per_job_virt as i64) + keep);
+                ctx.alloc_real(-(self.cfg.per_job_real as i64) + keep / 4);
+                self.records.push(JobRecord {
+                    job,
+                    submitted: state.submitted,
+                    launch_done: state.launch_done.unwrap_or(ctx.now()),
+                    finished: ctx.now(),
+                    nodes: state.nodes.len() as u32,
+                });
+            }
+            CtlKind::Ping => {}
+        }
+    }
+
+    fn start_sweep(&mut self, ctx: &mut dyn Context<RmMsg>) {
+        let job = SWEEP_BIT | self.sweep_seq;
+        self.sweep_seq += 1;
+        Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
+        self.jobs.insert(
+            job,
+            JobState {
+                kind: JobKind::Sweep,
+                nodes: self.slaves.clone(),
+                submitted: ctx.now(),
+                launch_done: None,
+                phase: CtlKind::Ping,
+                tasks_total: 0,
+                tasks_done: 0,
+                reached: 0,
+            },
+        );
+        self.start_ctl(ctx, job, CtlKind::Ping);
+    }
+}
+
+impl Actor<RmMsg> for EslurmMaster {
+    fn on_start(&mut self, ctx: &mut dyn Context<RmMsg>) {
+        ctx.alloc_virt(
+            (self.cfg.base_virt + self.slaves.len() as u64 * self.cfg.per_node_virt) as i64,
+        );
+        ctx.alloc_real(
+            (self.cfg.base_real + self.slaves.len() as u64 * self.cfg.per_node_real) as i64,
+        );
+        // Probe the satellite pool right away so it is RUNNING before the
+        // first jobs arrive; subsequent rounds follow the configured period.
+        ctx.set_timer(SimSpan::from_millis(10), TOKEN_SAT_HB);
+        ctx.set_timer(self.cfg.hb_sweep_interval, TOKEN_SWEEP);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, from: NodeId, msg: RmMsg) {
+        match msg {
+            RmMsg::SubmitJob { job, nodes, runtime_us } => {
+                Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
+                ctx.alloc_virt(self.cfg.per_job_virt as i64);
+                ctx.alloc_real(self.cfg.per_job_real as i64);
+                self.jobs.insert(
+                    job,
+                    JobState {
+                        kind: JobKind::Real { runtime: SimSpan::from_micros(runtime_us) },
+                        nodes,
+                        submitted: ctx.now(),
+                        launch_done: None,
+                        phase: CtlKind::Launch,
+                        tasks_total: 0,
+                        tasks_done: 0,
+                        reached: 0,
+                    },
+                );
+                self.start_ctl(ctx, job, CtlKind::Launch);
+            }
+            RmMsg::BcastDone { task, job, kind, reached, ok: _ } => {
+                Self::track_work(&mut self.busy_until, ctx, self.cfg.msg_cpu);
+                let Some(t) = self.tasks.get_mut(&task) else { return };
+                if t.done {
+                    return;
+                }
+                t.done = true;
+                if let Some(idx) = t.sat {
+                    self.fsm[idx].apply(SatEvent::BtSuccess, ctx.now());
+                }
+                self.tasks.remove(&task);
+                self.task_completed(ctx, job, kind, reached);
+            }
+            RmMsg::CtlAck { job, kind, count } => {
+                // Ack for a master-takeover relay.
+                Self::track_work(&mut self.busy_until, ctx, self.cfg.msg_cpu);
+                let found = self.tasks.iter_mut().find(|(_, t)| {
+                    t.job == job && t.kind == kind && !t.done && t.takeover_expected > 0
+                });
+                if let Some((&id, t)) = found {
+                    t.takeover_received += 1;
+                    t.takeover_reached += count;
+                    if t.takeover_received >= t.takeover_expected {
+                        t.done = true;
+                        let reached = t.takeover_reached;
+                        self.tasks.remove(&id);
+                        self.task_completed(ctx, job, kind, reached);
+                    }
+                }
+            }
+            RmMsg::CancelJob { job } => {
+                Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
+                let cancellable = self
+                    .jobs
+                    .get(&job)
+                    .map(|s| {
+                        matches!(s.kind, JobKind::Real { .. })
+                            && s.phase == CtlKind::Launch
+                            && s.tasks_done >= s.tasks_total
+                    })
+                    .unwrap_or(false);
+                // Note: a launch-phase job whose broadcast completed is in
+                // its run window (phase stays Launch until the run timer
+                // flips it). Cancel = start the terminate broadcast early;
+                // the stale run timer is ignored by the phase check in
+                // task bookkeeping.
+                if cancellable {
+                    self.start_ctl(ctx, job, CtlKind::Terminate);
+                }
+            }
+            RmMsg::StatusQuery { id } => {
+                self.query_arrival.insert(id, ctx.now());
+                Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
+                self.pending_queries.insert(id, from);
+                let delay = self.busy_until - ctx.now();
+                ctx.set_timer(delay, id * TOKEN_BASE + QUERY_REPLY);
+            }
+            RmMsg::SatHeartbeatAck { state } => {
+                Self::track_work(&mut self.busy_until, ctx, self.cfg.msg_cpu);
+                if let Some(idx) = self.satellites.iter().position(|&s| s == from.0) {
+                    self.hb_pending[idx] = false;
+                    let _ = SatState::from_wire(state);
+                    self.fsm[idx].apply(SatEvent::HbSuccess, ctx.now());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64) {
+        match token {
+            TOKEN_SWEEP => {
+                self.start_sweep(ctx);
+                ctx.set_timer(self.cfg.hb_sweep_interval, TOKEN_SWEEP);
+                return;
+            }
+            TOKEN_SAT_HB => {
+                // Unanswered probes from the previous round are failures.
+                for idx in 0..self.satellites.len() {
+                    if self.hb_pending[idx] {
+                        self.hb_pending[idx] = false;
+                        self.fsm[idx].apply(SatEvent::HbFailure, ctx.now());
+                    }
+                }
+                for idx in 0..self.satellites.len() {
+                    if self.fsm[idx].state(ctx.now()) == SatState::Down {
+                        continue; // needs administrator intervention
+                    }
+                    Self::track_work(&mut self.busy_until, ctx, self.cfg.msg_cpu);
+                    ctx.open_socket_for(NodeId(self.satellites[idx]), self.cfg.conn_lifetime);
+                    ctx.send(NodeId(self.satellites[idx]), RmMsg::SatHeartbeat);
+                    self.hb_pending[idx] = true;
+                }
+                ctx.set_timer(self.cfg.sat_hb_interval, TOKEN_SAT_HB);
+                return;
+            }
+            TOKEN_DISPATCH => {
+                if let Some(task_id) = self.dispatch_q.pop_front() {
+                    if let Some(t) = self.tasks.get(&task_id) {
+                        if !t.done {
+                            if let Some(idx) = t.sat {
+                                Self::track_work(&mut self.busy_until, ctx, self.cfg.task_prep_cpu);
+                                let sat_node = NodeId(self.satellites[idx]);
+                                ctx.open_socket_for(sat_node, self.cfg.conn_lifetime);
+                                ctx.send(
+                                    sat_node,
+                                    RmMsg::BcastTask {
+                                        task: task_id,
+                                        job: t.job,
+                                        kind: t.kind,
+                                        list: t.list.clone(),
+                                        width: self.cfg.relay_width as u16,
+                                    },
+                                );
+                                // Timeout covers satellite processing plus
+                                // the depth-scaled relay round trip below it.
+                                let proc = SimSpan(
+                                    self.cfg.sat_per_node_cpu.as_micros()
+                                        * t.list.len().max(1) as u64,
+                                );
+                                let depth = topology::relay_depth(
+                                    t.list.len(),
+                                    self.cfg.relay_width,
+                                ) as u64;
+                                ctx.set_timer(
+                                    self.cfg.task_timeout * (depth + 2) + proc,
+                                    task_id * TOKEN_BASE + TASK_TIMEOUT,
+                                );
+                            }
+                        }
+                    }
+                }
+                if self.dispatch_q.is_empty() {
+                    self.dispatching = false;
+                } else {
+                    ctx.set_timer(self.cfg.task_prep_cpu, TOKEN_DISPATCH);
+                }
+                return;
+            }
+            _ => {}
+        }
+        let id = token / TOKEN_BASE;
+        match token % TOKEN_BASE {
+            JOB_RUN_DONE => {
+                // Skip jobs already heading out (e.g. cancelled mid-run).
+                let still_running = self
+                    .jobs
+                    .get(&id)
+                    .map(|s| s.phase == CtlKind::Launch)
+                    .unwrap_or(false);
+                if still_running {
+                    Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
+                    self.start_ctl(ctx, id, CtlKind::Terminate);
+                }
+            }
+            QUERY_REPLY => {
+                if let Some(asker) = self.pending_queries.remove(&id) {
+                    if let Some(arrived) = self.query_arrival.remove(&id) {
+                        self.query_log.push((id, ctx.now() - arrived));
+                    }
+                    ctx.send(asker, RmMsg::StatusReply { id });
+                }
+            }
+            TASK_TIMEOUT => {
+                let Some(t) = self.tasks.get_mut(&id) else { return };
+                if t.done {
+                    return;
+                }
+                if t.takeover_expected > 0 {
+                    // Master's own relay: close it out with partial coverage.
+                    t.done = true;
+                    let (job, kind, reached) = (t.job, t.kind, t.takeover_reached);
+                    self.tasks.remove(&id);
+                    self.task_completed(ctx, job, kind, reached);
+                    return;
+                }
+                // Satellite failed to report: BT-failure, reassign or take
+                // over (paper threshold: 2 reassignments).
+                if let Some(idx) = t.sat.take() {
+                    self.fsm[idx].apply(SatEvent::BtFailure, ctx.now());
+                }
+                t.attempts += 1;
+                let attempts = t.attempts;
+                if attempts <= self.cfg.reassign_threshold {
+                    self.reassignments += 1;
+                    self.assign_task(ctx, id);
+                } else {
+                    self.take_over(ctx, id);
+                }
+            }
+            _ => {}
+        }
+    }
+}

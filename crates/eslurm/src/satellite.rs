@@ -1,0 +1,519 @@
+//! The satellite daemon (paper §III): a stateless bidirectional
+//! communication buffer between the master and the compute nodes.
+//!
+//! On receiving a broadcast task it constructs an FP-Tree over the task's
+//! node list (placing currently suspected nodes on leaves), relays the
+//! payload to the first-layer nodes, aggregates their acknowledgements,
+//! and reports the outcome to the master. It keeps no system state across
+//! tasks — exactly the property that lets the master reassign work to any
+//! other satellite.
+
+use crate::config::EslurmConfig;
+use crate::fsm::SatState;
+use emu::{Actor, Context, NodeId};
+use monitoring::FailurePredictor;
+use rm::proto::{CtlKind, NodeSlice, RmMsg};
+use simclock::{SimSpan, SimTime};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use topology::fptree::rearrange;
+use topology::split_balanced;
+
+/// Aggregate FP-Tree construction statistics (the paper's "FP-tree node
+/// placement" evaluation: 81.7 % of failed nodes placed on leaves).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FpPlacementStats {
+    /// FP-Trees constructed.
+    pub trees: u64,
+    /// Total nodes across all constructed trees.
+    pub total_nodes: u64,
+    /// Suspected nodes present in task lists.
+    pub suspects_seen: u64,
+    /// Suspected nodes that landed on leaf positions.
+    pub suspects_on_leaves: u64,
+}
+
+impl FpPlacementStats {
+    /// Fraction of suspects placed on leaves (1.0 when none were seen).
+    pub fn placement_ratio(&self) -> f64 {
+        if self.suspects_seen == 0 {
+            1.0
+        } else {
+            self.suspects_on_leaves as f64 / self.suspects_seen as f64
+        }
+    }
+}
+
+struct PendingTask {
+    task: u64,
+    job: u64,
+    kind: CtlKind,
+    origin: NodeId,
+    list: NodeSlice,
+    started: SimTime,
+    expected: u32,
+    received: u32,
+    reached: u32,
+    relayed: bool,
+}
+
+const TOKEN_KIND_BITS: u64 = 2;
+const START_TIMER: u64 = 0;
+const DEADLINE_TIMER: u64 = 1;
+
+/// The satellite daemon actor.
+pub struct SatelliteDaemon {
+    cfg: EslurmConfig,
+    /// Shared failure predictor (the monitoring subsystem's suspect feed).
+    predictor: Option<Arc<Mutex<dyn FailurePredictor>>>,
+    tasks: BTreeMap<u64, PendingTask>,
+    next_token: u64,
+    /// Relay-buffer high-water mark, in nodes (drives resident memory).
+    buf_nodes: usize,
+    /// Tasks processed successfully.
+    pub tasks_done: u64,
+    /// Total nodes across received tasks (Table VI's "average nodes in
+    /// each task" numerator).
+    pub task_nodes_total: u64,
+    /// FP-Tree placement statistics.
+    pub fp_stats: FpPlacementStats,
+}
+
+impl SatelliteDaemon {
+    /// A satellite with the deployment config and an optional failure
+    /// predictor (no predictor = plain grouping trees, the FP-Tree-off
+    /// ablation).
+    pub fn new(
+        cfg: EslurmConfig,
+        predictor: Option<Arc<Mutex<dyn FailurePredictor>>>,
+    ) -> Self {
+        SatelliteDaemon {
+            cfg,
+            predictor,
+            tasks: BTreeMap::new(),
+            next_token: 0,
+            buf_nodes: 0,
+            tasks_done: 0,
+            task_nodes_total: 0,
+            fp_stats: FpPlacementStats::default(),
+        }
+    }
+
+    fn state(&self) -> SatState {
+        if self.tasks.is_empty() {
+            SatState::Running
+        } else {
+            SatState::Busy
+        }
+    }
+
+    fn begin_task(
+        &mut self,
+        ctx: &mut dyn Context<RmMsg>,
+        origin: NodeId,
+        task: u64,
+        job: u64,
+        kind: CtlKind,
+        list: NodeSlice,
+    ) {
+        self.task_nodes_total += list.len() as u64;
+        // Relay buffers grow to the largest task seen (high-water).
+        if list.len() > self.buf_nodes {
+            let grow = (list.len() - self.buf_nodes) as u64 * self.cfg.sat_per_task_node_real;
+            ctx.alloc_real(grow as i64);
+            ctx.alloc_virt(grow as i64);
+            self.buf_nodes = list.len();
+        }
+        // Processing (FP-Tree construction + payload marshalling) costs
+        // CPU proportional to the list and delays the relay by the same
+        // amount — this is the per-node cost that caps how much one
+        // satellite should be handed (Fig. 11a).
+        let proc = SimSpan(self.cfg.sat_per_node_cpu.as_micros() * list.len().max(1) as u64);
+        ctx.charge_cpu(proc);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.tasks.insert(
+            token,
+            PendingTask {
+                task,
+                job,
+                kind,
+                origin,
+                list,
+                started: ctx.now(),
+                expected: 0,
+                received: 0,
+                reached: 0,
+                relayed: false,
+            },
+        );
+        ctx.set_timer(proc, token << TOKEN_KIND_BITS | START_TIMER);
+    }
+
+    fn relay(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64) {
+        let suspects = self
+            .predictor
+            .as_ref()
+            .map(|p| p.lock().expect("predictor poisoned").suspects(ctx.now()))
+            .unwrap_or_default();
+        let Some(t) = self.tasks.get_mut(&token) else { return };
+        if t.relayed {
+            return;
+        }
+        t.relayed = true;
+        if t.list.is_empty() {
+            let done = self.tasks.remove(&token).expect("task vanished");
+            self.tasks_done += 1;
+            ctx.send(
+                done.origin,
+                RmMsg::BcastDone { task: done.task, job: done.job, kind: done.kind, reached: 0, ok: true },
+            );
+            return;
+        }
+        // FP-Tree construction: rearrange so suspects sit on leaves, then
+        // relay by the ordinary grouping rule.
+        let w = self.cfg.relay_width.max(2);
+        let arranged = rearrange(t.list.nodes(), &suspects, w);
+        let leaves = topology::leaf_positions(arranged.len(), w);
+        self.fp_stats.trees += 1;
+        self.fp_stats.total_nodes += arranged.len() as u64;
+        for (pos, node) in arranged.iter().enumerate() {
+            if suspects.contains(node) {
+                self.fp_stats.suspects_seen += 1;
+                if leaves[pos] {
+                    self.fp_stats.suspects_on_leaves += 1;
+                }
+            }
+        }
+        let arranged = NodeSlice::new(arranged);
+        let k = if arranged.len() < w { arranged.len() } else { w };
+        let chunks = split_balanced(arranged.len(), k);
+        t.expected = chunks.len() as u32;
+        let (job, kind) = (t.job, t.kind);
+        for (lo, len) in chunks {
+            let head = arranged.nodes()[lo];
+            ctx.open_socket_for(NodeId(head), self.cfg.conn_lifetime);
+            ctx.send(
+                NodeId(head),
+                RmMsg::JobCtl {
+                    job,
+                    kind,
+                    list: arranged.slice(lo + 1, lo + len),
+                    width: w as u16,
+                },
+            );
+        }
+        let depth = topology::relay_depth(arranged.len(), w) as u64;
+        ctx.set_timer(
+            self.cfg.task_timeout * (depth + 1),
+            token << TOKEN_KIND_BITS | DEADLINE_TIMER,
+        );
+    }
+
+    fn finish_task(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64, complete: bool) {
+        let Some(t) = self.tasks.remove(&token) else { return };
+        self.tasks_done += 1;
+        let _ = t.started;
+        ctx.charge_cpu(self.cfg.msg_cpu);
+        ctx.send(
+            t.origin,
+            RmMsg::BcastDone {
+                task: t.task,
+                job: t.job,
+                kind: t.kind,
+                reached: t.reached,
+                ok: complete,
+            },
+        );
+    }
+}
+
+impl Actor<RmMsg> for SatelliteDaemon {
+    fn on_start(&mut self, ctx: &mut dyn Context<RmMsg>) {
+        ctx.alloc_virt(self.cfg.sat_base_virt as i64);
+        ctx.alloc_real(self.cfg.sat_base_real as i64);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, from: NodeId, msg: RmMsg) {
+        match msg {
+            RmMsg::BcastTask { task, job, kind, list, width: _ } => {
+                self.begin_task(ctx, from, task, job, kind, list);
+            }
+            RmMsg::CtlAck { job, kind, count } => {
+                ctx.charge_cpu(self.cfg.msg_cpu);
+                let found = self
+                    .tasks
+                    .iter_mut()
+                    .find(|(_, t)| t.job == job && t.kind == kind && t.relayed);
+                if let Some((&token, t)) = found {
+                    t.received += 1;
+                    t.reached += count;
+                    if t.received >= t.expected {
+                        self.finish_task(ctx, token, true);
+                    }
+                }
+            }
+            RmMsg::SatHeartbeat => {
+                ctx.charge_cpu(self.cfg.msg_cpu);
+                ctx.send(from, RmMsg::SatHeartbeatAck { state: self.state().wire_id() });
+            }
+            RmMsg::Shutdown => {
+                // Abandon in-flight work; the master's timeouts reassign it.
+                self.tasks.clear();
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64) {
+        let t = token >> TOKEN_KIND_BITS;
+        match token & ((1 << TOKEN_KIND_BITS) - 1) {
+            START_TIMER => self.relay(ctx, t),
+            DEADLINE_TIMER
+                // Some subtrees never acknowledged (failed heads below the
+                // first layer); report the partial coverage.
+                if self.tasks.contains_key(&t) => {
+                    self.finish_task(ctx, t, false);
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu::{SimCluster, SimConfig};
+    use monitoring::NullPredictor;
+    use rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
+
+    enum Node {
+        Master(Vec<RmMsg>),
+        Sat(SatelliteDaemon),
+        Slave(SlaveDaemon),
+    }
+
+    impl Actor<RmMsg> for Node {
+        fn on_start(&mut self, ctx: &mut dyn Context<RmMsg>) {
+            match self {
+                Node::Master(_) => {}
+                Node::Sat(s) => s.on_start(ctx),
+                Node::Slave(s) => s.on_start(ctx),
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, from: NodeId, msg: RmMsg) {
+            match self {
+                Node::Master(log) => log.push(msg),
+                Node::Sat(s) => s.on_message(ctx, from, msg),
+                Node::Slave(s) => s.on_message(ctx, from, msg),
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64) {
+            match self {
+                Node::Master(_) => {}
+                Node::Sat(s) => s.on_timer(ctx, token),
+                Node::Slave(s) => s.on_timer(ctx, token),
+            }
+        }
+    }
+
+    fn small_cfg() -> EslurmConfig {
+        EslurmConfig { eq1_width: 16, relay_width: 4, ..Default::default() }
+    }
+
+    /// Node 0 = master log, node 1 = satellite, 2..=n+1 slaves.
+    fn cluster(n_slaves: usize, cfg: EslurmConfig) -> SimCluster<RmMsg, Node> {
+        let mut actors = vec![
+            Node::Master(Vec::new()),
+            Node::Sat(SatelliteDaemon::new(cfg, Some(Arc::new(Mutex::new(NullPredictor))))),
+        ];
+        for _ in 0..n_slaves {
+            actors.push(Node::Slave(SlaveDaemon::new(SlaveConfig {
+                heartbeat: SlaveHeartbeat::None,
+                ..Default::default()
+            })));
+        }
+        SimCluster::new(actors, SimConfig::new(n_slaves + 2, 17))
+    }
+
+    #[test]
+    fn satellite_relays_and_reports_done() {
+        let n = 60;
+        let mut c = cluster(n, small_cfg());
+        let list: Vec<u32> = (2..2 + n as u32).collect();
+        c.inject(
+            SimTime::from_millis(1),
+            NodeId::MASTER,
+            NodeId(1),
+            RmMsg::BcastTask {
+                task: 5,
+                job: 9,
+                kind: CtlKind::Launch,
+                list: NodeSlice::new(list),
+                width: 4,
+            },
+        );
+        c.run_to_quiescence();
+        let Node::Master(log) = c.actor(NodeId::MASTER) else { panic!() };
+        assert_eq!(log.len(), 1);
+        match &log[0] {
+            RmMsg::BcastDone { task: 5, job: 9, kind: CtlKind::Launch, reached, ok: true } => {
+                assert_eq!(*reached, n as u32);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let Node::Sat(sat) = c.actor(NodeId(1)) else { panic!() };
+        assert_eq!(sat.tasks_done, 1);
+        assert_eq!(sat.fp_stats.trees, 1);
+    }
+
+    #[test]
+    fn empty_task_acks_immediately() {
+        let mut c = cluster(2, small_cfg());
+        c.inject(
+            SimTime::from_millis(1),
+            NodeId::MASTER,
+            NodeId(1),
+            RmMsg::BcastTask {
+                task: 1,
+                job: 2,
+                kind: CtlKind::Ping,
+                list: NodeSlice::empty(),
+                width: 4,
+            },
+        );
+        c.run_to_quiescence();
+        let Node::Master(log) = c.actor(NodeId::MASTER) else { panic!() };
+        assert!(matches!(log[0], RmMsg::BcastDone { ok: true, reached: 0, .. }));
+    }
+
+    #[test]
+    fn heartbeat_reports_busy_while_processing() {
+        let mut c = cluster(30, small_cfg());
+        let list: Vec<u32> = (2..32).collect();
+        c.inject(
+            SimTime::from_millis(1),
+            NodeId::MASTER,
+            NodeId(1),
+            RmMsg::BcastTask {
+                task: 1,
+                job: 1,
+                kind: CtlKind::Launch,
+                list: NodeSlice::new(list),
+                width: 4,
+            },
+        );
+        // Heartbeat lands while the task is still being processed.
+        c.inject(SimTime::from_millis(2), NodeId::MASTER, NodeId(1), RmMsg::SatHeartbeat);
+        c.run_to_quiescence();
+        let Node::Master(log) = c.actor(NodeId::MASTER) else { panic!() };
+        let states: Vec<u8> = log
+            .iter()
+            .filter_map(|m| match m {
+                RmMsg::SatHeartbeatAck { state } => Some(*state),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(states, vec![SatState::Busy.wire_id()]);
+    }
+
+    #[test]
+    fn failed_subtree_reported_partial() {
+        let n = 40;
+        let mut actors = vec![
+            Node::Master(Vec::new()),
+            Node::Sat(SatelliteDaemon::new(small_cfg(), None)),
+        ];
+        for _ in 0..n {
+            actors.push(Node::Slave(SlaveDaemon::new(SlaveConfig {
+                heartbeat: SlaveHeartbeat::None,
+                ..Default::default()
+            })));
+        }
+        let faults = emu::FaultPlan::from_outages(
+            n + 2,
+            vec![emu::Outage {
+                node: NodeId(6),
+                down_at: SimTime::ZERO,
+                up_at: SimTime::from_secs(1_000_000),
+            }],
+        );
+        let cfg = SimConfig { faults, ..SimConfig::new(n + 2, 5) };
+        let mut c = SimCluster::new(actors, cfg);
+        let list: Vec<u32> = (2..2 + n as u32).collect();
+        c.inject(
+            SimTime::from_millis(1),
+            NodeId::MASTER,
+            NodeId(1),
+            RmMsg::BcastTask {
+                task: 3,
+                job: 4,
+                kind: CtlKind::Launch,
+                list: NodeSlice::new(list),
+                width: 4,
+            },
+        );
+        c.run_until(SimTime::from_secs(120));
+        let Node::Master(log) = c.actor(NodeId::MASTER) else { panic!() };
+        assert_eq!(log.len(), 1);
+        match &log[0] {
+            RmMsg::BcastDone { reached, .. } => {
+                assert!(*reached < n as u32, "reached {reached}");
+                assert!(*reached >= n as u32 - 6, "reached {reached}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predictor_suspects_counted_on_leaves() {
+        let n = 50;
+        let faults = emu::FaultPlan::from_outages(
+            n + 2,
+            vec![emu::Outage {
+                node: NodeId(10),
+                down_at: SimTime::from_secs(30),
+                up_at: SimTime::from_secs(90),
+            }],
+        );
+        let predictor = monitoring::OraclePredictor::new(
+            faults.clone(),
+            SimSpan::from_secs(300),
+            1,
+        );
+        let mut actors = vec![
+            Node::Master(Vec::new()),
+            Node::Sat(SatelliteDaemon::new(
+                small_cfg(),
+                Some(Arc::new(Mutex::new(predictor))),
+            )),
+        ];
+        for _ in 0..n {
+            actors.push(Node::Slave(SlaveDaemon::new(SlaveConfig {
+                heartbeat: SlaveHeartbeat::None,
+                ..Default::default()
+            })));
+        }
+        // The fault plan only feeds the predictor here — the node itself
+        // stays up so the broadcast completes fully.
+        let mut c = SimCluster::new(actors, SimConfig::new(n + 2, 5));
+        let list: Vec<u32> = (2..2 + n as u32).collect();
+        c.inject(
+            SimTime::from_millis(1),
+            NodeId::MASTER,
+            NodeId(1),
+            RmMsg::BcastTask {
+                task: 1,
+                job: 1,
+                kind: CtlKind::Launch,
+                list: NodeSlice::new(list),
+                width: 4,
+            },
+        );
+        c.run_to_quiescence();
+        let Node::Sat(sat) = c.actor(NodeId(1)) else { panic!() };
+        assert_eq!(sat.fp_stats.suspects_seen, 1);
+        assert_eq!(sat.fp_stats.suspects_on_leaves, 1);
+        assert_eq!(sat.fp_stats.placement_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! CART regression trees and random forests (bagging + feature
+//! subsampling). Needed both as a Fig. 11(b) baseline ("RandomForest") and
+//! as an ingredient of the IRPA ensemble.
+
+use crate::features::Regressor;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use simclock::rng::stream_rng;
+
+/// A node of a regression tree, stored in a flat arena.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A single CART regression tree (variance-reduction splits).
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Features considered per split (`0` = all).
+    pub max_features: usize,
+    nodes: Vec<Node>,
+    seed: u64,
+}
+
+impl DecisionTree {
+    /// A tree with the given depth/size limits.
+    pub fn new(max_depth: usize, min_samples_split: usize) -> Self {
+        DecisionTree {
+            max_depth,
+            min_samples_split: min_samples_split.max(2),
+            max_features: 0,
+            nodes: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        let node_id = self.nodes.len() as u32;
+        if depth >= self.max_depth || idx.len() < self.min_samples_split {
+            self.nodes.push(Node::Leaf { value: mean });
+            return node_id;
+        }
+        let d = x[0].len();
+        let n_feats = if self.max_features == 0 { d } else { self.max_features.min(d) };
+        // Sample candidate features without replacement.
+        let mut feats: Vec<usize> = (0..d).collect();
+        for i in 0..n_feats {
+            let j = rng.random_range(i..d);
+            feats.swap(i, j);
+        }
+        let feats = &feats[..n_feats];
+
+        // Find the best variance-reducing split.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        for &f in feats {
+            idx.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+            // Prefix sums of y and y² over the sorted order.
+            let mut sum = 0.0;
+            let mut sum2 = 0.0;
+            let total: f64 = idx.iter().map(|&i| y[i]).sum();
+            let total2: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+            for split in 1..idx.len() {
+                let yi = y[idx[split - 1]];
+                sum += yi;
+                sum2 += yi * yi;
+                let xa = x[idx[split - 1]][f];
+                let xb = x[idx[split]][f];
+                if xa == xb {
+                    continue; // can't split between equal values
+                }
+                let nl = split as f64;
+                let nr = (idx.len() - split) as f64;
+                // Negative weighted within-group variance (higher better).
+                let var_l = sum2 - sum * sum / nl;
+                let var_r = (total2 - sum2) - (total - sum) * (total - sum) / nr;
+                let score = -(var_l + var_r);
+                if best.map(|(_, _, s)| score > s).unwrap_or(true) {
+                    best = Some((f, (xa + xb) / 2.0, score));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return node_id;
+        };
+        // Partition indices.
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        for &i in idx.iter() {
+            if x[i][feature] <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        if left.is_empty() || right.is_empty() {
+            self.nodes.push(Node::Leaf { value: mean });
+            return node_id;
+        }
+        // Reserve the split node, then recurse.
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        let l = self.build(x, y, &mut left, depth + 1, rng);
+        let r = self.build(x, y, &mut right, depth + 1, rng);
+        self.nodes[node_id as usize] = Node::Split { feature, threshold, left: l, right: r };
+        node_id
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        self.nodes.clear();
+        if x.is_empty() {
+            self.nodes.push(Node::Leaf { value: 0.0 });
+            return;
+        }
+        let mut idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = stream_rng(self.seed, 0x7EE);
+        self.build(x, y, &mut idx, 0, &mut rng);
+    }
+
+    fn predict(&self, q: &[f64]) -> f64 {
+        let mut cur = 0u32;
+        loop {
+            match &self.nodes[cur as usize] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    cur = if q[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+}
+
+/// A random forest: bootstrap-sampled trees with feature subsampling,
+/// predictions averaged.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth limit per tree.
+    pub max_depth: usize,
+    /// Minimum samples to split.
+    pub min_samples_split: usize,
+    /// Seed for bootstrap and feature sampling.
+    pub seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// A forest with typical defaults (50 trees, depth 8).
+    pub fn new(n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        RandomForest {
+            n_trees: n_trees.max(1),
+            max_depth,
+            min_samples_split: 4,
+            seed,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        self.trees.clear();
+        if x.is_empty() {
+            return;
+        }
+        let d = x[0].len();
+        let max_features = ((d as f64).sqrt().ceil() as usize).max(1);
+        let mut rng = stream_rng(self.seed, 0xF0);
+        for t in 0..self.n_trees {
+            // Bootstrap sample.
+            let (bx, by): (Vec<Vec<f64>>, Vec<f64>) = (0..x.len())
+                .map(|_| {
+                    let i = rng.random_range(0..x.len());
+                    (x[i].clone(), y[i])
+                })
+                .unzip();
+            let mut tree = DecisionTree::new(self.max_depth, self.min_samples_split);
+            tree.max_features = max_features;
+            tree.seed = simclock::rng::derive_seed(self.seed, t as u64);
+            tree.fit(&bx, &by);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, q: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict(q)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::rng::{normal, stream_rng};
+
+    fn step_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = stream_rng(seed, 0);
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 } + normal(&mut rng, 0.0, 0.05))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn tree_learns_step_function() {
+        let (x, y) = step_data(200, 1);
+        let mut t = DecisionTree::new(4, 2);
+        t.fit(&x, &y);
+        assert!((t.predict(&[0.2]) - 1.0).abs() < 0.2);
+        assert!((t.predict(&[0.8]) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn depth_zero_tree_is_global_mean() {
+        let (x, y) = step_data(100, 2);
+        let mut t = DecisionTree::new(0, 2);
+        t.fit(&x, &y);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((t.predict(&[0.1]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forest_beats_or_matches_single_tree_on_noise() {
+        let mut rng = stream_rng(7, 0);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.random::<f64>() * 4.0 - 2.0, rng.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| r[0] * r[0] + normal(&mut rng, 0.0, 0.3))
+            .collect();
+        let mut forest = RandomForest::new(40, 8, 3);
+        forest.fit(&x, &y);
+        let mse: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (forest.predict(xi) - yi).powi(2))
+            .sum::<f64>()
+            / x.len() as f64;
+        assert!(mse < 0.4, "forest mse {mse}");
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![42.0; 50];
+        let mut f = RandomForest::new(10, 5, 4);
+        f.fit(&x, &y);
+        assert!((f.predict(&[25.0]) - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let mut f = RandomForest::new(5, 3, 1);
+        f.fit(&[], &[]);
+        assert_eq!(f.predict(&[1.0]), 0.0);
+        let mut t = DecisionTree::new(3, 2);
+        t.fit(&[], &[]);
+        assert_eq!(t.predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn forest_deterministic_per_seed() {
+        let (x, y) = step_data(100, 5);
+        let mut a = RandomForest::new(10, 6, 9);
+        let mut b = RandomForest::new(10, 6, 9);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        for q in [[0.1], [0.5], [0.9]] {
+            assert_eq!(a.predict(&q), b.predict(&q));
+        }
+    }
+}

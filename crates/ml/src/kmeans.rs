@@ -1,0 +1,254 @@
+//! K-means++ clustering and the elbow method (paper §V-A: "we use
+//! K-means++ for clustering … the classical elbow method to calculate the
+//! optimal value of K, K = 15 in our case").
+
+use crate::linalg::sq_dist;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use simclock::rng::{stream_rng, weighted_index};
+
+/// A fitted K-means model.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of every point to its centroid (inertia).
+    pub inertia: f64,
+    /// Assignment of each training point to a centroid index.
+    pub labels: Vec<usize>,
+}
+
+impl KMeans {
+    /// Fit `k` clusters to `points` with K-means++ seeding, up to
+    /// `max_iter` Lloyd iterations. `k` is clamped to the number of
+    /// distinct points available.
+    pub fn fit(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeans {
+        assert!(!points.is_empty(), "cannot cluster zero points");
+        let k = k.clamp(1, points.len());
+        let mut rng = stream_rng(seed, 0x4B);
+        let mut centroids = plus_plus_init(points, k, &mut rng);
+        let mut labels = vec![0usize; points.len()];
+        for _ in 0..max_iter {
+            // Assign.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let nearest = nearest_centroid(p, &centroids).0;
+                if labels[i] != nearest {
+                    labels[i] = nearest;
+                    changed = true;
+                }
+            }
+            // Update.
+            let d = points[0].len();
+            let mut sums = vec![vec![0.0; d]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &l) in points.iter().zip(&labels) {
+                counts[l] += 1;
+                for (s, v) in sums[l].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    *c = sum.iter().map(|s| s / *count as f64).collect();
+                }
+                // Empty clusters keep their centroid (they may capture
+                // points in a later iteration).
+            }
+            if !changed {
+                break;
+            }
+        }
+        let inertia = points
+            .iter()
+            .zip(&labels)
+            .map(|(p, &l)| sq_dist(p, &centroids[l]))
+            .sum();
+        KMeans { centroids, inertia, labels }
+    }
+
+    /// Index of the centroid closest to `p`.
+    pub fn assign(&self, p: &[f64]) -> usize {
+        nearest_centroid(p, &self.centroids).0
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// K-means++ seeding: first centroid uniform, each next centroid drawn with
+/// probability proportional to the squared distance from the nearest
+/// already-chosen centroid.
+fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick uniformly.
+            rng.random_range(0..points.len())
+        } else {
+            weighted_index(rng, &d2)
+        };
+        centroids.push(points[idx].clone());
+        for (d, p) in d2.iter_mut().zip(points) {
+            *d = d.min(sq_dist(p, centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}
+
+/// The elbow method: fit K-means for every `k` in `1..=k_max` and pick the
+/// `k` whose inertia point is farthest from the line joining the first and
+/// last inertia points (the "knee").
+pub fn elbow_k(points: &[Vec<f64>], k_max: usize, seed: u64) -> usize {
+    let k_max = k_max.clamp(1, points.len());
+    if k_max <= 2 {
+        return k_max;
+    }
+    let inertias: Vec<f64> = (1..=k_max)
+        .map(|k| KMeans::fit(points, k, 50, seed).inertia)
+        .collect();
+    // Distance of each (k, inertia) to the chord, in normalized coords.
+    let (x0, y0) = (1.0, inertias[0]);
+    let (x1, y1) = (k_max as f64, inertias[k_max - 1]);
+    let y_scale = (y0 - y1).abs().max(1e-12);
+    let x_scale = (x1 - x0).max(1e-12);
+    let mut best = (1usize, f64::NEG_INFINITY);
+    for (i, &inertia) in inertias.iter().enumerate() {
+        let x = (1.0 + i as f64 - x0) / x_scale;
+        let y = (inertia - y1) / y_scale; // 0 at the end, ~1 at the start
+        // Chord from (0,1) to (1,0): distance ∝ 1 - x - y (signed).
+        let d = 1.0 - x - y;
+        if d > best.1 {
+            best = (i + 1, d);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs(per: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = stream_rng(seed, 1);
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 8.0]];
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                pts.push(vec![
+                    c[0] + simclock::rng::normal(&mut rng, 0.0, 0.5),
+                    c[1] + simclock::rng::normal(&mut rng, 0.0, 0.5),
+                ]);
+                truth.push(ci);
+            }
+        }
+        (pts, truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (pts, truth) = blobs(50, 3);
+        let km = KMeans::fit(&pts, 3, 100, 7);
+        // Every ground-truth blob maps to exactly one k-means label.
+        for blob in 0..3 {
+            let labels: std::collections::HashSet<usize> = truth
+                .iter()
+                .zip(&km.labels)
+                .filter(|(t, _)| **t == blob)
+                .map(|(_, l)| *l)
+                .collect();
+            assert_eq!(labels.len(), 1, "blob {blob} split across clusters");
+        }
+        assert!(km.inertia < 200.0, "inertia {}", km.inertia);
+    }
+
+    #[test]
+    fn assign_matches_training_labels() {
+        let (pts, _) = blobs(30, 5);
+        let km = KMeans::fit(&pts, 3, 100, 9);
+        for (p, &l) in pts.iter().zip(&km.labels) {
+            assert_eq!(km.assign(p), l);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&pts, 10, 10, 1);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn identical_points_dont_panic() {
+        let pts = vec![vec![3.0, 3.0]; 20];
+        let km = KMeans::fit(&pts, 4, 10, 2);
+        assert_eq!(km.inertia, 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (pts, _) = blobs(40, 8);
+        let a = KMeans::fit(&pts, 3, 100, 42);
+        let b = KMeans::fit(&pts, 3, 100, 42);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Every point is assigned to its nearest centroid, and the
+            /// label array covers exactly the inputs.
+            #[test]
+            fn assignments_are_nearest(
+                pts in prop::collection::vec(
+                    prop::collection::vec(-100.0f64..100.0, 2),
+                    2..60,
+                ),
+                k in 1usize..6,
+                seed in 0u64..100,
+            ) {
+                let km = KMeans::fit(&pts, k, 30, seed);
+                prop_assert_eq!(km.labels.len(), pts.len());
+                for (p, &l) in pts.iter().zip(&km.labels) {
+                    let d_assigned = crate::linalg::sq_dist(p, &km.centroids[l]);
+                    for c in &km.centroids {
+                        prop_assert!(
+                            d_assigned <= crate::linalg::sq_dist(p, c) + 1e-9
+                        );
+                    }
+                }
+                prop_assert!(km.inertia >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn elbow_finds_three_blobs() {
+        let (pts, _) = blobs(60, 11);
+        let k = elbow_k(&pts, 10, 5);
+        assert!((2..=4).contains(&k), "elbow picked k={k}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal dense linear algebra: just enough for ridge-style closed forms.
+//!
+//! Feature vectors in this project are tiny (five features, paper
+//! Table IV), so an `O(d³)` Cholesky solve on a `Vec<Vec<f64>>` is both
+//! simple and fast.
+
+/// Solve `A x = b` for symmetric positive-definite `A` via Cholesky
+/// decomposition. Returns `None` when `A` is not positive definite.
+#[allow(clippy::needless_range_loop)] // index triples read clearer here
+pub fn cholesky_solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n);
+    // Decompose A = L Lᵀ.
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    Some(x)
+}
+
+/// `XᵀX + ridge·I` and `Xᵀy` for design matrix `x` (rows are samples) —
+/// the normal equations of ridge regression.
+#[allow(clippy::needless_range_loop)] // symmetric fill via index pairs
+pub fn normal_equations(x: &[Vec<f64>], y: &[f64], ridge: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = x.len();
+    assert_eq!(n, y.len());
+    let d = x.first().map(|r| r.len()).unwrap_or(0);
+    let mut xtx = vec![vec![0.0; d]; d];
+    let mut xty = vec![0.0; d];
+    for (row, &target) in x.iter().zip(y) {
+        assert_eq!(row.len(), d, "ragged design matrix");
+        for i in 0..d {
+            xty[i] += row[i] * target;
+            for j in 0..=i {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..d {
+        for j in 0..i {
+            xtx[j][i] = xtx[i][j];
+        }
+        xtx[i][i] += ridge;
+    }
+    (xtx, xty)
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let x = cholesky_solve(&a, &[10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn normal_equations_recover_exact_line() {
+        // y = 3x + 1 with design [x, 1].
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 3.0 * i as f64 + 1.0).collect();
+        let (a, b) = normal_equations(&x, &y, 1e-9);
+        let w = cholesky_solve(&a, &b).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-6);
+        assert!((w[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_and_dist() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

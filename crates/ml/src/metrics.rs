@@ -1,0 +1,149 @@
+//! Regression metrics and k-fold cross-validation for the ML substrate.
+
+use crate::features::Regressor;
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    (pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R² (1.0 = perfect; can be negative for
+/// models worse than predicting the mean).
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot < 1e-12 {
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Cross-validation summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CvScore {
+    /// Mean out-of-fold MAE.
+    pub mae: f64,
+    /// Mean out-of-fold RMSE.
+    pub rmse: f64,
+    /// Mean out-of-fold R².
+    pub r2: f64,
+    /// Folds evaluated.
+    pub folds: usize,
+}
+
+/// K-fold cross-validation: `make_model` builds a fresh model per fold.
+/// Folds are contiguous blocks (the data's order is the caller's choice;
+/// pass shuffled indices for i.i.d. validation or leave chronological for
+/// time-series-style evaluation).
+pub fn cross_validate<R: Regressor>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    k: usize,
+    mut make_model: impl FnMut() -> R,
+) -> CvScore {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let k = k.clamp(2, n.max(2));
+    let (mut s_mae, mut s_rmse, mut s_r2) = (0.0, 0.0, 0.0);
+    let mut folds = 0;
+    for fold in 0..k {
+        let lo = n * fold / k;
+        let hi = n * (fold + 1) / k;
+        if lo == hi {
+            continue;
+        }
+        let (mut tx, mut ty) = (Vec::new(), Vec::new());
+        for i in (0..lo).chain(hi..n) {
+            tx.push(x[i].clone());
+            ty.push(y[i]);
+        }
+        if tx.is_empty() {
+            continue;
+        }
+        let mut model = make_model();
+        model.fit(&tx, &ty);
+        let pred: Vec<f64> = (lo..hi).map(|i| model.predict(&x[i])).collect();
+        let truth = &y[lo..hi];
+        s_mae += mae(&pred, truth);
+        s_rmse += rmse(&pred, truth);
+        s_r2 += r2(&pred, truth);
+        folds += 1;
+    }
+    let d = folds.max(1) as f64;
+    CvScore { mae: s_mae / d, rmse: s_rmse / d, r2: s_r2 / d, folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Ridge;
+    use simclock::rng::{normal, stream_rng};
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(r2(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let pred = [2.0, 2.0];
+        let truth = [1.0, 3.0];
+        assert_eq!(mae(&pred, &truth), 1.0);
+        assert_eq!(rmse(&pred, &truth), 1.0);
+        // Predicting the mean: R² = 0.
+        assert!(r2(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_negative_for_bad_models() {
+        let pred = [10.0, -10.0];
+        let truth = [1.0, 3.0];
+        assert!(r2(&pred, &truth) < 0.0);
+    }
+
+    #[test]
+    fn cross_validation_recovers_linear_signal() {
+        let mut rng = stream_rng(3, 0);
+        let x: Vec<Vec<f64>> = (0..200).map(|_| vec![normal(&mut rng, 0.0, 1.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0] + normal(&mut rng, 0.0, 0.1)).collect();
+        let score = cross_validate(&x, &y, 5, || Ridge::new(1e-6));
+        assert_eq!(score.folds, 5);
+        assert!(score.r2 > 0.95, "r2 {}", score.r2);
+        assert!(score.rmse < 0.3, "rmse {}", score.rmse);
+    }
+
+    #[test]
+    fn tiny_datasets_dont_panic() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        let score = cross_validate(&x, &y, 10, || Ridge::new(1.0));
+        assert!(score.folds >= 2);
+    }
+}

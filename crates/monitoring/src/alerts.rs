@@ -1,0 +1,132 @@
+//! Alert generation and routing through the management hierarchy.
+
+use crate::sensors::{SensorKind, SensorReading};
+use crate::units::{BmuId, CmuId, UnitHierarchy};
+use emu::NodeId;
+use simclock::SimTime;
+
+/// An alert raised by the diagnostic subsystem for one node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alert {
+    /// The node the alert concerns.
+    pub node: NodeId,
+    /// The indicator that breached its threshold.
+    pub kind: SensorKind,
+    /// When the alert was raised.
+    pub at: SimTime,
+    /// The unit path it was reported through.
+    pub bmu: BmuId,
+    /// Chassis unit on the path.
+    pub cmu: CmuId,
+}
+
+/// Collects alerts and answers "which nodes are currently suspect".
+///
+/// Alerts age out after `ttl`; the paper's over-prediction principle means
+/// a single alert is enough to mark a node suspect (a wrong suspicion only
+/// moves the node to a leaf of the communication tree, §IV-C).
+#[derive(Clone, Debug)]
+pub struct AlertBus {
+    hierarchy: UnitHierarchy,
+    ttl: simclock::SimSpan,
+    alerts: Vec<Alert>,
+}
+
+impl AlertBus {
+    /// A bus over the given hierarchy with the given alert time-to-live.
+    pub fn new(hierarchy: UnitHierarchy, ttl: simclock::SimSpan) -> Self {
+        AlertBus { hierarchy, ttl, alerts: Vec::new() }
+    }
+
+    /// Ingest a batch of sensor readings, raising alerts for any that
+    /// breach their thresholds. Returns how many alerts were raised.
+    pub fn ingest(&mut self, readings: &[SensorReading]) -> usize {
+        let before = self.alerts.len();
+        for r in readings {
+            if r.is_alarming() {
+                self.alerts.push(Alert {
+                    node: r.node,
+                    kind: r.kind,
+                    at: r.at,
+                    bmu: self.hierarchy.bmu_of(r.node),
+                    cmu: self.hierarchy.cmu_of(r.node),
+                });
+            }
+        }
+        self.alerts.len() - before
+    }
+
+    /// Drop alerts older than the TTL relative to `now`.
+    pub fn expire(&mut self, now: SimTime) {
+        let ttl = self.ttl;
+        self.alerts.retain(|a| now.since(a.at) <= ttl);
+    }
+
+    /// Nodes with at least one live alert at `now` (the suspect set fed to
+    /// the FP-Tree constructor).
+    pub fn suspects(&self, now: SimTime) -> std::collections::HashSet<u32> {
+        self.alerts
+            .iter()
+            .filter(|a| now.since(a.at) <= self.ttl)
+            .map(|a| a.node.0)
+            .collect()
+    }
+
+    /// All alerts currently retained (for inspection / logging).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimSpan;
+
+    fn reading(node: u32, value: f64, at: u64) -> SensorReading {
+        SensorReading {
+            node: NodeId(node),
+            kind: SensorKind::Temperature,
+            at: SimTime::from_secs(at),
+            value,
+        }
+    }
+
+    fn bus() -> AlertBus {
+        AlertBus::new(UnitHierarchy::tianhe(64), SimSpan::from_secs(300))
+    }
+
+    #[test]
+    fn alarming_readings_raise_alerts() {
+        let mut b = bus();
+        let raised = b.ingest(&[reading(5, 100.0, 10), reading(6, 55.0, 10)]);
+        assert_eq!(raised, 1);
+        assert_eq!(b.alerts().len(), 1);
+        assert_eq!(b.alerts()[0].node, NodeId(5));
+        assert_eq!(b.alerts()[0].bmu, BmuId(1));
+    }
+
+    #[test]
+    fn suspects_respect_ttl() {
+        let mut b = bus();
+        b.ingest(&[reading(2, 99.0, 0)]);
+        assert!(b.suspects(SimTime::from_secs(100)).contains(&2));
+        assert!(!b.suspects(SimTime::from_secs(400)).contains(&2));
+    }
+
+    #[test]
+    fn expire_drops_stale_alerts() {
+        let mut b = bus();
+        b.ingest(&[reading(1, 99.0, 0), reading(2, 99.0, 250)]);
+        b.expire(SimTime::from_secs(400));
+        assert_eq!(b.alerts().len(), 1);
+        assert_eq!(b.alerts()[0].node, NodeId(2));
+    }
+
+    #[test]
+    fn duplicate_alerts_collapse_in_suspect_set() {
+        let mut b = bus();
+        b.ingest(&[reading(7, 99.0, 1), reading(7, 120.0, 2)]);
+        assert_eq!(b.suspects(SimTime::from_secs(3)).len(), 1);
+    }
+}

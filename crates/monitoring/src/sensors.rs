@@ -1,0 +1,226 @@
+//! Synthetic hardware sensor streams.
+//!
+//! The Tianhe monitoring subsystem exposes 200+ indicators (voltage,
+//! current, temperature, humidity, cooling, NIC health, …). For failure
+//! prediction only two properties of those streams matter: (a) nodes that
+//! are about to fail tend to show out-of-range readings some lead time
+//! before the outage, and (b) healthy nodes occasionally show spurious
+//! out-of-range readings. We model one representative indicator per
+//! [`SensorKind`] with exactly those two behaviours, with configurable
+//! detection and false-alarm probabilities.
+
+use emu::{FaultPlan, NodeId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use simclock::rng::normal;
+use simclock::{SimSpan, SimTime};
+
+/// Classes of hardware indicators monitored on Tianhe systems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SensorKind {
+    /// Supply voltage rails.
+    Voltage,
+    /// Board current draw.
+    Current,
+    /// CPU / board temperature.
+    Temperature,
+    /// Cabinet humidity.
+    Humidity,
+    /// Liquid-cooling loop state.
+    LiquidCooling,
+    /// Air-cooling fans.
+    AirCooling,
+    /// The proprietary high-speed NIC.
+    NetworkCard,
+    /// Memory ECC error counters.
+    MemoryEcc,
+}
+
+impl SensorKind {
+    /// All modelled kinds.
+    pub const ALL: [SensorKind; 8] = [
+        SensorKind::Voltage,
+        SensorKind::Current,
+        SensorKind::Temperature,
+        SensorKind::Humidity,
+        SensorKind::LiquidCooling,
+        SensorKind::AirCooling,
+        SensorKind::NetworkCard,
+        SensorKind::MemoryEcc,
+    ];
+
+    /// Nominal reading and alarm threshold for the kind (arbitrary units).
+    pub fn nominal_and_threshold(self) -> (f64, f64) {
+        match self {
+            SensorKind::Voltage => (12.0, 12.9),
+            SensorKind::Current => (40.0, 55.0),
+            SensorKind::Temperature => (55.0, 80.0),
+            SensorKind::Humidity => (45.0, 70.0),
+            SensorKind::LiquidCooling => (2.0, 3.2),
+            SensorKind::AirCooling => (3000.0, 4200.0),
+            SensorKind::NetworkCard => (0.0, 5.0),
+            SensorKind::MemoryEcc => (0.0, 8.0),
+        }
+    }
+}
+
+/// One sensor reading.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SensorReading {
+    /// The node the reading belongs to.
+    pub node: NodeId,
+    /// Which indicator.
+    pub kind: SensorKind,
+    /// When the reading was taken.
+    pub at: SimTime,
+    /// The value (compare against the kind's threshold).
+    pub value: f64,
+}
+
+impl SensorReading {
+    /// Whether this reading breaches its kind's alarm threshold.
+    pub fn is_alarming(&self) -> bool {
+        self.value > self.kind.nominal_and_threshold().1
+    }
+}
+
+/// Generates sensor readings consistent with a ground-truth fault plan.
+#[derive(Clone, Debug)]
+pub struct SensorModel {
+    /// How long before an outage the anomaly becomes visible.
+    pub lead: SimSpan,
+    /// Probability that a scan of a failing node shows the anomaly
+    /// (per-sensor-kind detection probability).
+    pub detection_prob: f64,
+    /// Probability a healthy node's reading is spuriously out of range
+    /// (drives over-prediction, which the paper deems harmless).
+    pub false_alarm_prob: f64,
+}
+
+impl Default for SensorModel {
+    fn default() -> Self {
+        SensorModel {
+            lead: SimSpan::from_secs(120),
+            detection_prob: 0.9,
+            false_alarm_prob: 1e-4,
+        }
+    }
+}
+
+impl SensorModel {
+    /// Scan every node once at `now`, producing one reading per sensor
+    /// kind per node. `faults` supplies the ground truth of which nodes
+    /// are about to fail.
+    pub fn scan(
+        &self,
+        n_nodes: u32,
+        now: SimTime,
+        faults: &FaultPlan,
+        rng: &mut StdRng,
+    ) -> Vec<SensorReading> {
+        let failing_soon: std::collections::HashSet<u32> = faults
+            .failing_within(now, self.lead)
+            .into_iter()
+            .map(|n| n.0)
+            .collect();
+        let mut out = Vec::with_capacity(n_nodes as usize * SensorKind::ALL.len());
+        for id in 0..n_nodes {
+            let node = NodeId(id);
+            let ailing = failing_soon.contains(&id) || !faults.is_up(node, now);
+            for kind in SensorKind::ALL {
+                let (nominal, threshold) = kind.nominal_and_threshold();
+                let sigma = (threshold - nominal).abs().max(1.0) * 0.05;
+                let anomalous = if ailing {
+                    rng.random::<f64>() < self.detection_prob
+                } else {
+                    rng.random::<f64>() < self.false_alarm_prob
+                };
+                let value = if anomalous {
+                    threshold + (threshold - nominal).abs().max(1.0) * (0.1 + rng.random::<f64>())
+                } else {
+                    normal(rng, nominal, sigma)
+                };
+                out.push(SensorReading { node, kind, at: now, value });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu::Outage;
+    use simclock::rng::stream_rng;
+
+    #[test]
+    fn healthy_nodes_rarely_alarm() {
+        let model = SensorModel { false_alarm_prob: 0.0, ..SensorModel::default() };
+        let faults = FaultPlan::none(50);
+        let mut rng = stream_rng(1, 0);
+        let readings = model.scan(50, SimTime::from_secs(10), &faults, &mut rng);
+        assert_eq!(readings.len(), 50 * 8);
+        let alarming = readings.iter().filter(|r| r.is_alarming()).count();
+        // Gaussian noise at 5 % sigma can graze the threshold only with
+        // vanishing probability.
+        assert_eq!(alarming, 0, "healthy fleet raised {alarming} alarms");
+    }
+
+    #[test]
+    fn failing_nodes_alarm_before_outage() {
+        let faults = FaultPlan::from_outages(
+            10,
+            vec![Outage {
+                node: NodeId(3),
+                down_at: SimTime::from_secs(100),
+                up_at: SimTime::from_secs(200),
+            }],
+        );
+        let model = SensorModel {
+            detection_prob: 1.0,
+            false_alarm_prob: 0.0,
+            ..SensorModel::default()
+        };
+        let mut rng = stream_rng(2, 0);
+        // 100 s before the outage, within the 120 s lead window.
+        let readings = model.scan(10, SimTime::from_secs(20), &faults, &mut rng);
+        let node3_alarms = readings
+            .iter()
+            .filter(|r| r.node == NodeId(3) && r.is_alarming())
+            .count();
+        assert_eq!(node3_alarms, 8, "all sensor kinds should alarm");
+        let others = readings
+            .iter()
+            .filter(|r| r.node != NodeId(3) && r.is_alarming())
+            .count();
+        assert_eq!(others, 0);
+    }
+
+    #[test]
+    fn outside_lead_window_no_alarm() {
+        let faults = FaultPlan::from_outages(
+            4,
+            vec![Outage {
+                node: NodeId(1),
+                down_at: SimTime::from_secs(10_000),
+                up_at: SimTime::from_secs(20_000),
+            }],
+        );
+        let model = SensorModel {
+            detection_prob: 1.0,
+            false_alarm_prob: 0.0,
+            ..SensorModel::default()
+        };
+        let mut rng = stream_rng(3, 0);
+        let readings = model.scan(4, SimTime::from_secs(0), &faults, &mut rng);
+        assert!(readings.iter().all(|r| !r.is_alarming()));
+    }
+
+    #[test]
+    fn thresholds_exceed_nominals() {
+        for kind in SensorKind::ALL {
+            let (nominal, threshold) = kind.nominal_and_threshold();
+            assert!(threshold > nominal, "{kind:?}");
+        }
+    }
+}

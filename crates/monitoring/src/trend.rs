@@ -1,0 +1,223 @@
+//! A trend-based failure predictor — an example of the "more advanced
+//! techniques" the paper's plugin interface anticipates (§IV-C cites
+//! Doomsday-style predictors).
+//!
+//! Instead of alerting only when a sensor crosses its threshold, the
+//! trend predictor keeps a short history per `(node, sensor)` stream,
+//! fits a least-squares slope, and raises a suspicion when the
+//! extrapolated value crosses the threshold within the configured
+//! horizon. It therefore flags degrading nodes *before* the threshold
+//! detector would, at the cost of more false positives — which the
+//! over-prediction principle renders harmless.
+
+use crate::predictor::FailurePredictor;
+use crate::sensors::{SensorKind, SensorModel};
+use emu::FaultPlan;
+use rand::rngs::StdRng;
+use simclock::rng::stream_rng;
+use simclock::{SimSpan, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Least-squares slope of `(t, v)` samples; `None` with fewer than two.
+fn slope(samples: &VecDeque<(f64, f64)>) -> Option<f64> {
+    let n = samples.len() as f64;
+    if samples.len() < 2 {
+        return None;
+    }
+    let (mut st, mut sv, mut stt, mut stv) = (0.0, 0.0, 0.0, 0.0);
+    for &(t, v) in samples {
+        st += t;
+        sv += v;
+        stt += t * t;
+        stv += t * v;
+    }
+    let denom = n * stt - st * st;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * stv - st * sv) / denom)
+}
+
+/// Per-stream sample history.
+struct Stream {
+    samples: VecDeque<(f64, f64)>,
+}
+
+/// The trend predictor.
+pub struct TrendPredictor {
+    n_nodes: u32,
+    sensors: SensorModel,
+    faults: FaultPlan,
+    scan_interval: SimSpan,
+    /// How far ahead an extrapolated threshold crossing counts as a
+    /// suspicion.
+    pub horizon: SimSpan,
+    /// Samples kept per stream.
+    pub window: usize,
+    history: HashMap<(u32, SensorKind), Stream>,
+    last_scan: Option<SimTime>,
+    rng: StdRng,
+}
+
+impl TrendPredictor {
+    /// Build a trend predictor over the ground-truth plan (the sensor
+    /// substrate synthesizes readings from it).
+    pub fn new(
+        n_nodes: u32,
+        sensors: SensorModel,
+        faults: FaultPlan,
+        scan_interval: SimSpan,
+        seed: u64,
+    ) -> Self {
+        TrendPredictor {
+            n_nodes,
+            sensors,
+            faults,
+            scan_interval,
+            horizon: SimSpan::from_secs(300),
+            window: 8,
+            history: HashMap::new(),
+            last_scan: None,
+            rng: stream_rng(seed, 0x7E5D),
+        }
+    }
+
+    fn catch_up(&mut self, now: SimTime) {
+        let mut next = match self.last_scan {
+            None => SimTime::ZERO,
+            Some(t) => t + self.scan_interval,
+        };
+        // Only the last `window` scans matter.
+        let earliest = SimTime(
+            now.as_micros()
+                .saturating_sub(self.scan_interval.as_micros() * self.window as u64),
+        );
+        if next < earliest {
+            next = earliest;
+        }
+        while next <= now {
+            let readings = self.sensors.scan(self.n_nodes, next, &self.faults, &mut self.rng);
+            for r in readings {
+                let stream = self
+                    .history
+                    .entry((r.node.0, r.kind))
+                    .or_insert_with(|| Stream { samples: VecDeque::new() });
+                stream.samples.push_back((next.as_secs_f64(), r.value));
+                if stream.samples.len() > self.window {
+                    stream.samples.pop_front();
+                }
+            }
+            self.last_scan = Some(next);
+            next += self.scan_interval;
+        }
+    }
+}
+
+impl FailurePredictor for TrendPredictor {
+    fn suspects(&mut self, now: SimTime) -> HashSet<u32> {
+        self.catch_up(now);
+        let mut out = HashSet::new();
+        // Currently-down nodes are known outright.
+        for n in self.faults.down_at(now) {
+            out.insert(n.0);
+        }
+        let horizon = self.horizon.as_secs_f64();
+        for ((node, kind), stream) in &self.history {
+            let Some(&(t_last, v_last)) = stream.samples.back() else { continue };
+            let (_, threshold) = kind.nominal_and_threshold();
+            if v_last > threshold {
+                out.insert(*node);
+                continue;
+            }
+            if let Some(k) = slope(&stream.samples) {
+                if k > 0.0 {
+                    let crossing_in = (threshold - v_last) / k;
+                    let _ = t_last;
+                    if crossing_in <= horizon {
+                        out.insert(*node);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu::{NodeId, Outage};
+
+    #[test]
+    fn slope_fits_a_line() {
+        let mut s = VecDeque::new();
+        for i in 0..5 {
+            s.push_back((i as f64, 2.0 * i as f64 + 1.0));
+        }
+        assert!((slope(&s).unwrap() - 2.0).abs() < 1e-9);
+        let mut flat = VecDeque::new();
+        flat.push_back((0.0, 3.0));
+        assert!(slope(&flat).is_none());
+    }
+
+    #[test]
+    fn flags_degrading_node_before_threshold() {
+        // Node 3 fails at t=600; the sensor lead window (120 s default)
+        // makes readings anomalous from t=480, but the *trend* predictor
+        // with a long horizon can also integrate the noisy climb.
+        let faults = FaultPlan::from_outages(
+            8,
+            vec![Outage {
+                node: NodeId(3),
+                down_at: SimTime::from_secs(600),
+                up_at: SimTime::from_secs(1200),
+            }],
+        );
+        let sensors = SensorModel {
+            detection_prob: 1.0,
+            false_alarm_prob: 0.0,
+            lead: SimSpan::from_secs(200),
+            ..Default::default()
+        };
+        let mut p =
+            TrendPredictor::new(8, sensors, faults, SimSpan::from_secs(30), 5);
+        let s = p.suspects(SimTime::from_secs(450));
+        assert!(s.contains(&3), "suspects at t=450: {s:?}");
+    }
+
+    #[test]
+    fn healthy_fleet_mostly_clean() {
+        let faults = FaultPlan::none(16);
+        let sensors = SensorModel {
+            detection_prob: 1.0,
+            false_alarm_prob: 0.0,
+            ..Default::default()
+        };
+        let mut p = TrendPredictor::new(16, sensors, faults, SimSpan::from_secs(30), 6);
+        let s = p.suspects(SimTime::from_secs(300));
+        // Random noise may occasionally produce a steep local slope; the
+        // over-prediction principle tolerates a few, but most of the fleet
+        // must be clean.
+        assert!(s.len() <= 3, "too many false suspicions: {s:?}");
+    }
+
+    #[test]
+    fn down_nodes_always_suspected() {
+        let faults = FaultPlan::from_outages(
+            4,
+            vec![Outage {
+                node: NodeId(1),
+                down_at: SimTime::from_secs(10),
+                up_at: SimTime::from_secs(1000),
+            }],
+        );
+        let mut p = TrendPredictor::new(
+            4,
+            SensorModel::default(),
+            faults,
+            SimSpan::from_secs(60),
+            7,
+        );
+        assert!(p.suspects(SimTime::from_secs(500)).contains(&1));
+    }
+}

@@ -1,0 +1,109 @@
+//! The three-layer management-unit hierarchy of the Tianhe monitoring and
+//! diagnostic subsystem (paper §IV-C).
+//!
+//! Every compute node sits on a board managed by a **BMU** (Board
+//! Management Unit); boards are grouped into chassis managed by a **CMU**
+//! (Chassis Management Unit); all CMUs report to the **SMU** (System
+//! Management Unit) over a dedicated monitoring network. Alerts carry the
+//! unit path they were raised through.
+
+use emu::NodeId;
+
+/// Identifier of a board management unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BmuId(pub u32);
+
+/// Identifier of a chassis management unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CmuId(pub u32);
+
+/// The static board/chassis layout of a cluster.
+#[derive(Clone, Debug)]
+pub struct UnitHierarchy {
+    nodes: u32,
+    nodes_per_board: u32,
+    boards_per_chassis: u32,
+}
+
+impl UnitHierarchy {
+    /// Lay out `nodes` compute nodes with the given packing. Tianhe boards
+    /// carry a handful of nodes and chassis a few dozen boards.
+    pub fn new(nodes: u32, nodes_per_board: u32, boards_per_chassis: u32) -> Self {
+        assert!(nodes_per_board >= 1 && boards_per_chassis >= 1);
+        UnitHierarchy { nodes, nodes_per_board, boards_per_chassis }
+    }
+
+    /// The Tianhe-like default: 4 nodes per board, 16 boards per chassis.
+    pub fn tianhe(nodes: u32) -> Self {
+        UnitHierarchy::new(nodes, 4, 16)
+    }
+
+    /// Total compute nodes.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// The BMU managing `node`.
+    pub fn bmu_of(&self, node: NodeId) -> BmuId {
+        BmuId(node.0 / self.nodes_per_board)
+    }
+
+    /// The CMU managing `node`'s chassis.
+    pub fn cmu_of(&self, node: NodeId) -> CmuId {
+        CmuId(node.0 / (self.nodes_per_board * self.boards_per_chassis))
+    }
+
+    /// Number of BMUs in the system.
+    pub fn bmu_count(&self) -> u32 {
+        self.nodes.div_ceil(self.nodes_per_board)
+    }
+
+    /// Number of CMUs in the system.
+    pub fn cmu_count(&self) -> u32 {
+        self.nodes.div_ceil(self.nodes_per_board * self.boards_per_chassis)
+    }
+
+    /// All nodes on the same board as `node` (including itself).
+    pub fn board_peers(&self, node: NodeId) -> Vec<NodeId> {
+        let b = self.bmu_of(node).0;
+        let lo = b * self.nodes_per_board;
+        let hi = ((b + 1) * self.nodes_per_board).min(self.nodes);
+        (lo..hi).map(NodeId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_consistent() {
+        let h = UnitHierarchy::new(100, 4, 8);
+        assert_eq!(h.bmu_of(NodeId(0)), BmuId(0));
+        assert_eq!(h.bmu_of(NodeId(3)), BmuId(0));
+        assert_eq!(h.bmu_of(NodeId(4)), BmuId(1));
+        assert_eq!(h.cmu_of(NodeId(31)), CmuId(0));
+        assert_eq!(h.cmu_of(NodeId(32)), CmuId(1));
+        assert_eq!(h.bmu_count(), 25);
+        assert_eq!(h.cmu_count(), 4);
+    }
+
+    #[test]
+    fn board_peers_share_a_bmu() {
+        let h = UnitHierarchy::tianhe(64);
+        let peers = h.board_peers(NodeId(9));
+        assert_eq!(peers, vec![NodeId(8), NodeId(9), NodeId(10), NodeId(11)]);
+        for p in peers {
+            assert_eq!(h.bmu_of(p), h.bmu_of(NodeId(9)));
+        }
+    }
+
+    #[test]
+    fn ragged_last_board() {
+        let h = UnitHierarchy::new(10, 4, 2);
+        let peers = h.board_peers(NodeId(9));
+        assert_eq!(peers, vec![NodeId(8), NodeId(9)]);
+        assert_eq!(h.bmu_count(), 3);
+        assert_eq!(h.cmu_count(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Harness glue: build an emulated cluster for a profile, inject job
+//! streams, and read out the master's meters — the machinery behind the
+//! Fig. 7 experiments.
+
+use crate::master::CentralizedMaster;
+use crate::profile::{HeartbeatMode, RmProfile};
+use crate::proto::{NodeSlice, RmMsg};
+use crate::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
+use emu::{Actor, Context, NodeId, Sampling, SimCluster, SimConfig};
+use rand::RngExt;
+use simclock::rng::stream_rng;
+use simclock::{SimSpan, SimTime};
+
+/// A node of a centralized-RM cluster.
+pub enum RmNode {
+    /// The master daemon (node 0).
+    Master(CentralizedMaster),
+    /// A compute-node daemon.
+    Slave(SlaveDaemon),
+}
+
+impl Actor<RmMsg> for RmNode {
+    fn on_start(&mut self, ctx: &mut dyn Context<RmMsg>) {
+        match self {
+            RmNode::Master(m) => m.on_start(ctx),
+            RmNode::Slave(s) => s.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, from: NodeId, msg: RmMsg) {
+        match self {
+            RmNode::Master(m) => m.on_message(ctx, from, msg),
+            RmNode::Slave(s) => s.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64) {
+        match self {
+            RmNode::Master(m) => m.on_timer(ctx, token),
+            RmNode::Slave(s) => s.on_timer(ctx, token),
+        }
+    }
+}
+
+/// A built cluster plus conventions (master = node 0).
+pub struct ClusterHarness {
+    /// The running simulation.
+    pub sim: SimCluster<RmMsg, RmNode>,
+}
+
+impl ClusterHarness {
+    /// The master's actor state.
+    pub fn master_actor(&self) -> &CentralizedMaster {
+        match self.sim.actor(NodeId::MASTER) {
+            RmNode::Master(m) => m,
+            RmNode::Slave(_) => unreachable!("node 0 is always the master"),
+        }
+    }
+}
+
+/// Build a cluster of `n` nodes (node 0 = master, 1..n = slaves) running
+/// `profile`. `sampling` turns on 1 Hz master metering until the given
+/// time.
+pub fn build_cluster(
+    profile: RmProfile,
+    n: usize,
+    seed: u64,
+    sample_until: Option<SimTime>,
+) -> ClusterHarness {
+    assert!(n >= 2, "need a master and at least one slave");
+    let slaves: Vec<u32> = (1..n as u32).collect();
+    let heartbeat = match profile.heartbeat {
+        HeartbeatMode::MasterPolls { .. } => SlaveHeartbeat::None,
+        HeartbeatMode::SlavePush { interval, synchronized } => {
+            SlaveHeartbeat::Push { interval, synchronized }
+        }
+    };
+    let slave_cfg = SlaveConfig {
+        master: NodeId::MASTER,
+        heartbeat,
+        conn_lifetime: profile.conn_lifetime,
+        ..SlaveConfig::default()
+    };
+    let mut actors = Vec::with_capacity(n);
+    actors.push(RmNode::Master(CentralizedMaster::new(profile, slaves)));
+    for _ in 1..n {
+        actors.push(RmNode::Slave(SlaveDaemon::new(slave_cfg.clone())));
+    }
+    let mut config = SimConfig::new(n, seed);
+    if let Some(until) = sample_until {
+        config.sampling = Some(Sampling {
+            interval: SimSpan::from_secs(1),
+            tracked: vec![NodeId::MASTER],
+            until,
+        });
+    }
+    ClusterHarness { sim: SimCluster::new(actors, config) }
+}
+
+/// Submit a job to the master at `at`.
+pub fn inject_job(
+    h: &mut ClusterHarness,
+    at: SimTime,
+    job: u64,
+    nodes: Vec<u32>,
+    runtime: SimSpan,
+) {
+    h.sim.inject(
+        at,
+        NodeId::MASTER,
+        NodeId::MASTER,
+        RmMsg::SubmitJob { job, nodes: NodeSlice::new(nodes), runtime_us: runtime.as_micros() },
+    );
+}
+
+/// A synthetic job stream for the resource-usage experiments: `rate_per_hour`
+/// jobs arriving Poisson-style, sizes log-uniform in `1..=max_nodes`,
+/// runtimes exponential with the given mean.
+#[allow(clippy::too_many_arguments)]
+pub fn inject_job_stream(
+    h: &mut ClusterHarness,
+    n_slaves: u32,
+    horizon: SimSpan,
+    rate_per_hour: f64,
+    max_nodes: u32,
+    mean_runtime: SimSpan,
+    seed: u64,
+) -> u64 {
+    let mut rng = stream_rng(seed, 0x10B5);
+    let mut t = 0.0f64;
+    let mut job = 0u64;
+    let rate = rate_per_hour / 3600.0;
+    loop {
+        t += simclock::rng::exponential(&mut rng, rate);
+        if t >= horizon.as_secs_f64() {
+            break;
+        }
+        job += 1;
+        let max_exp = (max_nodes.min(n_slaves) as f64).log2();
+        let nodes_count = 2f64.powf(rng.random::<f64>() * max_exp).round().max(1.0) as u32;
+        let start = rng.random_range(1..=n_slaves - nodes_count.min(n_slaves - 1));
+        let nodes: Vec<u32> = (start..start + nodes_count).collect();
+        let runtime = SimSpan::from_secs_f64(
+            simclock::rng::exponential(&mut rng, 1.0 / mean_runtime.as_secs_f64()).max(5.0),
+        );
+        inject_job(h, SimTime::from_secs_f64(t), job, nodes, runtime);
+    }
+    job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_stream_runs_to_completion() {
+        let mut h = build_cluster(RmProfile::slurm(), 65, 5, None);
+        let n = inject_job_stream(
+            &mut h,
+            64,
+            SimSpan::from_secs(600),
+            120.0,
+            32,
+            SimSpan::from_secs(60),
+            9,
+        );
+        assert!(n > 5, "stream produced only {n} jobs");
+        h.sim.run_until(SimTime::from_secs(3600));
+        assert_eq!(h.master_actor().records.len() as u64, n);
+    }
+
+    #[test]
+    fn sampling_records_master_series() {
+        let mut h = build_cluster(
+            RmProfile::lsf(),
+            33,
+            5,
+            Some(SimTime::from_secs(60)),
+        );
+        h.sim.run_until(SimTime::from_secs(120));
+        let series = h.sim.series(NodeId::MASTER).expect("master tracked");
+        assert_eq!(series.samples.len(), 60);
+        // Memory allocated at start shows up in every sample.
+        assert!(series.samples[0].virt_mem > 1 << 30);
+    }
+}

@@ -1,0 +1,27 @@
+//! # eslurm-rm
+//!
+//! Centralized resource-manager baselines running on the cluster emulator:
+//!
+//! * [`proto`] — the control-plane wire protocol (shared with the ESlurm
+//!   overlay in the `eslurm` crate), with a real byte codec and zero-copy
+//!   node-list slices;
+//! * [`profile`] — behavioural profiles of SGE, Torque, OpenPBS, LSF, and
+//!   Slurm (heartbeat style, connection policy, fan-out, per-node/job
+//!   memory);
+//! * [`slave`] — the per-node daemon: heartbeats, poll replies, and
+//!   grouping-tree relay with aggregated, timeout-guarded acks;
+//! * [`master`] — the centralized master daemon (the bottleneck the paper
+//!   measures in Fig. 7);
+//! * [`driver`] — harness glue to build clusters and inject job streams.
+
+pub mod driver;
+pub mod master;
+pub mod profile;
+pub mod proto;
+pub mod slave;
+
+pub use driver::{build_cluster, inject_job, inject_job_stream, ClusterHarness, RmNode};
+pub use master::{CentralizedMaster, JobRecord};
+pub use profile::{Fanout, HeartbeatMode, RmProfile};
+pub use proto::{decode, encode, CtlKind, NodeSlice, RmMsg};
+pub use slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};

@@ -1,0 +1,624 @@
+//! An event-driven cluster scheduling simulator with EASY backfill — the
+//! algorithm the paper uses for every RM in §VII-D ("we use the backfill
+//! scheduling algorithm for all RMs").
+//!
+//! The simulator charges each job an RM-dependent dispatch and cleanup
+//! overhead (nodes are occupied while the RM launches processes and
+//! reclaims resources — the "job occupation time" of Fig. 7(f)), plans
+//! backfill reservations from walltime *limits* supplied by a
+//! [`LimitPolicy`], kills jobs that exceed their limit (with
+//! resubmission), and can suspend scheduling during RM outages (the
+//! Slurm crash/reboot cycles observed in §II-B).
+
+use crate::metrics::{bounded_slowdown, ScheduleReport};
+use crate::policy::LimitPolicy;
+use crate::profile_resv::AvailabilityProfile;
+use simclock::{EventQueue, SimSpan, SimTime};
+use std::collections::VecDeque;
+use workload::Job;
+
+/// Per-RM dispatch cost model: how long nodes stay occupied around the
+/// actual computation.
+#[derive(Clone, Debug)]
+pub struct DispatchModel {
+    /// Fixed resource-allocation + process-spawn latency per job.
+    pub dispatch: SimSpan,
+    /// Additional launch latency per node of the job (fan-out cost).
+    pub dispatch_per_node: SimSpan,
+    /// Fixed resource-reclaim latency at job end.
+    pub cleanup: SimSpan,
+    /// Additional reclaim latency per node.
+    pub cleanup_per_node: SimSpan,
+}
+
+impl DispatchModel {
+    /// A near-ideal RM (negligible overhead).
+    pub fn ideal() -> Self {
+        DispatchModel {
+            dispatch: SimSpan::from_millis(50),
+            dispatch_per_node: SimSpan::from_micros(20),
+            cleanup: SimSpan::from_millis(50),
+            cleanup_per_node: SimSpan::from_micros(20),
+        }
+    }
+
+    /// Launch overhead for a job of `nodes` nodes.
+    pub fn launch(&self, nodes: u32) -> SimSpan {
+        self.dispatch + self.dispatch_per_node * nodes as u64
+    }
+
+    /// Cleanup overhead for a job of `nodes` nodes.
+    pub fn teardown(&self, nodes: u32) -> SimSpan {
+        self.cleanup + self.cleanup_per_node * nodes as u64
+    }
+
+    /// Total occupation time of a job that computes for `run`.
+    pub fn occupation(&self, nodes: u32, run: SimSpan) -> SimSpan {
+        self.launch(nodes) + run + self.teardown(nodes)
+    }
+}
+
+/// Scheduling discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedAlgo {
+    /// Strict FIFO: nothing runs ahead of the queue head.
+    Fcfs,
+    /// EASY backfill (reservation for the head only) — the paper's
+    /// configuration for every RM.
+    #[default]
+    Easy,
+    /// Conservative backfill: every queued job holds a reservation; a
+    /// candidate may start only where it delays nobody's reservation.
+    Conservative,
+}
+
+/// Configuration of one scheduling simulation.
+#[derive(Clone, Debug)]
+pub struct BackfillConfig {
+    /// Cluster size in nodes.
+    pub nodes: u32,
+    /// Scheduling discipline (EASY backfill by default).
+    pub algo: SchedAlgo,
+    /// RM overhead model.
+    pub dispatch: DispatchModel,
+    /// Kill jobs at their walltime limit (all production RMs do).
+    pub kill_at_limit: bool,
+    /// Resubmissions allowed after a kill before the job is abandoned.
+    /// Each resubmission doubles the previous limit.
+    pub max_resubmits: u32,
+    /// Windows during which the RM is down and cannot schedule
+    /// (running jobs continue; queued work accumulates).
+    pub rm_outages: Vec<(SimTime, SimSpan)>,
+}
+
+impl BackfillConfig {
+    /// A clean configuration for `nodes` nodes.
+    pub fn new(nodes: u32) -> Self {
+        BackfillConfig {
+            nodes,
+            algo: SchedAlgo::Easy,
+            dispatch: DispatchModel::ideal(),
+            kill_at_limit: true,
+            max_resubmits: 3,
+            rm_outages: Vec::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Queued {
+    job: usize,
+    limit: SimSpan,
+    resubmits: u32,
+    original_submit: SimTime,
+}
+
+#[derive(Clone, Copy)]
+struct Running {
+    nodes: u32,
+    /// When the scheduler believes the nodes free up (limit-based).
+    planned_end: SimTime,
+}
+
+enum Ev {
+    Arrive(usize),
+    /// Nodes release; payload describes what ended.
+    End { slot: usize, queued: Queued, started: SimTime, killed: bool },
+    RmUp,
+}
+
+/// Run the simulation: `jobs` through a cluster of `cfg.nodes` nodes with
+/// walltime limits from `policy`.
+///
+/// ```
+/// use sched::{simulate, BackfillConfig, UserLimit};
+/// use workload::TraceConfig;
+///
+/// let jobs = TraceConfig::small(200, 7).generate();
+/// let report = simulate(&jobs, &mut UserLimit::default(), &BackfillConfig::new(256));
+/// assert_eq!(report.completed + report.abandoned, 200);
+/// assert!(report.utilization() <= 1.0);
+/// ```
+pub fn simulate(jobs: &[Job], policy: &mut dyn LimitPolicy, cfg: &BackfillConfig) -> ScheduleReport {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| jobs[i].submit);
+
+    let mut events: EventQueue<Ev> = EventQueue::with_capacity(jobs.len() * 2);
+    for &i in &order {
+        events.push(jobs[i].submit, Ev::Arrive(i));
+    }
+    for &(at, dur) in &cfg.rm_outages {
+        events.push(at + dur, Ev::RmUp);
+    }
+
+    let mut free = cfg.nodes;
+    let mut queue: VecDeque<Queued> = VecDeque::new();
+    let mut running: Vec<Option<Running>> = Vec::new();
+    let mut report = ScheduleReport { nodes: cfg.nodes, ..Default::default() };
+
+    let in_outage = |t: SimTime, cfg: &BackfillConfig| {
+        cfg.rm_outages.iter().any(|&(at, dur)| t >= at && t < at + dur)
+    };
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::Arrive(i) => {
+                let limit = policy.limit(&jobs[i]);
+                queue.push_back(Queued {
+                    job: i,
+                    limit,
+                    resubmits: 0,
+                    original_submit: jobs[i].submit,
+                });
+            }
+            Ev::End { slot, queued, started, killed } => {
+                let r = running[slot].take().expect("ending a job twice");
+                free += r.nodes;
+                let job = &jobs[queued.job];
+                if killed {
+                    report.killed += 1;
+                    if queued.resubmits < cfg.max_resubmits {
+                        queue.push_back(Queued {
+                            limit: queued.limit * 2,
+                            resubmits: queued.resubmits + 1,
+                            ..queued
+                        });
+                    } else {
+                        report.abandoned += 1;
+                    }
+                } else {
+                    report.completed += 1;
+                    let wait = started - queued.original_submit;
+                    report.total_wait += wait;
+                    let e = report.per_user.entry(job.user.0).or_default();
+                    e.0 += 1;
+                    e.1 += wait;
+                    report.total_slowdown += bounded_slowdown(wait, job.actual_runtime);
+                    // r.nodes is the clamped allocation actually held.
+                    report.useful_node_secs +=
+                        r.nodes as f64 * job.actual_runtime.as_secs_f64();
+                    policy.on_complete(job, now);
+                }
+                report.makespan = report.makespan.max(now);
+            }
+            Ev::RmUp => {}
+        }
+        if in_outage(now, cfg) {
+            continue; // the RM is down: no scheduling decisions
+        }
+        schedule(now, &mut free, &mut queue, &mut running, &mut events, jobs, cfg, &mut report);
+    }
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule(
+    now: SimTime,
+    free: &mut u32,
+    queue: &mut VecDeque<Queued>,
+    running: &mut Vec<Option<Running>>,
+    events: &mut EventQueue<Ev>,
+    jobs: &[Job],
+    cfg: &BackfillConfig,
+    report: &mut ScheduleReport,
+) {
+    // Start jobs FIFO while they fit.
+    while let Some(&head) = queue.front() {
+        let nodes = jobs[head.job].nodes.min(cfg.nodes);
+        if nodes <= *free {
+            queue.pop_front();
+            start(now, head, free, running, events, jobs, cfg, report);
+        } else {
+            break;
+        }
+    }
+    match cfg.algo {
+        SchedAlgo::Fcfs => return,
+        SchedAlgo::Conservative => {
+            conservative_pass(now, free, queue, running, events, jobs, cfg, report);
+            return;
+        }
+        SchedAlgo::Easy => {}
+    }
+    let Some(&head) = queue.front() else { return };
+    let head_nodes = jobs[head.job].nodes.min(cfg.nodes);
+
+    // EASY reservation for the head: walk planned ends until enough nodes
+    // accumulate.
+    let mut ends: Vec<(SimTime, u32)> = running
+        .iter()
+        .flatten()
+        .map(|r| (r.planned_end, r.nodes))
+        .collect();
+    ends.sort_by_key(|e| e.0);
+    let mut acc = *free;
+    let mut shadow = SimTime(u64::MAX);
+    let mut extra = 0u32;
+    for (t, n) in ends {
+        acc += n;
+        if acc >= head_nodes {
+            shadow = t;
+            extra = acc - head_nodes;
+            break;
+        }
+    }
+
+    // Backfill the rest of the queue.
+    let mut i = 1;
+    while i < queue.len() {
+        let cand = queue[i];
+        let nodes = jobs[cand.job].nodes.min(cfg.nodes);
+        if nodes <= *free {
+            let occupied = cfg.dispatch.occupation(nodes, cand.limit);
+            let fits_before_shadow = now + occupied <= shadow;
+            let fits_in_extra = nodes <= extra;
+            if fits_before_shadow || fits_in_extra {
+                queue.remove(i);
+                start(now, cand, free, running, events, jobs, cfg, report);
+                if !fits_before_shadow {
+                    extra -= nodes;
+                }
+                continue; // same index now holds the next candidate
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Conservative backfill: walk the queue in order, give every job its
+/// earliest profile reservation, and start the ones whose reservation is
+/// *now*.
+#[allow(clippy::too_many_arguments)]
+fn conservative_pass(
+    now: SimTime,
+    free: &mut u32,
+    queue: &mut VecDeque<Queued>,
+    running: &mut Vec<Option<Running>>,
+    events: &mut EventQueue<Ev>,
+    jobs: &[Job],
+    cfg: &BackfillConfig,
+    report: &mut ScheduleReport,
+) {
+    let mut profile = AvailabilityProfile::new(now, cfg.nodes);
+    for r in running.iter().flatten() {
+        profile.reserve(now, r.planned_end, r.nodes);
+    }
+    let mut i = 0;
+    while i < queue.len() {
+        let q = queue[i];
+        let nodes = jobs[q.job].nodes.min(cfg.nodes);
+        let occupied = cfg.dispatch.occupation(nodes, q.limit);
+        let start_at = profile.earliest_fit(now, nodes, occupied);
+        profile.reserve(start_at, start_at + occupied, nodes);
+        if start_at == now {
+            queue.remove(i);
+            start(now, q, free, running, events, jobs, cfg, report);
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn start(
+    now: SimTime,
+    q: Queued,
+    free: &mut u32,
+    running: &mut Vec<Option<Running>>,
+    events: &mut EventQueue<Ev>,
+    jobs: &[Job],
+    cfg: &BackfillConfig,
+    report: &mut ScheduleReport,
+) {
+    let job = &jobs[q.job];
+    let nodes = job.nodes.min(cfg.nodes);
+    debug_assert!(nodes <= *free);
+    *free -= nodes;
+
+    let killed = cfg.kill_at_limit && job.actual_runtime > q.limit;
+    let run = if killed { q.limit } else { job.actual_runtime };
+    let occupied = cfg.dispatch.occupation(nodes, run);
+    let planned = cfg.dispatch.occupation(nodes, q.limit);
+
+    report.occupied_node_secs += nodes as f64 * occupied.as_secs_f64();
+
+    let slot = running.iter().position(|r| r.is_none()).unwrap_or_else(|| {
+        running.push(None);
+        running.len() - 1
+    });
+    running[slot] = Some(Running { nodes, planned_end: now + planned });
+    events.push(now + occupied, Ev::End { slot, queued: q, started: now, killed });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{OracleLimit, UserLimit};
+    use workload::{JobId, TraceConfig, UserId};
+
+    fn job(id: u64, nodes: u32, submit_s: u64, runtime_s: u64, est_s: u64) -> Job {
+        Job {
+            id: JobId(id),
+            name: format!("j{id}"),
+            user: UserId(0),
+            nodes,
+            cores_per_node: 1,
+            submit: SimTime::from_secs(submit_s),
+            user_estimate: Some(SimSpan::from_secs(est_s)),
+            actual_runtime: SimSpan::from_secs(runtime_s),
+        }
+    }
+
+    fn zero_overhead(nodes: u32) -> BackfillConfig {
+        BackfillConfig {
+            dispatch: DispatchModel {
+                dispatch: SimSpan::ZERO,
+                dispatch_per_node: SimSpan::ZERO,
+                cleanup: SimSpan::ZERO,
+                cleanup_per_node: SimSpan::ZERO,
+            },
+            ..BackfillConfig::new(nodes)
+        }
+    }
+
+    #[test]
+    fn fifo_when_no_backfill_possible() {
+        // Two full-cluster jobs: strictly sequential.
+        let jobs = vec![job(0, 4, 0, 100, 200), job(1, 4, 0, 100, 200)];
+        let r = simulate(&jobs, &mut UserLimit::default(), &zero_overhead(4));
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.makespan, SimTime::from_secs(200));
+        // Second job waited 100 s.
+        assert_eq!(r.total_wait, SimSpan::from_secs(100));
+    }
+
+    #[test]
+    fn backfill_lets_short_job_jump_without_delaying_head() {
+        // t=0: big job takes all 4 nodes for 100 s.
+        // t=1: another 4-node job queues (head, reserved at t=100).
+        // t=2: a 1-node 50 s job arrives — it fits before the reservation
+        //      and must backfill... but 0 nodes are free while the big job
+        //      runs, so it cannot. Give the first job 3 nodes instead.
+        let jobs = vec![
+            job(0, 3, 0, 100, 100),
+            job(1, 4, 1, 100, 100),
+            job(2, 1, 2, 50, 50),
+        ];
+        let r = simulate(&jobs, &mut UserLimit::default(), &zero_overhead(4));
+        assert_eq!(r.completed, 3);
+        // Job 2 backfills at t=2 on the free node, done by t=52 < 100.
+        // Head (job 1) starts at t=100: wait 99. Job 2 wait: 0.
+        assert_eq!(r.total_wait, SimSpan::from_secs(99));
+        assert_eq!(r.makespan, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn backfill_does_not_delay_reserved_head() {
+        // A long job that WOULD delay the head must not backfill.
+        let jobs = vec![
+            job(0, 3, 0, 100, 100),
+            job(1, 4, 1, 100, 100),
+            job(2, 1, 2, 500, 500), // too long to finish before t=100
+        ];
+        let r = simulate(&jobs, &mut UserLimit::default(), &zero_overhead(4));
+        // Head starts at t=100 (wait 99); job 2 runs after at t=200 (the
+        // extra-nodes condition fails because head needs the whole
+        // cluster).
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.makespan, SimTime::from_secs(700));
+    }
+
+    #[test]
+    fn extra_nodes_backfill_allows_long_narrow_jobs() {
+        // Head needs 2 of 4 nodes; a long 1-node job can run on the spare
+        // capacity without delaying it.
+        let jobs = vec![
+            job(0, 4, 0, 100, 100),
+            job(1, 2, 1, 100, 100),  // head after job0
+            job(2, 1, 2, 1000, 1000), // narrow + long
+        ];
+        let r = simulate(&jobs, &mut UserLimit::default(), &zero_overhead(4));
+        assert_eq!(r.completed, 3);
+        // Job 2 starts right when job 0 ends (t=100) alongside the head,
+        // running on the spare two nodes until t=1100.
+        assert_eq!(r.makespan, SimTime::from_secs(1100));
+    }
+
+    #[test]
+    fn kill_at_limit_and_resubmit() {
+        // Job underestimates: killed at 50 s, resubmitted with 100 s limit,
+        // completes on the second attempt.
+        let jobs = vec![job(0, 1, 0, 80, 50)];
+        let r = simulate(&jobs, &mut UserLimit::default(), &zero_overhead(2));
+        assert_eq!(r.killed, 1);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.abandoned, 0);
+        // 50 wasted + 80 useful node-seconds occupied.
+        assert!((r.occupied_node_secs - 130.0).abs() < 1e-6);
+        assert!((r.useful_node_secs - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chronic_underestimate_is_abandoned() {
+        let jobs = vec![job(0, 1, 0, 10_000, 1)];
+        let mut cfg = zero_overhead(1);
+        cfg.max_resubmits = 2;
+        let r = simulate(&jobs, &mut UserLimit::default(), &cfg);
+        // Limits 1, 2, 4 — all kills, then abandoned.
+        assert_eq!(r.killed, 3);
+        assert_eq!(r.abandoned, 1);
+        assert_eq!(r.completed, 0);
+    }
+
+    #[test]
+    fn oracle_limits_avoid_kills() {
+        let jobs = TraceConfig::small(300, 17).generate();
+        let r = simulate(&jobs, &mut OracleLimit, &BackfillConfig::new(1024));
+        assert_eq!(r.killed, 0);
+        assert_eq!(r.completed, 300);
+    }
+
+    #[test]
+    fn dispatch_overhead_inflates_occupation() {
+        let mut cfg = zero_overhead(1);
+        cfg.dispatch = DispatchModel {
+            dispatch: SimSpan::from_secs(5),
+            dispatch_per_node: SimSpan::ZERO,
+            cleanup: SimSpan::from_secs(5),
+            cleanup_per_node: SimSpan::ZERO,
+        };
+        let jobs = vec![job(0, 1, 0, 100, 200)];
+        let r = simulate(&jobs, &mut UserLimit::default(), &cfg);
+        assert!((r.occupied_node_secs - 110.0).abs() < 1e-6);
+        assert_eq!(r.makespan, SimTime::from_secs(110));
+    }
+
+    #[test]
+    fn rm_outage_delays_scheduling() {
+        let mut cfg = zero_overhead(4);
+        cfg.rm_outages = vec![(SimTime::from_secs(10), SimSpan::from_secs(100))];
+        // Job arrives during the outage; it can only start once the RM is
+        // back at t=110.
+        let jobs = vec![job(0, 1, 50, 10, 20)];
+        let r = simulate(&jobs, &mut UserLimit::default(), &cfg);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.total_wait, SimSpan::from_secs(60));
+    }
+
+    #[test]
+    fn oversized_jobs_clamp_to_cluster() {
+        // A job requesting more nodes than exist still runs (clamped),
+        // rather than deadlocking the queue.
+        let jobs = vec![job(0, 100, 0, 10, 20)];
+        let r = simulate(&jobs, &mut UserLimit::default(), &zero_overhead(4));
+        assert_eq!(r.completed, 1);
+    }
+
+    #[test]
+    fn per_user_stats_accumulate() {
+        let jobs = TraceConfig::small(400, 71).generate();
+        let r = simulate(&jobs, &mut UserLimit::default(), &BackfillConfig::new(256));
+        let total: usize = r.per_user.values().map(|(n, _)| n).sum();
+        assert_eq!(total, r.completed);
+        assert!(r.wait_unfairness() >= 1.0);
+        assert!(!r.user_mean_waits().is_empty());
+    }
+
+    #[test]
+    fn utilization_saturates_under_load() {
+        let jobs: Vec<Job> = (0..200).map(|i| job(i, 1, 0, 1000, 1500)).collect();
+        let r = simulate(&jobs, &mut UserLimit::default(), &zero_overhead(50));
+        // 200 jobs × 1000 s on 50 nodes = 4 batches, fully packed.
+        assert!(r.utilization() > 0.99, "{}", r.utilization());
+        assert_eq!(r.completed, 200);
+    }
+
+    #[test]
+    fn fcfs_never_backfills() {
+        // The EASY backfill scenario: under FCFS the short job must wait
+        // behind the blocked head instead of jumping ahead.
+        let jobs = vec![
+            job(0, 3, 0, 100, 100),
+            job(1, 4, 1, 100, 100),
+            job(2, 1, 2, 50, 50),
+        ];
+        let mut cfg = zero_overhead(4);
+        cfg.algo = SchedAlgo::Fcfs;
+        let r = simulate(&jobs, &mut UserLimit::default(), &cfg);
+        assert_eq!(r.completed, 3);
+        // Job 2 runs only after the head (100..200): total waits 99 + 198.
+        assert_eq!(r.total_wait, SimSpan::from_secs(99 + 198));
+    }
+
+    #[test]
+    fn conservative_backfills_harmless_jobs() {
+        // Same scenario: the 50 s job delays nobody, so conservative
+        // backfill starts it immediately, like EASY.
+        let jobs = vec![
+            job(0, 3, 0, 100, 100),
+            job(1, 4, 1, 100, 100),
+            job(2, 1, 2, 50, 50),
+        ];
+        let mut cfg = zero_overhead(4);
+        cfg.algo = SchedAlgo::Conservative;
+        let r = simulate(&jobs, &mut UserLimit::default(), &cfg);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.total_wait, SimSpan::from_secs(99));
+    }
+
+    #[test]
+    fn conservative_respects_all_reservations() {
+        // Queue: head B needs the whole cluster (reserved at t=100);
+        // C (2 nodes, 100 s) is reserved right after B; a 1-node job D
+        // with a 250 s limit would fit the idle node now under EASY's
+        // extra-node rule only if it spares the head — but it would push
+        // C's reservation back, which conservative backfill must refuse.
+        let jobs = vec![
+            job(0, 3, 0, 100, 100),  // running
+            job(1, 4, 1, 100, 100),  // head, reserved [100, 200)
+            job(2, 2, 2, 100, 100),  // reserved [200, 300)
+            job(3, 1, 3, 250, 250),  // would overlap C's reservation
+        ];
+        let mut cfg = zero_overhead(4);
+        cfg.algo = SchedAlgo::Conservative;
+        let r = simulate(&jobs, &mut UserLimit::default(), &cfg);
+        assert_eq!(r.completed, 4);
+        // D fits alongside C at t=200 (C takes 2 nodes of 4, D takes 1):
+        // waits: B 99, C 198, D 197.
+        assert_eq!(r.total_wait, SimSpan::from_secs(99 + 198 + 197));
+    }
+
+    #[test]
+    fn algorithms_conserve_jobs_on_random_traces() {
+        let jobs = TraceConfig::small(800, 61).generate();
+        for algo in [SchedAlgo::Fcfs, SchedAlgo::Easy, SchedAlgo::Conservative] {
+            let mut cfg = BackfillConfig::new(256);
+            cfg.algo = algo;
+            let r = simulate(&jobs, &mut UserLimit::default(), &cfg);
+            assert_eq!(r.completed + r.abandoned, 800, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn backfilling_beats_fcfs_on_wait() {
+        let jobs = TraceConfig::small(1200, 62).generate();
+        let wait_for = |algo| {
+            let mut cfg = BackfillConfig::new(128);
+            cfg.algo = algo;
+            simulate(&jobs, &mut UserLimit::default(), &cfg).avg_wait()
+        };
+        let fcfs = wait_for(SchedAlgo::Fcfs);
+        let easy = wait_for(SchedAlgo::Easy);
+        assert!(easy < fcfs, "EASY {easy} should beat FCFS {fcfs}");
+    }
+
+    #[test]
+    fn better_estimates_dont_hurt_throughput() {
+        let jobs = TraceConfig::small(1500, 23).generate();
+        let cfg = BackfillConfig::new(256);
+        let user = simulate(&jobs, &mut UserLimit::default(), &cfg);
+        let oracle = simulate(&jobs, &mut OracleLimit, &cfg);
+        assert!(oracle.avg_wait() <= user.avg_wait().mul_f64(1.2));
+        assert_eq!(oracle.killed, 0);
+    }
+}

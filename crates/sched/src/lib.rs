@@ -1,0 +1,27 @@
+//! # eslurm-sched
+//!
+//! The scheduling substrate: an event-driven cluster simulator running
+//! **EASY backfill** (the algorithm the paper applies to every RM in
+//! §VII-D), with
+//!
+//! * per-RM dispatch/cleanup overhead models ([`backfill::DispatchModel`] —
+//!   the "job occupation time" of Fig. 7(f)),
+//! * walltime limits from pluggable [`policy::LimitPolicy`] sources
+//!   (user requests, an oracle, or — from the `eslurm` crate — the ML
+//!   estimation framework),
+//! * kill-at-limit semantics with resubmission (the cost of
+//!   underestimation the slack variable α exists to control), and
+//! * RM outage windows (the Slurm crash/reboot cycles of §II-B).
+//!
+//! Metrics follow §VII-D: system utilization, average waiting time, and
+//! average bounded slowdown with τ = 10 s.
+
+pub mod backfill;
+pub mod metrics;
+pub mod policy;
+pub mod profile_resv;
+
+pub use backfill::{simulate, BackfillConfig, DispatchModel, SchedAlgo};
+pub use profile_resv::AvailabilityProfile;
+pub use metrics::{bounded_slowdown, ScheduleReport};
+pub use policy::{LimitPolicy, OracleLimit, UserLimit};

@@ -1,0 +1,158 @@
+//! Scheduling metrics (paper §VII-D): system utilization, average waiting
+//! time, and average bounded slowdown (Eq. 6, τ = 10 s).
+
+use simclock::{SimSpan, SimTime};
+use std::collections::BTreeMap;
+
+/// τ in the bounded-slowdown formula: very short jobs are clamped so they
+/// don't dominate the average.
+pub const SLOWDOWN_TAU_SECS: f64 = 10.0;
+
+/// Bounded slowdown of one job (paper Eq. 6).
+pub fn bounded_slowdown(wait: SimSpan, runtime: SimSpan) -> f64 {
+    let tw = wait.as_secs_f64();
+    let tr = runtime.as_secs_f64();
+    ((tw + tr) / tr.max(SLOWDOWN_TAU_SECS)).max(1.0)
+}
+
+/// Outcome of one scheduling simulation.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleReport {
+    /// Jobs that ran to successful completion.
+    pub completed: usize,
+    /// Kill events at the walltime limit (a job may be killed repeatedly
+    /// across resubmissions).
+    pub killed: usize,
+    /// Jobs abandoned after exhausting resubmission attempts.
+    pub abandoned: usize,
+    /// Node-seconds occupied by jobs (including runs that were later
+    /// killed, and dispatch/cleanup overhead — they hold nodes either way).
+    pub occupied_node_secs: f64,
+    /// Node-seconds of *successful, final* runs only.
+    pub useful_node_secs: f64,
+    /// Total wait time across completed jobs (submission → final start).
+    pub total_wait: SimSpan,
+    /// Sum of bounded slowdowns across completed jobs.
+    pub total_slowdown: f64,
+    /// Time the last job finished.
+    pub makespan: SimTime,
+    /// Cluster size the run used.
+    pub nodes: u32,
+    /// Per-user aggregates: `(completed jobs, total wait)` — the input to
+    /// fairness analyses.
+    pub per_user: BTreeMap<u32, (usize, SimSpan)>,
+}
+
+impl ScheduleReport {
+    /// System utilization: occupied node-hours over elapsed node-hours.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.nodes as f64 * self.makespan.as_secs_f64();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (self.occupied_node_secs / denom).min(1.0)
+        }
+    }
+
+    /// Utilization counting only successful final runs (excludes waste
+    /// from killed runs and RM overhead).
+    pub fn useful_utilization(&self) -> f64 {
+        let denom = self.nodes as f64 * self.makespan.as_secs_f64();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (self.useful_node_secs / denom).min(1.0)
+        }
+    }
+
+    /// Mean wait of completed jobs.
+    pub fn avg_wait(&self) -> SimSpan {
+        if self.completed == 0 {
+            SimSpan::ZERO
+        } else {
+            self.total_wait / self.completed as u64
+        }
+    }
+
+    /// Mean bounded slowdown of completed jobs.
+    pub fn avg_slowdown(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_slowdown / self.completed as f64
+        }
+    }
+
+    /// Per-user mean waits, for fairness inspection.
+    pub fn user_mean_waits(&self) -> Vec<(u32, SimSpan)> {
+        self.per_user
+            .iter()
+            .map(|(&u, &(n, w))| (u, if n == 0 { SimSpan::ZERO } else { w / n as u64 }))
+            .collect()
+    }
+
+    /// Max/mean ratio of per-user mean waits (1.0 = perfectly even; only
+    /// users with completed jobs count). A coarse fairness indicator.
+    pub fn wait_unfairness(&self) -> f64 {
+        let waits: Vec<f64> = self
+            .user_mean_waits()
+            .iter()
+            .map(|(_, w)| w.as_secs_f64())
+            .collect();
+        if waits.is_empty() {
+            return 1.0;
+        }
+        let mean = waits.iter().sum::<f64>() / waits.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        waits.iter().fold(0.0, |a: f64, &b| a.max(b)) / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_formula() {
+        // wait 90 s, run 10 s -> (90+10)/10 = 10.
+        assert_eq!(
+            bounded_slowdown(SimSpan::from_secs(90), SimSpan::from_secs(10)),
+            10.0
+        );
+        // Very short job clamped by tau: wait 90, run 1 -> (91)/10 = 9.1.
+        assert!((bounded_slowdown(SimSpan::from_secs(90), SimSpan::from_secs(1)) - 9.1).abs() < 1e-9);
+        // No wait -> slowdown 1 (floor).
+        assert_eq!(
+            bounded_slowdown(SimSpan::ZERO, SimSpan::from_secs(100)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn report_ratios() {
+        let r = ScheduleReport {
+            completed: 2,
+            occupied_node_secs: 500.0,
+            useful_node_secs: 400.0,
+            total_wait: SimSpan::from_secs(100),
+            total_slowdown: 6.0,
+            makespan: SimTime::from_secs(100),
+            nodes: 10,
+            ..Default::default()
+        };
+        assert!((r.utilization() - 0.5).abs() < 1e-9);
+        assert!((r.useful_utilization() - 0.4).abs() < 1e-9);
+        assert_eq!(r.avg_wait(), SimSpan::from_secs(50));
+        assert_eq!(r.avg_slowdown(), 3.0);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = ScheduleReport::default();
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.avg_wait(), SimSpan::ZERO);
+        assert_eq!(r.avg_slowdown(), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Walltime-limit policies: where the scheduler's runtime estimates come
+//! from.
+//!
+//! The backfill scheduler plans reservations using each job's walltime
+//! limit; jobs exceeding their limit are killed (and resubmitted). A
+//! [`LimitPolicy`] decides that limit at submission time — from the user's
+//! request (classic RMs) or from a prediction framework (ESlurm; provided
+//! by the `eslurm` crate so this crate stays ML-free).
+
+use simclock::{SimSpan, SimTime};
+use workload::Job;
+
+/// Source of walltime limits for the scheduler.
+pub trait LimitPolicy: Send {
+    /// The walltime limit for a newly submitted job.
+    fn limit(&mut self, job: &Job) -> SimSpan;
+
+    /// A job completed (successfully) — learning hook.
+    fn on_complete(&mut self, _job: &Job, _now: SimTime) {}
+
+    /// Policy name for reports.
+    fn name(&self) -> String;
+}
+
+/// Use the user's walltime request, or a partition default when absent
+/// (how Slurm, LSF, SGE, Torque, and OpenPBS behave).
+pub struct UserLimit {
+    /// Limit applied when the user gave none.
+    pub default: SimSpan,
+}
+
+impl Default for UserLimit {
+    /// A 24-hour partition default.
+    fn default() -> Self {
+        UserLimit { default: SimSpan::from_hours(24) }
+    }
+}
+
+impl LimitPolicy for UserLimit {
+    fn limit(&mut self, job: &Job) -> SimSpan {
+        job.user_estimate.unwrap_or(self.default)
+    }
+
+    fn name(&self) -> String {
+        "user-limit".into()
+    }
+}
+
+/// An oracle policy: the exact runtime (useful as an upper bound in
+/// ablations — no backfill planning error, no kills).
+pub struct OracleLimit;
+
+impl LimitPolicy for OracleLimit {
+    fn limit(&mut self, job: &Job) -> SimSpan {
+        // A hair above the actual runtime so the job is never killed.
+        job.actual_runtime + SimSpan::from_secs(1)
+    }
+
+    fn name(&self) -> String {
+        "oracle-limit".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{JobId, UserId};
+
+    fn job(est: Option<u64>, actual: u64) -> Job {
+        Job {
+            id: JobId(0),
+            name: "j".into(),
+            user: UserId(0),
+            nodes: 1,
+            cores_per_node: 1,
+            submit: SimTime::ZERO,
+            user_estimate: est.map(SimSpan::from_secs),
+            actual_runtime: SimSpan::from_secs(actual),
+        }
+    }
+
+    #[test]
+    fn user_limit_prefers_request() {
+        let mut p = UserLimit::default();
+        assert_eq!(p.limit(&job(Some(500), 100)), SimSpan::from_secs(500));
+        assert_eq!(p.limit(&job(None, 100)), SimSpan::from_hours(24));
+    }
+
+    #[test]
+    fn oracle_never_kills() {
+        let mut p = OracleLimit;
+        let j = job(Some(50), 100);
+        assert!(p.limit(&j) > j.actual_runtime);
+    }
+}

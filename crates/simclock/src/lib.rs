@@ -1,0 +1,18 @@
+//! # eslurm-simclock
+//!
+//! The deterministic discrete-event simulation (DES) core used by every
+//! other crate in the ESlurm reproduction: a virtual clock ([`SimTime`] /
+//! [`SimSpan`]), a total-ordered [`EventQueue`], and seeded random streams
+//! ([`rng`]).
+//!
+//! Determinism contract: given the same master seed and configuration, every
+//! simulation built on this crate produces identical output, because
+//! (a) events tie-break on insertion sequence and (b) each stochastic
+//! component owns an independent derived RNG stream.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use time::{SimSpan, SimTime};

@@ -1,0 +1,180 @@
+//! Seeded randomness for reproducible simulations.
+//!
+//! Every stochastic component derives its own RNG stream from a master seed
+//! via [`derive_seed`], so adding a new consumer never perturbs the draws of
+//! existing ones. Sampling helpers for the distributions the workload and
+//! fault models need (normal, lognormal, exponential, Poisson, Pareto) are
+//! implemented here on top of uniform draws — `rand` ships only uniforms and
+//! we avoid pulling in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Mix `stream` into `seed` with splitmix64 so that derived streams are
+/// statistically independent.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E3779B97F4A7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded RNG for the given `(seed, stream)` pair.
+pub fn stream_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, stream))
+}
+
+/// Sample a standard-normal variate via the Box–Muller transform.
+pub fn std_normal<R: Rng + RngExt + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample `N(mu, sigma^2)`.
+pub fn normal<R: Rng + RngExt + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * std_normal(rng)
+}
+
+/// Sample a lognormal variate: `exp(N(mu, sigma^2))`.
+pub fn lognormal<R: Rng + RngExt + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample an exponential variate with the given rate (`1/mean`).
+pub fn exponential<R: Rng + RngExt + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / rate
+}
+
+/// Sample a Pareto variate with scale `x_min` and shape `alpha`.
+pub fn pareto<R: Rng + RngExt + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0);
+    let u: f64 = 1.0 - rng.random::<f64>();
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Sample a Poisson count with mean `lambda`.
+///
+/// Uses Knuth's product method for small `lambda` and a normal approximation
+/// beyond 30, which is ample for the per-interval arrival counts we draw.
+pub fn poisson<R: Rng + RngExt + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.max(0.0).round() as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.random();
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.random::<f64>();
+        count += 1;
+    }
+    count
+}
+
+/// Pick an index in `0..weights.len()` with probability proportional to its
+/// weight. Panics on an empty or all-zero weight slice.
+pub fn weighted_index<R: Rng + RngExt + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_index requires positive total weight");
+    let mut target = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if target < *w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        stream_rng(42, 0)
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_stream() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // and are stable
+        assert_eq!(a, derive_seed(1, 0));
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let mut a = stream_rng(7, 3);
+        let mut b = stream_rng(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = rng();
+        for lambda in [0.5, 4.0, 100.0] {
+            let n = 10_000;
+            let mean = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.05,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(pareto(&mut r, 3.0, 1.5) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let mut r = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! All simulated components measure time in [`SimTime`] (an absolute instant)
+//! and [`SimSpan`] (a duration). Both are backed by a `u64` count of
+//! microseconds, which gives ~584 000 years of range — far beyond the ten-day
+//! experiments in the paper — while keeping arithmetic cheap and ordering
+//! total.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An absolute instant of virtual time, in microseconds since simulation
+/// start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimSpan(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from fractional seconds. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Whole seconds since simulation start (truncated).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Span elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub fn since(self, earlier: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimSpan {
+    /// The empty span.
+    pub const ZERO: SimSpan = SimSpan(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimSpan(s * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimSpan(ms * 1_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimSpan(us)
+    }
+
+    /// Construct from fractional seconds. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimSpan((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimSpan(h * 3_600_000_000)
+    }
+
+    /// Microseconds in the span.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds in the span.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Whole seconds in the span (truncated).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Checked scale by a non-negative float (used for jitter).
+    pub fn mul_f64(self, k: f64) -> Self {
+        SimSpan((self.0 as f64 * k.max(0.0)).round() as u64)
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimSpan {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimSpan {
+    type Output = SimSpan;
+    fn mul(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimSpan {
+    type Output = SimSpan;
+    fn div(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimSpan::from_hours(2).as_secs(), 7_200);
+        assert_eq!(SimSpan::from_secs_f64(1.5).as_micros(), 1_500_000);
+    }
+
+    #[test]
+    fn negative_fractional_span_clamps() {
+        assert_eq!(SimSpan::from_secs_f64(-4.0), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimSpan::from_secs(5);
+        assert_eq!(t.as_secs(), 15);
+        assert_eq!((t - SimTime::from_secs(12)).as_secs(), 3);
+        // Subtraction saturates rather than panicking.
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(9), SimSpan::ZERO);
+        assert_eq!((SimSpan::from_secs(4) * 3).as_secs(), 12);
+        assert_eq!((SimSpan::from_secs(9) / 3).as_secs(), 3);
+    }
+
+    #[test]
+    fn ordering_is_total_on_micros() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimSpan(7) > SimSpan(6));
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_clamps() {
+        assert_eq!(SimSpan::from_secs(2).mul_f64(1.25).as_micros(), 2_500_000);
+        assert_eq!(SimSpan::from_secs(2).mul_f64(-1.0), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{}", SimSpan::from_millis(250)), "0.250s");
+    }
+}

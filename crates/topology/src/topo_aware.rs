@@ -1,0 +1,188 @@
+//! Topology-aware ordering with FP-Tree fine-tuning (paper §IV-E, last
+//! paragraph): "for systems that use topological information to optimize
+//! communication, the communication tree can be constructed first using
+//! topology-aware techniques and then fine-tuned using the FP-Tree
+//! constructor. This approach can reduce the impact of failed nodes while
+//! preserving the topology-aware properties of the tree."
+//!
+//! The topology here is the chassis packing of the monitoring hierarchy:
+//! messages between nodes of one chassis stay inside its backplane, so a
+//! tree whose parent–child edges mostly stay chassis-local is cheaper.
+//! The fine-tuner then *swaps* suspected nodes onto leaf positions —
+//! preferring swap partners from the same chassis — instead of globally
+//! re-sorting the list like the plain rearranger does.
+
+use crate::tree::{leaf_positions, CommTree};
+use std::collections::HashSet;
+
+/// Order nodes chassis-major: nodes sharing `chassis_of` buckets become
+/// contiguous runs, so the grouping tree's subtrees align with hardware.
+pub fn topology_order(nodelist: &[u32], chassis_of: impl Fn(u32) -> u32) -> Vec<u32> {
+    let mut out = nodelist.to_vec();
+    // Stable sort: preserves the input order within each chassis.
+    out.sort_by_key(|&n| chassis_of(n));
+    out
+}
+
+/// Fine-tune an (already topology-ordered) list for failure prediction:
+/// every suspect sitting on an internal position is swapped with a healthy
+/// node on a leaf position, preferring a partner in the same chassis so
+/// the swap does not break locality.
+///
+/// Runs in `O(n)` plus the (bounded) partner search, and never moves
+/// nodes that don't have to move — unlike [`crate::rearrange`], which
+/// rebuilds the whole order.
+pub fn fine_tune(
+    list: &[u32],
+    suspects: &HashSet<u32>,
+    w: usize,
+    chassis_of: impl Fn(u32) -> u32,
+) -> Vec<u32> {
+    let n = list.len();
+    let mut out = list.to_vec();
+    if n == 0 {
+        return out;
+    }
+    let leaves = leaf_positions(n, w);
+
+    // Healthy nodes currently on leaf positions, grouped for partner
+    // lookup: position indices by chassis.
+    let mut healthy_leaves: Vec<usize> = (0..n)
+        .filter(|&p| leaves[p] && !suspects.contains(&out[p]))
+        .collect();
+
+    // Internal suspects that need to move.
+    let internal_suspects: Vec<usize> =
+        (0..n).filter(|&p| !leaves[p] && suspects.contains(&out[p])).collect();
+
+    for pos in internal_suspects {
+        if healthy_leaves.is_empty() {
+            break; // more suspects than leaves: leave the rest in place
+        }
+        let chassis = chassis_of(out[pos]);
+        // Prefer a same-chassis partner; otherwise take the last available
+        // (O(1) removal).
+        let pick = healthy_leaves
+            .iter()
+            .position(|&lp| chassis_of(out[lp]) == chassis)
+            .unwrap_or(healthy_leaves.len() - 1);
+        let leaf_pos = healthy_leaves.swap_remove(pick);
+        out.swap(pos, leaf_pos);
+    }
+    out
+}
+
+/// Fraction of parent→child tree edges whose endpoints share a chassis —
+/// the locality property topology-aware construction exists to maximize.
+pub fn chassis_locality(
+    list: &[u32],
+    w: usize,
+    chassis_of: impl Fn(u32) -> u32,
+) -> f64 {
+    let tree = CommTree::build(list.len(), w);
+    let mut total = 0usize;
+    let mut local = 0usize;
+    for p in 0..list.len() as u32 {
+        if let Some(parent) = tree.parent[p as usize] {
+            total += 1;
+            if chassis_of(list[p as usize]) == chassis_of(list[parent as usize]) {
+                local += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        local as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 16 nodes per chassis.
+    fn chassis(n: u32) -> u32 {
+        n / 16
+    }
+
+    fn suspects(v: &[u32]) -> HashSet<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn topology_order_groups_chassis() {
+        // Interleaved list across 4 chassis.
+        let list: Vec<u32> = (0..64).map(|i| (i % 4) * 16 + i / 4).collect();
+        let ordered = topology_order(&list, chassis);
+        let mut seen = Vec::new();
+        for n in &ordered {
+            let c = chassis(*n);
+            if seen.last() != Some(&c) {
+                seen.push(c);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3], "chassis interleaved after ordering");
+    }
+
+    #[test]
+    fn fine_tune_is_permutation_and_places_suspects() {
+        let list: Vec<u32> = (0..256).collect();
+        let ordered = topology_order(&list, chassis);
+        let s = suspects(&[0, 17, 33, 49, 200]);
+        let tuned = fine_tune(&ordered, &s, 8, chassis);
+        let mut sorted = tuned.clone();
+        sorted.sort();
+        assert_eq!(sorted, list);
+        let leaves = leaf_positions(tuned.len(), 8);
+        for (p, n) in tuned.iter().enumerate() {
+            if s.contains(n) {
+                assert!(leaves[p], "suspect {n} still internal at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fine_tune_preserves_more_locality_than_full_rearrange() {
+        let list: Vec<u32> = (0..512).collect(); // already chassis-major
+        let s: HashSet<u32> = (0..512).step_by(97).collect();
+        let w = 8;
+        let base = chassis_locality(&list, w, chassis);
+        let tuned = fine_tune(&list, &s, w, chassis);
+        let tuned_loc = chassis_locality(&tuned, w, chassis);
+        let rearranged = crate::rearrange(&list, &s, w);
+        let rearranged_loc = chassis_locality(&rearranged, w, chassis);
+        assert!(
+            tuned_loc >= rearranged_loc,
+            "fine-tune locality {tuned_loc:.3} vs full rearrange {rearranged_loc:.3}"
+        );
+        // Fine-tuning only swaps a handful of nodes, so locality stays
+        // close to the topology-ordered baseline.
+        assert!(
+            base - tuned_loc < 0.12,
+            "fine-tune lost too much locality: {base:.3} -> {tuned_loc:.3}"
+        );
+    }
+
+    #[test]
+    fn suspects_already_on_leaves_stay_put() {
+        let list: Vec<u32> = (0..64).collect();
+        let leaves = leaf_positions(64, 8);
+        // Pick a suspect that is already a leaf.
+        let leaf_node = (0..64u32).find(|&p| leaves[p as usize]).unwrap();
+        let tuned = fine_tune(&list, &suspects(&[list[leaf_node as usize]]), 8, chassis);
+        assert_eq!(tuned, list, "nothing should move");
+    }
+
+    #[test]
+    fn empty_and_overflow_inputs() {
+        assert!(fine_tune(&[], &HashSet::new(), 4, chassis).is_empty());
+        // All nodes suspected: permutation preserved, no panic.
+        let list: Vec<u32> = (0..40).collect();
+        let all: HashSet<u32> = list.iter().copied().collect();
+        let tuned = fine_tune(&list, &all, 4, chassis);
+        let mut sorted = tuned.clone();
+        sorted.sort();
+        assert_eq!(sorted, list);
+    }
+}

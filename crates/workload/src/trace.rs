@@ -1,0 +1,70 @@
+//! Trace persistence: JSON-lines files, one job per line.
+//!
+//! The format is deliberately simple so that traces generated here can be
+//! inspected with standard tools and external traces (e.g. converted SWF
+//! archives) can be imported.
+
+use crate::job::Job;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write `jobs` to `path` as JSON lines.
+pub fn save_jsonl(jobs: &[Job], path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for j in jobs {
+        serde_json::to_writer(&mut w, j).map_err(io::Error::other)?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Read a JSON-lines trace from `path`. Jobs are returned in file order;
+/// blank lines are skipped.
+pub fn load_jsonl(path: &Path) -> io::Result<Vec<Job>> {
+    let r = BufReader::new(File::open(path)?);
+    let mut jobs = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let job: Job = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceConfig;
+
+    #[test]
+    fn round_trip() {
+        let jobs = TraceConfig::small(50, 1).generate();
+        let dir = std::env::temp_dir().join("eslurm-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        save_jsonl(&jobs, &path).unwrap();
+        let back = load_jsonl(&path).unwrap();
+        assert_eq!(jobs, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let dir = std::env::temp_dir().join("eslurm-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{not json}\n").unwrap();
+        let err = load_jsonl(&path).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,74 @@
+//! Capacity planning: replay a week of load through the backfill
+//! scheduler to answer an operator question — "what do prediction-driven
+//! walltime limits buy my cluster, and what does a flaky RM cost it?"
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use eslurm_suite::eslurm::PredictiveLimit;
+use eslurm_suite::estimate::EstimatorConfig;
+use eslurm_suite::sched::{
+    simulate, BackfillConfig, DispatchModel, LimitPolicy, OracleLimit, UserLimit,
+};
+use eslurm_suite::simclock::{SimSpan, SimTime};
+use eslurm_suite::workload::TraceConfig;
+
+fn main() {
+    let nodes = 1024;
+    let mut trace_cfg = TraceConfig::tianhe2a();
+    trace_cfg.max_nodes = nodes / 2;
+    trace_cfg.no_estimate_prob = 0.3;
+    trace_cfg.horizon = SimSpan::from_hours(7 * 24);
+    trace_cfg.jobs = 9_000;
+    let jobs = trace_cfg.generate();
+    println!("replaying {} jobs over one week on {nodes} nodes\n", jobs.len());
+
+    let run = |name: &str, policy: &mut dyn LimitPolicy, cfg: &BackfillConfig| {
+        let r = simulate(&jobs, policy, cfg);
+        println!(
+            "{name:28} util {:.3}  useful {:.3}  wait {:6.0}s  slowdown {:6.1}  kills {:4}",
+            r.utilization(),
+            r.useful_utilization(),
+            r.avg_wait().as_secs_f64(),
+            r.avg_slowdown(),
+            r.killed,
+        );
+        r
+    };
+
+    let base = BackfillConfig::new(nodes);
+
+    // 1. What users give you today.
+    run("user walltime requests", &mut UserLimit::default(), &base);
+
+    // 2. ESlurm's prediction framework as the limit policy.
+    let mut predictive = PredictiveLimit::new(EstimatorConfig::default());
+    run("ESlurm predictive limits", &mut predictive, &base);
+
+    // 3. The unreachable upper bound: perfect estimates.
+    run("oracle (perfect) limits", &mut OracleLimit, &base);
+
+    // 4. The same cluster if the RM itself is slow and crashy: heavy
+    //    dispatch overhead plus a 90-minute outage midweek.
+    let flaky = BackfillConfig {
+        dispatch: DispatchModel {
+            dispatch: SimSpan::from_secs(8),
+            dispatch_per_node: SimSpan::from_millis(5),
+            cleanup: SimSpan::from_secs(4),
+            cleanup_per_node: SimSpan::from_millis(5),
+        },
+        rm_outages: vec![(SimTime::from_secs(3 * 86_400), SimSpan::from_secs(5_400))],
+        ..BackfillConfig::new(nodes)
+    };
+    run("user limits + flaky RM", &mut UserLimit::default(), &flaky);
+
+    println!(
+        "\nreading: predictive limits cut waits and kills versus raw user\n\
+         requests. Note the oracle row: *perfect* limits maximize useful\n\
+         utilization but can lengthen queue waits — exact reservations leave\n\
+         EASY backfill no slack, a well-known effect (Tsafrir et al.). The\n\
+         flaky-RM row shows what dispatch overhead and a crash cost on top,\n\
+         which is why ESlurm attacks the communication layer first."
+    );
+}

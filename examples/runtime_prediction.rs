@@ -1,0 +1,81 @@
+//! Runtime prediction: train the ESlurm estimation framework on a
+//! synthetic workload history and compare its walltime estimates against
+//! what the users asked for.
+//!
+//! ```sh
+//! cargo run --release --example runtime_prediction
+//! ```
+
+use eslurm_suite::estimate::{
+    estimation_accuracy, EstimateSource, EstimatorConfig, RuntimeEstimator,
+};
+use eslurm_suite::workload::{self, TraceConfig};
+
+fn main() {
+    // Six weeks of history from a Tianhe-2A-like workload.
+    let trace = TraceConfig::tianhe2a().shrunk_to(12_000).generate();
+    let (history, incoming) = trace.split_at(10_000);
+
+    println!(
+        "history: {} jobs from {} users, {:.0}% overestimated by their owners",
+        history.len(),
+        workload::summarize(history).users,
+        100.0 * workload::stats::frac_overestimated(history),
+    );
+
+    // Feed the record module and train (K-means++ over the interest
+    // window, one SVR per cluster — paper §V defaults).
+    let mut framework = RuntimeEstimator::new(EstimatorConfig::default());
+    for job in history {
+        framework.record_completion(job);
+    }
+    framework.retrain(history.last().unwrap().submit);
+    println!(
+        "trained {} clusters; warm AEA {:.3}",
+        framework.current_k(),
+        framework.overall_aea()
+    );
+
+    // Estimate the next 2 000 submissions before "running" them.
+    let (mut model_ea, mut user_ea, mut model_n, mut from_model) = (0.0, 0.0, 0.0, 0);
+    for job in incoming {
+        let Some(est) = framework.estimate(job) else { continue };
+        let actual = job.actual_runtime.as_secs_f64();
+        model_ea += estimation_accuracy(est.runtime.as_secs_f64(), actual);
+        model_n += 1.0;
+        if est.source == EstimateSource::Model {
+            from_model += 1;
+        }
+        if let Some(u) = job.user_estimate {
+            user_ea += estimation_accuracy(u.as_secs_f64(), actual);
+        }
+    }
+    println!("\nestimating {} incoming jobs:", incoming.len());
+    println!(
+        "  framework accuracy: {:.3}  (user estimates: {:.3})",
+        model_ea / model_n,
+        user_ea / model_n
+    );
+    println!(
+        "  {:.0}% answered by the model, the rest fell back to the user's \
+         request (AEA gate)",
+        100.0 * from_model as f64 / model_n
+    );
+
+    // Show a few concrete estimates.
+    println!("\nsample estimates:");
+    for job in incoming.iter().take(8) {
+        let est = framework.estimate(job).unwrap();
+        println!(
+            "  {:14} {:5} nodes  actual {:7.0}s  user {:>8}  model {:7.0}s ({:?})",
+            job.name,
+            job.nodes,
+            job.actual_runtime.as_secs_f64(),
+            job.user_estimate
+                .map(|u| format!("{:.0}s", u.as_secs_f64()))
+                .unwrap_or_else(|| "—".into()),
+            est.runtime.as_secs_f64(),
+            est.source,
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # eslurm-suite
+//!
+//! Umbrella crate for the ESlurm reproduction. It re-exports every
+//! sub-crate under one roof so examples, integration tests, and downstream
+//! users can depend on a single package:
+//!
+//! ```
+//! use eslurm_suite::eslurm; // the core distributed RM
+//! use eslurm_suite::workload; // synthetic trace generation
+//! let _ = (
+//!     std::any::type_name::<eslurm_suite::simclock::SimTime>(),
+//! );
+//! ```
+//!
+//! See `DESIGN.md` at the repository root for the system inventory and the
+//! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use emu;
+pub use eslurm;
+pub use estimate;
+pub use ml;
+pub use monitoring;
+pub use rm;
+pub use sched;
+pub use simclock;
+pub use topology;
+pub use workload;
