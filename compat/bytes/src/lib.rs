@@ -1,0 +1,263 @@
+//! Offline drop-in subset of the `bytes` crate.
+//!
+//! The build environment cannot fetch crates, so this workspace ships the
+//! slice of the bytes 1.x API its wire protocol uses: [`BytesMut`] with
+//! big-endian `put_*` writers and `freeze`, and [`Bytes`] as a cheaply
+//! cloneable cursor with big-endian `get_*` readers. All multi-byte
+//! accessors are big-endian (network order), matching upstream.
+
+#![deny(missing_docs)]
+
+use std::sync::Arc;
+
+/// Read side of a byte buffer: a consuming big-endian cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte. Panics when empty (matching upstream).
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+}
+
+/// Write side of a byte buffer with big-endian `put_*` writers.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable, cheaply cloneable byte buffer. Reading through [`Buf`]
+/// advances a window over shared storage without copying.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wrap a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-buffer sharing the same storage. `range` is relative to the
+    /// current window. Panics when out of bounds (matching upstream).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    /// The unread bytes as a slice.
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.start += n;
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:02x?})", self.chunk())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer for building messages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0xdead_beef);
+        b.put_u64(u64::MAX - 1);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wire_layout_is_network_order() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u32(0x01020304);
+        assert_eq!(b.freeze().as_ref(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_shares_storage_window() {
+        let bytes = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = bytes.slice(2..5);
+        assert_eq!(mid.as_ref(), &[2, 3, 4]);
+        let inner = mid.slice(1..2);
+        assert_eq!(inner.as_ref(), &[3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::from_static(&[1]);
+        b.get_u16();
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment cannot fetch crates, so this workspace ships the
+//! slice of the criterion 0.7 API its benches use: [`Criterion`],
+//! [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`/`throughput`/`bench_with_input`, [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is simpler than upstream (no bootstrap statistics): each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! fixed measurement window, and the per-iteration mean / best sample are
+//! printed in a `cargo bench`-like format. Set `ESLURM_BENCH_JSON=path` to
+//! also append one JSON line per benchmark for machine consumption.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Measured result of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark identifier (group/function).
+    pub name: String,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed sample, nanoseconds per iteration.
+    pub best_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Throughput annotation (recorded, reported as elements/second).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Build an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the workload.
+pub struct Bencher<'a> {
+    measurement: &'a mut Option<InnerMeasure>,
+    sample_size: usize,
+}
+
+struct InnerMeasure {
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+    samples: usize,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, keeping its return value alive (prevents the optimizer
+    /// from deleting the workload).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: target ~60 ms of measurement split into
+        // `sample_size` samples, at least one iteration per sample.
+        let cal_start = Instant::now();
+        std::hint::black_box(f());
+        let once = cal_start.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(60);
+        let total_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let samples = self.sample_size.max(2);
+        let iters = (total_iters / samples as u64).max(1);
+
+        let mut best = f64::INFINITY;
+        let mut sum = 0.0;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(per_iter);
+            sum += per_iter;
+        }
+        *self.measurement = Some(InnerMeasure {
+            mean_ns: sum / samples as f64,
+            best_ns: best,
+            iters,
+            samples,
+        });
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        let mut slot = None;
+        let mut b = Bencher {
+            measurement: &mut slot,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let Some(m) = slot else {
+            eprintln!("warning: benchmark {name} never called Bencher::iter");
+            return;
+        };
+        let result = Measurement {
+            name: name.clone(),
+            mean_ns: m.mean_ns,
+            best_ns: m.best_ns,
+            iters_per_sample: m.iters,
+            samples: m.samples,
+        };
+        println!(
+            "{name:<40} time: [{} .. {}] ({} samples x {} iters)",
+            fmt_ns(result.best_ns),
+            fmt_ns(result.mean_ns),
+            result.samples,
+            result.iters_per_sample
+        );
+        if let Ok(path) = std::env::var("ESLURM_BENCH_JSON") {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"best_ns\":{:.1}}}",
+                    result.name, result.mean_ns, result.best_ns
+                );
+            }
+        }
+        self.results.push(result);
+    }
+
+    /// Run one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        self.run_one(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Record the per-iteration throughput (informational).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn scoped_run<F: FnMut(&mut Bencher)>(&mut self, id: String, f: F) {
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, f);
+        self.criterion.sample_size = saved;
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        self.scoped_run(id.to_string(), f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.scoped_run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $fun(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(c.results()[0].name, "grp/7");
+    }
+}

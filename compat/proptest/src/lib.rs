@@ -1,0 +1,346 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment cannot fetch crates, so this workspace ships the
+//! slice of proptest it uses: the [`proptest!`] macro, range / `any` /
+//! tuple / collection / sample strategies, `prop_assert*` macros, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Semantics differ from upstream in two deliberate ways: there is no
+//! shrinking (a failing case panics with its inputs reported via the
+//! standard assertion message), and case generation is deterministic per
+//! test function name, so failures are reproducible without a regression
+//! file.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs (overridable per block).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps debug-profile suite times
+        // reasonable while exercising the same generators.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Unlike upstream there is no shrinking, so a strategy
+/// is just a seeded function from an RNG to a value.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+/// Types with a canonical "whole domain" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_random {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_random!(u8, u16, u32, u64, usize, i32, i64, bool, f64);
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The whole domain of `T` as a strategy (`any::<u32>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Sub-modules mirroring the upstream `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeBounds, Strategy};
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+
+        /// A `Vec` strategy: `size` is a `usize` (exact length) or a
+        /// `Range<usize>` (length drawn per case).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy produced by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeBounds,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = if self.size.lo == self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.random_range(self.size.lo..self.size.hi)
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+
+        /// Pick one element of `items` uniformly (cloned per case).
+        pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+            assert!(!items.is_empty(), "select requires a non-empty slice");
+            Select {
+                items: items.to_vec(),
+            }
+        }
+
+        /// Strategy produced by [`select`].
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.items[rng.random_range(0..self.items.len())].clone()
+            }
+        }
+    }
+}
+
+/// Length bounds for collection strategies (`usize` or `Range<usize>`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeBounds {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> Self {
+        SizeBounds { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeBounds {
+    fn from(r: Range<usize>) -> Self {
+        SizeBounds {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// A deterministic RNG for the given property name and case index, so
+/// failures are reproducible without regression files.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Assert a condition inside a property (panics with the formatted
+/// message; upstream's early-return semantics are not needed here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..cfg.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0usize..5, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u64..100, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for e in &v {
+                prop_assert!(*e < 100);
+            }
+        }
+
+        #[test]
+        fn exact_vec_size(v in prop::collection::vec(-5.0f64..5.0, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn tuples_and_select(
+            pair in (0u64..10, any::<bool>()),
+            pick in prop::sample::select(&[1u8, 2, 3][..]),
+        ) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!([1u8, 2, 3].contains(&pick));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_override_runs(x in 0u8..255) {
+            prop_assert!(x < 255);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngExt;
+        let a: u64 = super::case_rng("t", 3).random();
+        let b: u64 = super::case_rng("t", 3).random();
+        assert_eq!(a, b);
+        let c: u64 = super::case_rng("t", 4).random();
+        assert_ne!(a, c);
+    }
+}

@@ -24,7 +24,15 @@ fn bench_failure_sweep(c: &mut Criterion) {
     let params = BcastParams::default();
     c.bench_function("fptree_30pct_failures", |b| {
         let failed: HashSet<u32> = (0..4096).step_by(3).collect();
-        b.iter(|| broadcast(Structure::FpTree, black_box(&nodes), &failed, &failed, &params));
+        b.iter(|| {
+            broadcast(
+                Structure::FpTree,
+                black_box(&nodes),
+                &failed,
+                &failed,
+                &params,
+            )
+        });
     });
 }
 

@@ -27,7 +27,10 @@ fn bench_eslurm_sweeps(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sweeps_2048_nodes_10min", |b| {
         b.iter(|| {
-            let cfg = EslurmConfig { n_satellites: 4, ..Default::default() };
+            let cfg = EslurmConfig {
+                n_satellites: 4,
+                ..Default::default()
+            };
             let mut sys = EslurmSystemBuilder::new(cfg, 2048, 5).build();
             sys.sim.run_until(SimTime::from_secs(600));
             black_box(sys.master().sweeps.len())

@@ -13,8 +13,8 @@ use emu::{FaultPlan, NodeId, Outage};
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, print_table, write_csv, ExpArgs};
 use estimate::{evaluate, EslurmPredictor, EstimatorConfig};
-use simclock::rng::stream_rng;
 use rand::RngExt;
+use simclock::rng::stream_rng;
 use simclock::{SimSpan, SimTime};
 use std::collections::HashSet;
 use topology::{broadcast, BcastParams, Structure};
@@ -54,7 +54,11 @@ fn main() {
         &["width", "avg sweep (s)", "satellite peak sockets"],
         &rows,
     );
-    write_csv("ablation_relay_width.csv", &["width", "avg_sweep_s", "sat_peak_sockets"], &rows);
+    write_csv(
+        "ablation_relay_width.csv",
+        &["width", "avg_sweep_s", "sat_peak_sockets"],
+        &rows,
+    );
 
     // ---- 2. reassignment threshold under a satellite crash.
     let mut rows = Vec::new();
@@ -76,7 +80,9 @@ fn main() {
             eq1_width: 256,
             ..Default::default()
         };
-        let mut sys = EslurmSystemBuilder::new(cfg, n_slaves, args.seed).faults(faults).build();
+        let mut sys = EslurmSystemBuilder::new(cfg, n_slaves, args.seed)
+            .faults(faults)
+            .build();
         for j in 0..10u64 {
             sys.submit(
                 SimTime::from_secs(2 + j * 30),
@@ -102,12 +108,24 @@ fn main() {
     }
     print_table(
         "Ablation 2 — reassignment threshold with a dead satellite",
-        &["threshold", "jobs done", "reassignments", "takeovers", "worst occupation (s)"],
+        &[
+            "threshold",
+            "jobs done",
+            "reassignments",
+            "takeovers",
+            "worst occupation (s)",
+        ],
         &rows,
     );
     write_csv(
         "ablation_reassign.csv",
-        &["threshold", "jobs_done", "reassignments", "takeovers", "worst_occupation_s"],
+        &[
+            "threshold",
+            "jobs_done",
+            "reassignments",
+            "takeovers",
+            "worst_occupation_s",
+        ],
         &rows,
     );
 
@@ -124,14 +142,22 @@ fn main() {
         ("user estimates only", 2.0, true), // impossible gate
         ("raw model (Fig 11b mode)", 0.90, false),
     ] {
-        let cfg = EstimatorConfig { aea_gate: gate, window: 2000, ..Default::default() };
+        let cfg = EstimatorConfig {
+            aea_gate: gate,
+            window: 2000,
+            ..Default::default()
+        };
         let mut p = if gated {
             EslurmPredictor::gated(cfg)
         } else {
             EslurmPredictor::new(cfg)
         };
         let r = evaluate(&jobs, &mut p, warmup);
-        rows.push(vec![label.to_string(), f(r.aea, 3), f(r.underestimate_rate, 3)]);
+        rows.push(vec![
+            label.to_string(),
+            f(r.aea, 3),
+            f(r.underestimate_rate, 3),
+        ]);
     }
     print_table(
         "Ablation 3 — AEA gate on the deployed estimate path",

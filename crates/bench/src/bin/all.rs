@@ -4,7 +4,15 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "table5_6", "table8", "response_time",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table5_6",
+    "table8",
+    "response_time",
 ];
 
 fn main() {

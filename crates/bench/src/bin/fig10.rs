@@ -136,7 +136,12 @@ fn main() {
     let clusters: Vec<(u32, Vec<&str>)> = if args.quick {
         vec![(256, all.clone()), (1024, big.clone())]
     } else {
-        vec![(1024, all), (4096, mid), (16_384, big.clone()), (20_480, big)]
+        vec![
+            (1024, all),
+            (4096, mid),
+            (16_384, big.clone()),
+            (20_480, big),
+        ]
     };
 
     let mut csv = Vec::new();
@@ -188,7 +193,15 @@ fn main() {
         }
         print_table(
             &format!("Fig 10 — scheduling efficiency on {nodes} nodes"),
-            &["RM", "utilization", "useful util", "avg wait (s)", "avg slowdown", "killed", "completed"],
+            &[
+                "RM",
+                "utilization",
+                "useful util",
+                "avg wait (s)",
+                "avg slowdown",
+                "killed",
+                "completed",
+            ],
             &rows,
         );
         if let Some((u, w, s)) = slurm_ref {
@@ -208,7 +221,14 @@ fn main() {
     }
     write_csv(
         "fig10.csv",
-        &["nodes", "rm", "utilization", "useful_utilization", "avg_wait_s", "avg_slowdown"],
+        &[
+            "nodes",
+            "rm",
+            "utilization",
+            "useful_utilization",
+            "avg_wait_s",
+            "avg_slowdown",
+        ],
         &csv,
     );
 }

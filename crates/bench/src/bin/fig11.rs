@@ -11,8 +11,8 @@ use emu::NodeId;
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, print_table, write_csv, ExpArgs};
 use estimate::{
-    evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2,
-    Prep, RuntimePredictor, Trip, UserEstimate,
+    evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2, Prep,
+    RuntimePredictor, Trip, UserEstimate,
 };
 use simclock::{SimSpan, SimTime};
 use workload::TraceConfig;
@@ -38,7 +38,10 @@ fn main() {
         let avg = if sweeps.is_empty() {
             f64::NAN
         } else {
-            sweeps.iter().map(|s| s.completion.as_secs_f64()).sum::<f64>()
+            sweeps
+                .iter()
+                .map(|s| s.completion.as_secs_f64())
+                .sum::<f64>()
                 / sweeps.len() as f64
         };
         let master_sockets = sys.sim.meter(NodeId::MASTER).peak_sockets();
@@ -52,7 +55,12 @@ fn main() {
     }
     print_table(
         &format!("Fig 11a — heartbeat broadcast time vs satellites ({n} nodes)"),
-        &["satellites", "avg sweep (s)", "sweeps", "master peak sockets"],
+        &[
+            "satellites",
+            "avg sweep (s)",
+            "sweeps",
+            "master peak sockets",
+        ],
         &rows,
     );
     println!("  [paper: minimum around 20 satellites on 20K+ nodes]");
@@ -64,11 +72,18 @@ fn main() {
 
     // ---- (b) runtime prediction model comparison on the NG-like trace.
     let trace_cfg = if args.quick {
-        TraceConfig::ng_tianhe().with_seed(args.seed).shrunk_to(8_000)
+        TraceConfig::ng_tianhe()
+            .with_seed(args.seed)
+            .shrunk_to(8_000)
     } else {
-        TraceConfig::ng_tianhe().with_seed(args.seed).shrunk_to(25_000)
+        TraceConfig::ng_tianhe()
+            .with_seed(args.seed)
+            .shrunk_to(25_000)
     };
-    println!("\ngenerating NG-Tianhe-like trace ({} jobs) ...", trace_cfg.jobs);
+    println!(
+        "\ngenerating NG-Tianhe-like trace ({} jobs) ...",
+        trace_cfg.jobs
+    );
     let jobs = trace_cfg.generate();
     let warmup = jobs.len() / 10;
     let window = 700;
@@ -85,7 +100,10 @@ fn main() {
         // synthetic trace's correlation persists past the 700-job gap the
         // paper measured on its own traces, so the window is sized to our
         // trace's correlation horizon (~2000 jobs, cf. fig5 output).
-        Box::new(EslurmPredictor::new(EstimatorConfig { window: 2000, ..Default::default() })),
+        Box::new(EslurmPredictor::new(EstimatorConfig {
+            window: 2000,
+            ..Default::default()
+        })),
     ];
     let mut rows = Vec::new();
     for model in &mut models {
@@ -106,5 +124,9 @@ fn main() {
         &rows,
     );
     println!("  [paper: ESlurm 84% accuracy / ~10% UR; SVM, RF, Last-2 < 70% with UR > 25%]");
-    write_csv("fig11b.csv", &["model", "aea", "underestimate_rate", "coverage"], &rows);
+    write_csv(
+        "fig11b.csv",
+        &["model", "aea", "underestimate_rate", "coverage"],
+        &rows,
+    );
 }

@@ -44,8 +44,7 @@ fn main() {
         let ps = stats::p_values(&jobs);
         let grid: Vec<f64> = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0].to_vec();
         let cdf = stats::cdf(&ps, &grid);
-        let rows: Vec<Vec<String>> =
-            cdf.iter().map(|(x, y)| vec![f(*x, 2), f(*y, 3)]).collect();
+        let rows: Vec<Vec<String>> = cdf.iter().map(|(x, y)| vec![f(*x, 2), f(*y, 3)]).collect();
         print_table(&format!("Fig 5a — CDF of P ({name})"), &["P", "CDF"], &rows);
         write_csv(&format!("fig5a_{name}.csv"), &["p", "cdf"], &rows);
         println!(

@@ -60,7 +60,14 @@ fn dump_series(name: &str, series: &emu::SampleSeries) {
         .collect();
     write_csv(
         &format!("fig7_series_{name}.csv"),
-        &["t_s", "cpu_util", "cpu_time_s", "virt_bytes", "real_bytes", "sockets"],
+        &[
+            "t_s",
+            "cpu_util",
+            "cpu_time_s",
+            "virt_bytes",
+            "real_bytes",
+            "sockets",
+        ],
         &rows,
     );
 }
@@ -104,7 +111,10 @@ fn main() {
     let rate = 42.0; // ≈ 1K jobs/day
     let mean_rt = SimSpan::from_secs(1200);
 
-    println!("Fig 7: {n} nodes, {} h horizon, ~1K jobs/day", horizon.as_secs() / 3600);
+    println!(
+        "Fig 7: {n} nodes, {} h horizon, ~1K jobs/day",
+        horizon.as_secs() / 3600
+    );
 
     let mut usages: Vec<Usage> = Vec::new();
 
@@ -113,18 +123,33 @@ fn main() {
         let name = profile.name;
         print!("running {name} ... ");
         let mut h = build_cluster(profile, n + 1, args.seed, Some(horizon_t));
-        inject_job_stream(&mut h, n as u32, horizon, rate, n as u32, mean_rt, args.seed + 1);
+        inject_job_stream(
+            &mut h,
+            n as u32,
+            horizon,
+            rate,
+            n as u32,
+            mean_rt,
+            args.seed + 1,
+        );
         h.sim.run_until(horizon_t);
         let series = h.sim.series(NodeId::MASTER).expect("master tracked");
         println!("{} events", h.sim.events_processed());
-        usages.push(summarize(name, series, h.sim.meter(NodeId::MASTER).peak_sockets()));
+        usages.push(summarize(
+            name,
+            series,
+            h.sim.meter(NodeId::MASTER).peak_sockets(),
+        ));
         dump_series(name, series);
     }
 
     // ---- ESlurm with two satellites (as deployed on Tianhe-2A).
     {
         print!("running ESlurm ... ");
-        let cfg = EslurmConfig { n_satellites: 2, ..Default::default() };
+        let cfg = EslurmConfig {
+            n_satellites: 2,
+            ..Default::default()
+        };
         let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed)
             .sample_until(horizon_t, false)
             .build();
@@ -176,12 +201,28 @@ fn main() {
         .collect();
     print_table(
         "Fig 7a–e — master resource usage (means over the run)",
-        &["RM", "CPU %", "CPU min", "virt", "real", "sockets", "peak sockets"],
+        &[
+            "RM",
+            "CPU %",
+            "CPU min",
+            "virt",
+            "real",
+            "sockets",
+            "peak sockets",
+        ],
         &rows,
     );
     write_csv(
         "fig7_summary.csv",
-        &["rm", "cpu_util", "cpu_time_min", "virt_bytes", "real_bytes", "sockets_mean", "sockets_peak"],
+        &[
+            "rm",
+            "cpu_util",
+            "cpu_time_min",
+            "virt_bytes",
+            "real_bytes",
+            "sockets_mean",
+            "sockets_peak",
+        ],
         &rows,
     );
 
@@ -214,7 +255,10 @@ fn main() {
             row.push(f(occ, 2));
         }
         {
-            let cfg = EslurmConfig { n_satellites: 2, ..Default::default() };
+            let cfg = EslurmConfig {
+                n_satellites: 2,
+                ..Default::default()
+            };
             let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed).build();
             sys.submit(
                 SimTime::from_secs(60),
@@ -235,12 +279,22 @@ fn main() {
     }
     print_table(
         "Fig 7f — job occupation time vs job size (s; 10 s runtime)",
-        &["nodes", "SGE", "Torque", "OpenPBS", "LSF", "Slurm", "ESlurm"],
+        &[
+            "nodes", "SGE", "Torque", "OpenPBS", "LSF", "Slurm", "ESlurm",
+        ],
         &rows,
     );
     write_csv(
         "fig7f.csv",
-        &["nodes", "sge_s", "torque_s", "openpbs_s", "lsf_s", "slurm_s", "eslurm_s"],
+        &[
+            "nodes",
+            "sge_s",
+            "torque_s",
+            "openpbs_s",
+            "lsf_s",
+            "slurm_s",
+            "eslurm_s",
+        ],
         &rows,
     );
 }

@@ -88,7 +88,10 @@ fn main() {
     //      failure mix (~1-2 % failed nodes on average, occasionally more).
     let mut rows = Vec::new();
     let mut saved = Vec::new();
-    for (label, kind) in [("message 1 (job load)", "load"), ("message 2 (job term)", "term")] {
+    for (label, kind) in [
+        ("message 1 (job load)", "load"),
+        ("message 2 (job term)", "term"),
+    ] {
         let params = params_for(kind, 32);
         let mut sums = [0.0f64; 3]; // slurm, eslurm-noFP, eslurm
         for t in 0..trials {
@@ -115,9 +118,16 @@ fn main() {
                 .as_secs_f64();
             // Full ESlurm: satellite split + FP-Trees (perfect suspects, as
             // in the paper's power-down experiment).
-            sums[2] +=
-                eslurm_overlay(&nodes, &failed, &failed, &params, m, eq1_width, dispatch_gap)
-                    .as_secs_f64();
+            sums[2] += eslurm_overlay(
+                &nodes,
+                &failed,
+                &failed,
+                &params,
+                m,
+                eq1_width,
+                dispatch_gap,
+            )
+            .as_secs_f64();
         }
         let avg: Vec<f64> = sums.iter().map(|s| s / trials as f64).collect();
         let vs_slurm = 100.0 * (1.0 - avg[2] / avg[0]);
@@ -139,11 +149,22 @@ fn main() {
     }
     print_table(
         &format!("Fig 8a — average broadcast time on {n} nodes (s)"),
-        &["message", "Slurm", "ESlurm w/o FP", "ESlurm", "vs Slurm %", "FP share %"],
+        &[
+            "message",
+            "Slurm",
+            "ESlurm w/o FP",
+            "ESlurm",
+            "vs Slurm %",
+            "FP share %",
+        ],
         &rows,
     );
     println!("  [paper: ESlurm -63.7% / -73.6% vs Slurm; FP-Tree alone -36.3% / -54.9%]");
-    write_csv("fig8a.csv", &["message", "slurm_s", "eslurm_nofp_s", "eslurm_s"], &saved);
+    write_csv(
+        "fig8a.csv",
+        &["message", "slurm_s", "eslurm_nofp_s", "eslurm_s"],
+        &saved,
+    );
 
     // ---- (b) structures vs failure ratio.
     let params = params_for("load", 32);
@@ -166,7 +187,14 @@ fn main() {
     println!("  [paper: FP-Tree < 10 s at 30 %, others reach minutes]");
     write_csv(
         "fig8b.csv",
-        &["fail_pct", "ring_s", "star_s", "sharedmem_s", "tree_s", "fptree_s"],
+        &[
+            "fail_pct",
+            "ring_s",
+            "star_s",
+            "sharedmem_s",
+            "tree_s",
+            "fptree_s",
+        ],
         &rows,
     );
 }

@@ -28,7 +28,15 @@ fn main() {
     {
         print!("running Slurm ... ");
         let mut h = build_cluster(RmProfile::slurm(), n + 1, args.seed, Some(horizon_t));
-        inject_job_stream(&mut h, n as u32, horizon, rate, n as u32, mean_rt, args.seed + 1);
+        inject_job_stream(
+            &mut h,
+            n as u32,
+            horizon,
+            rate,
+            n as u32,
+            mean_rt,
+            args.seed + 1,
+        );
         h.sim.run_until(horizon_t);
         println!("{} events", h.sim.events_processed());
         let s = h.sim.series(NodeId::MASTER).expect("tracked");
@@ -54,7 +62,10 @@ fn main() {
     // ---- ESlurm with two satellites.
     {
         print!("running ESlurm ... ");
-        let cfg = EslurmConfig { n_satellites: 2, ..Default::default() };
+        let cfg = EslurmConfig {
+            n_satellites: 2,
+            ..Default::default()
+        };
         let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed)
             .sample_until(horizon_t, true)
             .build();
@@ -133,7 +144,14 @@ fn main() {
     );
     write_csv(
         "fig9_summary.csv",
-        &["node", "cpu_time_s", "virt_bytes", "real_bytes", "sockets_mean", "sockets_peak"],
+        &[
+            "node",
+            "cpu_time_s",
+            "virt_bytes",
+            "real_bytes",
+            "sockets_mean",
+            "sockets_peak",
+        ],
         &csv,
     );
 

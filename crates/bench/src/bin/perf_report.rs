@@ -1,0 +1,305 @@
+//! Machine-readable performance report for the flat-kernel ML pipeline
+//! and the parallel estimator retrain.
+//!
+//! Times the preserved pre-optimization reference implementations
+//! (`ml::reference`) against the optimized paths on identical inputs, on
+//! this machine, and writes the results as JSON to `BENCH_PERF.json` at
+//! the repository root (plus a human-readable table on stdout). Each
+//! entry records best-of-N wall times in nanoseconds and the speedup
+//! ratio, so CI or a reviewer can diff runs across commits.
+//!
+//! `--quick` shrinks repeat counts (for smoke runs); `--seed` varies the
+//! synthetic workload.
+
+use eslurm_bench::{f, print_table, ExpArgs};
+use estimate::{features, EstimatorConfig, RuntimeEstimator};
+use ml::features::Regressor;
+use ml::reference::{RefKMeans, RefSvr};
+use ml::{KMeans, Kernel, StandardScaler, Svr};
+use serde::{Number, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+use workload::{Job, TraceConfig};
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds (after one warmup
+/// call). Best-of is robust to scheduler noise for CPU-bound closures.
+fn time_ns<F: FnMut()>(mut f: F, reps: usize) -> u64 {
+    f();
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    what: &'static str,
+    baseline_ns: u64,
+    optimized_ns: u64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.optimized_ns.max(1) as f64
+    }
+}
+
+fn window(jobs: &[Job]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = jobs.iter().map(features::features).collect();
+    let y: Vec<f64> = jobs.iter().map(features::target).collect();
+    (x, y)
+}
+
+/// An estimator with the window already recorded, ready to retrain.
+fn primed_estimator(jobs: &[Job], threads: usize) -> RuntimeEstimator {
+    let mut est = RuntimeEstimator::new(EstimatorConfig {
+        train_threads: threads,
+        ..Default::default()
+    });
+    for j in jobs {
+        est.record_completion(j);
+    }
+    est
+}
+
+/// The seed's retrain, reconstructed end to end on the same inputs the
+/// framework sees: feature extraction, scaling, weighting, reference
+/// K-means, one reference SVR per cluster fitted serially (framework
+/// hyperparameters), and the warm-start back-test over the window.
+fn reference_retrain(jobs: &[Job], k: usize, seed: u64) {
+    let raw: Vec<Vec<f64>> = jobs.iter().map(features::features).collect();
+    let scaler = StandardScaler::fit(&raw);
+    let x: Vec<Vec<f64>> = scaler
+        .transform_all(&raw)
+        .iter()
+        .map(|r| features::apply_weights(r))
+        .collect();
+    let y: Vec<f64> = jobs.iter().map(features::target).collect();
+    let km = RefKMeans::fit(&x, k, 60, seed);
+    let kk = km.centroids.len();
+    let mut sets: Vec<(Vec<Vec<f64>>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); kk];
+    for ((xi, yi), &l) in x.iter().zip(&y).zip(&km.labels) {
+        sets[l].0.push(xi.clone());
+        sets[l].1.push(*yi);
+    }
+    let mut models = Vec::with_capacity(kk);
+    for (cx, cy) in &sets {
+        let mut m = RefSvr::default_rbf();
+        m.kernel = Kernel::Rbf { gamma: 30.0 };
+        m.c = 30.0;
+        m.epsilon = 0.05;
+        m.fit(cx, cy);
+        models.push(m);
+    }
+    let mut acc = 0.0;
+    for (xi, &l) in x.iter().zip(&km.labels) {
+        acc += models[l].predict(xi);
+    }
+    std::hint::black_box(acc);
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let reps = args.scale(7, 3);
+    let jobs = TraceConfig::small(800, args.seed).generate();
+    let window_jobs: Vec<Job> = jobs[jobs.len() - 700..].to_vec();
+    let (x, y) = window(&window_jobs);
+    let mut entries = Vec::new();
+
+    // SVR fit at one per-cluster size (~700/15) and at a whole window.
+    for &n in &[47usize, 200] {
+        let (cx, cy) = (&x[..n], &y[..n]);
+        let baseline = time_ns(
+            || {
+                let mut m = RefSvr::default_rbf();
+                m.fit(cx, cy);
+                std::hint::black_box(m.bias());
+            },
+            reps,
+        );
+        let optimized = time_ns(
+            || {
+                let mut m = Svr::default_rbf();
+                m.fit(cx, cy);
+                std::hint::black_box(m.bias());
+            },
+            reps,
+        );
+        entries.push(Entry {
+            name: if n == 47 { "svr_fit_47" } else { "svr_fit_200" },
+            what:
+                "RefSvr::fit (Vec<Vec> Gram, dense K*beta) vs Svr::fit (flat Gram, sparse deltas)",
+            baseline_ns: baseline,
+            optimized_ns: optimized,
+        });
+    }
+
+    // SVR predict over a fitted model: pruned support vectors vs full scan.
+    {
+        let (cx, cy) = (&x[..200], &y[..200]);
+        let mut fast = Svr::default_rbf();
+        fast.fit(cx, cy);
+        let mut reference = RefSvr::default_rbf();
+        reference.fit(cx, cy);
+        let q = &x[300];
+        let baseline = time_ns(
+            || {
+                for _ in 0..1000 {
+                    std::hint::black_box(reference.predict(std::hint::black_box(q)));
+                }
+            },
+            reps,
+        );
+        let optimized = time_ns(
+            || {
+                for _ in 0..1000 {
+                    std::hint::black_box(fast.predict(std::hint::black_box(q)));
+                }
+            },
+            reps,
+        );
+        entries.push(Entry {
+            name: "svr_predict_1000q",
+            what: "predict x1000: full training-set scan vs pruned support vectors",
+            baseline_ns: baseline,
+            optimized_ns: optimized,
+        });
+    }
+
+    // K-means at the framework's window size.
+    {
+        let baseline = time_ns(
+            || {
+                std::hint::black_box(RefKMeans::fit(&x, 15, 60, args.seed).inertia);
+            },
+            reps,
+        );
+        let optimized = time_ns(
+            || {
+                std::hint::black_box(KMeans::fit(&x, 15, 60, args.seed).inertia);
+            },
+            reps,
+        );
+        entries.push(Entry {
+            name: "kmeans_700x15",
+            what: "Lloyd iterations: per-point sq_dist vs flat matrix + cached centroid norms",
+            baseline_ns: baseline,
+            optimized_ns: optimized,
+        });
+    }
+
+    // Full estimator retrain: the seed's serial reference pipeline vs the
+    // optimized one (flat-kernel SVRs trained on all cores). Both sides
+    // run the identical feature-prep stage; the optimized side times
+    // `RuntimeEstimator::retrain` itself on a primed window.
+    let now = window_jobs.last().expect("non-empty trace").submit;
+    {
+        let baseline = time_ns(|| reference_retrain(&window_jobs, 15, args.seed), reps);
+        let mut est = primed_estimator(&window_jobs, 0);
+        let optimized = time_ns(
+            || {
+                est.retrain(now);
+                std::hint::black_box(est.current_k());
+            },
+            reps,
+        );
+        entries.push(Entry {
+            name: "estimator_retrain_700",
+            what: "reference serial retrain vs flat-kernel SVRs on all cores",
+            baseline_ns: baseline,
+            optimized_ns: optimized,
+        });
+    }
+
+    // Parallelism in isolation: same optimized code, 1 thread vs all.
+    // On a single-core host this is expected to sit at ~1.0x.
+    {
+        let mut serial = primed_estimator(&window_jobs, 1);
+        let baseline = time_ns(
+            || {
+                serial.retrain(now);
+                std::hint::black_box(serial.current_k());
+            },
+            reps,
+        );
+        let mut parallel = primed_estimator(&window_jobs, 0);
+        let optimized = time_ns(
+            || {
+                parallel.retrain(now);
+                std::hint::black_box(parallel.current_k());
+            },
+            reps,
+        );
+        entries.push(Entry {
+            name: "retrain_parallelism_only",
+            what: "optimized retrain, train_threads=1 vs one per core",
+            baseline_ns: baseline,
+            optimized_ns: optimized,
+        });
+    }
+
+    // Human-readable table.
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.to_string(),
+                format!("{:.3}", e.baseline_ns as f64 / 1e6),
+                format!("{:.3}", e.optimized_ns as f64 / 1e6),
+                format!("{}x", f(e.speedup(), 2)),
+            ]
+        })
+        .collect();
+    print_table(
+        "perf report (best-of-N wall time)",
+        &["bench", "baseline ms", "optimized ms", "speedup"],
+        &rows,
+    );
+
+    // Machine-readable JSON at the repository root.
+    let benches: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            let mut m = BTreeMap::new();
+            m.insert("name".to_string(), Value::String(e.name.to_string()));
+            m.insert("what".to_string(), Value::String(e.what.to_string()));
+            m.insert(
+                "baseline_ns".to_string(),
+                Value::Number(Number::U64(e.baseline_ns)),
+            );
+            m.insert(
+                "optimized_ns".to_string(),
+                Value::Number(Number::U64(e.optimized_ns)),
+            );
+            m.insert(
+                "speedup".to_string(),
+                Value::Number(Number::F64(e.speedup())),
+            );
+            Value::Object(m)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert(
+        "generated_by".to_string(),
+        Value::String("cargo run --release -p eslurm-bench --bin perf_report".to_string()),
+    );
+    root.insert("quick".to_string(), Value::Bool(args.quick));
+    root.insert("seed".to_string(), Value::Number(Number::U64(args.seed)));
+    root.insert(
+        "threads".to_string(),
+        Value::Number(Number::U64(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        )),
+    );
+    root.insert("benches".to_string(), Value::Array(benches));
+    let json = serde_json::to_string(&Value::Object(root)).expect("serialize report");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PERF.json");
+    std::fs::write(&path, json + "\n").expect("write BENCH_PERF.json");
+    println!("\n  [json] {}", path.display());
+}

@@ -77,13 +77,17 @@ fn main() {
                         SimSpan::from_secs(900),
                         args.seed + 1,
                     );
-                    for (i, at) in query_times(horizon, query_rate, args.seed).iter().enumerate()
+                    for (i, at) in query_times(horizon, query_rate, args.seed)
+                        .iter()
+                        .enumerate()
                     {
                         h.sim.inject(
                             *at,
                             NodeId(1),
                             NodeId::MASTER,
-                            RmMsg::StatusQuery { id: (1 << 40) + i as u64 },
+                            RmMsg::StatusQuery {
+                                id: (1 << 40) + i as u64,
+                            },
                         );
                     }
                     h.sim.run_until(horizon_t);
@@ -95,13 +99,17 @@ fn main() {
                         ..Default::default()
                     };
                     let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed).build();
-                    for (i, at) in query_times(horizon, query_rate, args.seed).iter().enumerate()
+                    for (i, at) in query_times(horizon, query_rate, args.seed)
+                        .iter()
+                        .enumerate()
                     {
                         sys.sim.inject(
                             *at,
                             NodeId(1),
                             NodeId::MASTER,
-                            RmMsg::StatusQuery { id: (1 << 40) + i as u64 },
+                            RmMsg::StatusQuery {
+                                id: (1 << 40) + i as u64,
+                            },
                         );
                     }
                     sys.sim.run_until(horizon_t);

@@ -27,7 +27,10 @@ fn main() {
     for (i, &m) in pools.iter().enumerate() {
         let label = format!("SE{}", i + 1);
         print!("running {label} ({m} satellites) ... ");
-        let cfg = EslurmConfig { n_satellites: m, ..Default::default() };
+        let cfg = EslurmConfig {
+            n_satellites: m,
+            ..Default::default()
+        };
         let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed)
             .sample_until(horizon, true)
             .build();
@@ -91,25 +94,53 @@ fn main() {
 
     print_table(
         &format!("Table V — master resource usage ({n} nodes, {horizon_h} h)"),
-        &["setup", "CPU min", "virt (mean)", "real (mean)", "sockets (mean)", "peak sockets"],
+        &[
+            "setup",
+            "CPU min",
+            "virt (mean)",
+            "real (mean)",
+            "sockets (mean)",
+            "peak sockets",
+        ],
         &t5,
     );
     println!("  [paper trends: CPU/real-memory/sockets grow mildly with the pool]");
     write_csv(
         "table5.csv",
-        &["setup", "cpu_min", "virt", "real", "sockets_mean", "sockets_peak"],
+        &[
+            "setup",
+            "cpu_min",
+            "virt",
+            "real",
+            "sockets_mean",
+            "sockets_peak",
+        ],
         &t5,
     );
 
     print_table(
         &format!("Table VI — satellite averages ({n} nodes, {horizon_h} h)"),
-        &["setup", "tasks/sat", "nodes/task", "virt", "real", "peak sockets"],
+        &[
+            "setup",
+            "tasks/sat",
+            "nodes/task",
+            "virt",
+            "real",
+            "peak sockets",
+        ],
         &t6,
     );
     println!("  [paper trends: tasks/sat ~flat; nodes/task, memory, sockets shrink with the pool]");
     write_csv(
         "table6.csv",
-        &["setup", "tasks_per_sat", "nodes_per_task", "virt", "real", "sockets_peak"],
+        &[
+            "setup",
+            "tasks_per_sat",
+            "nodes_per_task",
+            "virt",
+            "real",
+            "sockets_peak",
+        ],
         &t6,
     );
 }

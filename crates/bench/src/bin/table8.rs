@@ -23,20 +23,35 @@ fn main() {
     let mut ur_row = vec!["UR".to_string()];
     let mut csv = Vec::new();
     for &alpha in &alphas {
-        let cfg = EstimatorConfig { slack: alpha, window: 2000, ..Default::default() };
+        let cfg = EstimatorConfig {
+            slack: alpha,
+            window: 2000,
+            ..Default::default()
+        };
         let mut model = EslurmPredictor::new(cfg);
         let report = evaluate(&jobs, &mut model, warmup);
-        println!("alpha {alpha:.2}: AEA {:.3}  UR {:.3}", report.aea, report.underestimate_rate);
+        println!(
+            "alpha {alpha:.2}: AEA {:.3}  UR {:.3}",
+            report.aea, report.underestimate_rate
+        );
         aea_row.push(f(report.aea, 2));
         ur_row.push(f(report.underestimate_rate, 2));
-        csv.push(vec![f(alpha, 2), f(report.aea, 4), f(report.underestimate_rate, 4)]);
+        csv.push(vec![
+            f(alpha, 2),
+            f(report.aea, 4),
+            f(report.underestimate_rate, 4),
+        ]);
     }
 
     let header: Vec<String> = std::iter::once("α".to_string())
         .chain(alphas.iter().map(|a| f(*a, 2)))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    print_table("Table VIII — slack variable sweep", &header_refs, &[aea_row, ur_row]);
+    print_table(
+        "Table VIII — slack variable sweep",
+        &header_refs,
+        &[aea_row, ur_row],
+    );
     println!("  [paper: AEA 0.87→0.80, UR 0.54→0.11 across α 1.00→1.08]");
     write_csv("table8.csv", &["alpha", "aea", "underestimate_rate"], &csv);
 }

@@ -21,16 +21,22 @@ pub struct ExpArgs {
 impl ExpArgs {
     /// Parse from `std::env::args` (`--quick`, `--seed <n>`).
     pub fn parse() -> Self {
-        let mut args = ExpArgs { quick: false, seed: 42 };
+        let mut args = ExpArgs {
+            quick: false,
+            seed: 42,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
                 "--seed" => {
-                    args.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs an integer");
+                    args.seed = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(s) => s,
+                        None => {
+                            eprintln!("--seed needs an integer; try --help");
+                            std::process::exit(2);
+                        }
+                    };
                 }
                 "--help" | "-h" => {
                     eprintln!("options: --quick (reduced scale), --seed <n>");
@@ -90,7 +96,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    println!("{}", line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -118,9 +127,15 @@ mod tests {
 
     #[test]
     fn scale_picks_by_mode() {
-        let a = ExpArgs { quick: true, seed: 1 };
+        let a = ExpArgs {
+            quick: true,
+            seed: 1,
+        };
         assert_eq!(a.scale(100, 10), 10);
-        let b = ExpArgs { quick: false, seed: 1 };
+        let b = ExpArgs {
+            quick: false,
+            seed: 1,
+        };
         assert_eq!(b.scale(100, 10), 100);
     }
 

@@ -3,10 +3,12 @@
 use crate::opts::Opts;
 use eslurm::{EslurmConfig, EslurmSystemBuilder, PredictiveLimit};
 use estimate::{
-    evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2,
-    Prep, RuntimePredictor, Trip, UserEstimate,
+    evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2, Prep,
+    RuntimePredictor, Trip, UserEstimate,
 };
-use sched::{simulate as run_schedule, BackfillConfig, LimitPolicy, OracleLimit, SchedAlgo, UserLimit};
+use sched::{
+    simulate as run_schedule, BackfillConfig, LimitPolicy, OracleLimit, SchedAlgo, UserLimit,
+};
 use simclock::{SimSpan, SimTime};
 use std::path::Path;
 use workload::{stats, swf, trace, Job, TraceConfig};
@@ -102,7 +104,8 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
         100.0 * stats::frac_long_jobs_in_evening(&jobs)
     );
     println!("\ncorrelation vs submission interval (hours):");
-    for (h, r) in stats::correlation_vs_interval(&jobs, &[0.0, 1.0, 10.0, 30.0, 100.0], samples, seed)
+    for (h, r) in
+        stats::correlation_vs_interval(&jobs, &[0.0, 1.0, 10.0, 30.0, 100.0], samples, seed)
     {
         println!("    {h:6.1}h  {r:.3}");
     }
@@ -123,7 +126,11 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 pub fn replay(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args, &["nodes", "policy", "algo", "resubmits"])?;
     if o.wants_help() {
-        return help("replay", "replay a trace through the backfill scheduler", &o);
+        return help(
+            "replay",
+            "replay a trace through the backfill scheduler",
+            &o,
+        );
     }
     let jobs = load_trace(o.positional(0, "trace file")?)?;
     let nodes = o.get_or("nodes", 1024u32)?;
@@ -131,13 +138,21 @@ pub fn replay(args: &[String]) -> Result<(), String> {
         "easy" => SchedAlgo::Easy,
         "fcfs" => SchedAlgo::Fcfs,
         "conservative" => SchedAlgo::Conservative,
-        other => return Err(format!("unknown --algo {other} (easy | fcfs | conservative)")),
+        other => {
+            return Err(format!(
+                "unknown --algo {other} (easy | fcfs | conservative)"
+            ))
+        }
     };
     let mut policy: Box<dyn LimitPolicy> = match o.get("policy").unwrap_or("user") {
         "user" => Box::new(UserLimit::default()),
         "predictive" => Box::new(PredictiveLimit::new(EstimatorConfig::default())),
         "oracle" => Box::new(OracleLimit),
-        other => return Err(format!("unknown --policy {other} (user | predictive | oracle)")),
+        other => {
+            return Err(format!(
+                "unknown --policy {other} (user | predictive | oracle)"
+            ))
+        }
     };
     let cfg = BackfillConfig {
         algo,
@@ -153,10 +168,17 @@ pub fn replay(args: &[String]) -> Result<(), String> {
     let r = run_schedule(&jobs, policy.as_mut(), &cfg);
     println!("completed:        {}", r.completed);
     println!("killed at limit:  {} ({} abandoned)", r.killed, r.abandoned);
-    println!("utilization:      {:.3} (useful {:.3})", r.utilization(), r.useful_utilization());
+    println!(
+        "utilization:      {:.3} (useful {:.3})",
+        r.utilization(),
+        r.useful_utilization()
+    );
     println!("avg wait:         {:.0}s", r.avg_wait().as_secs_f64());
     println!("avg slowdown:     {:.2}", r.avg_slowdown());
-    println!("makespan:         {:.1}h", r.makespan.as_secs_f64() / 3600.0);
+    println!(
+        "makespan:         {:.1}h",
+        r.makespan.as_secs_f64() / 3600.0
+    );
     Ok(())
 }
 
@@ -178,9 +200,15 @@ pub fn predict(args: &[String]) -> Result<(), String> {
         Box::new(Irpa::new(window.min(700), seed + 1)),
         Box::new(Trip::new(window.min(700))),
         Box::new(Prep::new(window.min(700), seed + 2)),
-        Box::new(EslurmPredictor::new(EstimatorConfig { window, ..Default::default() })),
+        Box::new(EslurmPredictor::new(EstimatorConfig {
+            window,
+            ..Default::default()
+        })),
     ];
-    println!("{:14} {:>9} {:>14} {:>9}", "model", "accuracy", "underestimate", "coverage");
+    println!(
+        "{:14} {:>9} {:>14} {:>9}",
+        "model", "accuracy", "underestimate", "coverage"
+    );
     for m in &mut models {
         let r = evaluate(&jobs, m.as_mut(), warmup);
         println!(

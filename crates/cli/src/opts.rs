@@ -25,7 +25,11 @@ impl Opts {
                 if !known.contains(&name) {
                     return Err(format!(
                         "unknown option --{name} (expected one of: {})",
-                        known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+                        known
+                            .iter()
+                            .map(|k| format!("--{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     ));
                 }
                 let value = it
@@ -37,7 +41,12 @@ impl Opts {
                 positional.push(a.clone());
             }
         }
-        Ok(Opts { flags, positional, known: known.to_vec(), help })
+        Ok(Opts {
+            flags,
+            positional,
+            known: known.to_vec(),
+            help,
+        })
     }
 
     /// Whether `--help` was requested.

@@ -193,7 +193,8 @@ impl FaultPlanBuilder {
             // Failed nodes cluster physically (same board/chassis): pick a
             // contiguous id range starting at a random point.
             let start = rng.random_range(0..self.n as u32);
-            let dur = simclock::rng::exponential(rng, 1.0 / self.mean_outage.as_secs_f64().max(1.0));
+            let dur =
+                simclock::rng::exponential(rng, 1.0 / self.mean_outage.as_secs_f64().max(1.0));
             let dur = SimSpan::from_secs_f64(dur.max(60.0));
             for k in 0..nodes {
                 let node = NodeId((start + k as u32) % self.n as u32);

@@ -32,5 +32,5 @@ pub use fault::{FaultPlan, FaultPlanBuilder, Outage};
 pub use meter::{Meter, Sample, SampleSeries};
 pub use network::LatencyModel;
 pub use node::NodeId;
-pub use sim::{SimCluster, SimConfig, Sampling};
+pub use sim::{Sampling, SimCluster, SimConfig};
 pub use thread::ThreadCluster;

@@ -182,7 +182,10 @@ impl SampleSeries {
 
     /// Final cumulative CPU time in the series.
     pub fn final_cpu_time(&self) -> SimSpan {
-        self.samples.last().map(|s| s.cpu_time).unwrap_or(SimSpan::ZERO)
+        self.samples
+            .last()
+            .map(|s| s.cpu_time)
+            .unwrap_or(SimSpan::ZERO)
     }
 }
 

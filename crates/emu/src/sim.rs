@@ -9,7 +9,6 @@ use crate::node::NodeId;
 use rand::rngs::StdRng;
 use simclock::rng::stream_rng;
 use simclock::{EventQueue, SimSpan, SimTime};
-use std::collections::HashMap;
 
 /// Configuration of a simulated cluster.
 #[derive(Clone, Debug)]
@@ -110,7 +109,13 @@ impl<M: Payload> Context<M> for DesCtx<'_, M> {
 
     fn set_timer(&mut self, after: SimSpan, token: u64) {
         let at = self.inner.queue.now() + after;
-        self.inner.queue.push(at, Ev::Timer { node: self.me, token });
+        self.inner.queue.push(
+            at,
+            Ev::Timer {
+                node: self.me,
+                token,
+            },
+        );
     }
 
     fn charge_cpu(&mut self, span: SimSpan) {
@@ -136,7 +141,13 @@ impl<M: Payload> Context<M> for DesCtx<'_, M> {
     fn open_socket_for(&mut self, peer: NodeId, dur: SimSpan) {
         self.inner.open_socket(self.me, peer);
         let at = self.inner.queue.now() + dur;
-        self.inner.queue.push(at, Ev::SocketClose { a: self.me, b: peer });
+        self.inner.queue.push(
+            at,
+            Ev::SocketClose {
+                a: self.me,
+                b: peer,
+            },
+        );
     }
 
     fn rng(&mut self) -> &mut StdRng {
@@ -173,7 +184,9 @@ pub struct SimCluster<M: Payload, A: Actor<M>> {
     actors: Vec<A>,
     inner: Inner<M>,
     sampling: Option<Sampling>,
-    series: HashMap<NodeId, SampleSeries>,
+    /// One series per entry of `sampling.tracked`, in the same order, so
+    /// the per-sample hot path is a plain index instead of a hash lookup.
+    series: Vec<SampleSeries>,
     started: bool,
     events_processed: u64,
 }
@@ -190,12 +203,7 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         let series = config
             .sampling
             .as_ref()
-            .map(|s| {
-                s.tracked
-                    .iter()
-                    .map(|&n| (n, SampleSeries::default()))
-                    .collect()
-            })
+            .map(|s| vec![SampleSeries::default(); s.tracked.len()])
             .unwrap_or_default();
         if let Some(s) = &config.sampling {
             queue.push(SimTime::ZERO + s.interval, Ev::Sample);
@@ -269,7 +277,9 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
 
     /// Recorded sample series for a tracked node.
     pub fn series(&self, node: NodeId) -> Option<&SampleSeries> {
-        self.series.get(&node)
+        let s = self.sampling.as_ref()?;
+        let i = s.tracked.iter().position(|&t| t == node)?;
+        self.series.get(i)
     }
 
     /// Immutable access to an actor (for extracting results after a run).
@@ -299,7 +309,10 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         self.started = true;
         for i in 0..self.actors.len() {
             let me = NodeId(i as u32);
-            let mut ctx = DesCtx { inner: &mut self.inner, me };
+            let mut ctx = DesCtx {
+                inner: &mut self.inner,
+                me,
+            };
             self.actors[i].on_start(&mut ctx);
         }
     }
@@ -313,7 +326,10 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                     return;
                 }
                 self.inner.meters[to.index()].count_received();
-                let mut ctx = DesCtx { inner: &mut self.inner, me: to };
+                let mut ctx = DesCtx {
+                    inner: &mut self.inner,
+                    me: to,
+                };
                 self.actors[to.index()].on_message(&mut ctx, from, msg);
             }
             Ev::Timer { node, token } => {
@@ -327,7 +343,10 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                     }
                     return;
                 }
-                let mut ctx = DesCtx { inner: &mut self.inner, me: node };
+                let mut ctx = DesCtx {
+                    inner: &mut self.inner,
+                    me: node,
+                };
                 self.actors[node.index()].on_timer(&mut ctx, token);
             }
             Ev::SocketClose { a, b } => {
@@ -339,15 +358,10 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 if now > s.until {
                     return;
                 }
-                for &node in &s.tracked {
-                    let sample = self.inner.meters[node.index()].sample(now);
-                    self.series
-                        .get_mut(&node)
-                        .expect("tracked node has a series")
-                        .push(sample);
+                for (series, &node) in self.series.iter_mut().zip(&s.tracked) {
+                    series.push(self.inner.meters[node.index()].sample(now));
                 }
-                let interval = s.interval;
-                self.inner.queue.push(now + interval, Ev::Sample);
+                self.inner.queue.push(now + s.interval, Ev::Sample);
             }
         }
     }
@@ -382,8 +396,16 @@ mod tests {
 
     fn pingpong_cluster() -> SimCluster<u64, PingPong> {
         let actors = vec![
-            PingPong { peer: NodeId(1), initial: Some(10), received: vec![] },
-            PingPong { peer: NodeId(0), initial: None, received: vec![] },
+            PingPong {
+                peer: NodeId(1),
+                initial: Some(10),
+                received: vec![],
+            },
+            PingPong {
+                peer: NodeId(0),
+                initial: None,
+                received: vec![],
+            },
         ];
         SimCluster::new(actors, SimConfig::new(2, 1))
     }
@@ -396,10 +418,7 @@ mod tests {
         assert_eq!(c.actor(NodeId(0)).received, vec![9, 7, 5, 3, 1]);
         assert!(c.now() > SimTime::ZERO);
         // Each delivery charged 5 µs.
-        assert_eq!(
-            c.meter(NodeId(1)).cpu_time(),
-            SimSpan::from_micros(30)
-        );
+        assert_eq!(c.meter(NodeId(1)).cpu_time(), SimSpan::from_micros(30));
     }
 
     #[test]
@@ -416,13 +435,11 @@ mod tests {
     fn horizon_stops_execution() {
         let mut c = pingpong_cluster();
         c.run_until(SimTime(40));
-        let total: usize =
-            c.actor(NodeId(0)).received.len() + c.actor(NodeId(1)).received.len();
+        let total: usize = c.actor(NodeId(0)).received.len() + c.actor(NodeId(1)).received.len();
         assert!(total < 11, "horizon did not stop the run");
         // Continuing finishes the exchange.
         c.run_to_quiescence();
-        let total: usize =
-            c.actor(NodeId(0)).received.len() + c.actor(NodeId(1)).received.len();
+        let total: usize = c.actor(NodeId(0)).received.len() + c.actor(NodeId(1)).received.len();
         assert_eq!(total, 11);
     }
 
@@ -436,10 +453,21 @@ mod tests {
                 up_at: SimTime::from_secs(1000),
             }],
         );
-        let cfg = SimConfig { faults, ..SimConfig::new(2, 1) };
+        let cfg = SimConfig {
+            faults,
+            ..SimConfig::new(2, 1)
+        };
         let actors = vec![
-            PingPong { peer: NodeId(1), initial: Some(3), received: vec![] },
-            PingPong { peer: NodeId(0), initial: None, received: vec![] },
+            PingPong {
+                peer: NodeId(1),
+                initial: Some(3),
+                received: vec![],
+            },
+            PingPong {
+                peer: NodeId(0),
+                initial: None,
+                received: vec![],
+            },
         ];
         let mut c = SimCluster::new(actors, cfg);
         c.run_to_quiescence();
@@ -465,7 +493,10 @@ mod tests {
 
     #[test]
     fn periodic_timers_fire_until_horizon() {
-        let actors = vec![Ticker { period: SimSpan::from_secs(10), fires: 0 }];
+        let actors = vec![Ticker {
+            period: SimSpan::from_secs(10),
+            fires: 0,
+        }];
         let mut c = SimCluster::new(actors, SimConfig::new(1, 3));
         c.run_until(SimTime::from_secs(95));
         assert_eq!(c.actor(NodeId(0)).fires, 9);
@@ -481,8 +512,14 @@ mod tests {
                 up_at: SimTime::from_secs(100),
             }],
         );
-        let cfg = SimConfig { faults, ..SimConfig::new(1, 3) };
-        let actors = vec![Ticker { period: SimSpan::from_secs(10), fires: 0 }];
+        let cfg = SimConfig {
+            faults,
+            ..SimConfig::new(1, 3)
+        };
+        let actors = vec![Ticker {
+            period: SimSpan::from_secs(10),
+            fires: 0,
+        }];
         let mut c = SimCluster::new(actors, cfg);
         c.run_until(SimTime::from_secs(125));
         // First fire would land at t=10s (node down) -> deferred to t=100s,
@@ -499,8 +536,14 @@ mod tests {
             until: SimTime::from_secs(5),
         });
         let actors = vec![
-            Ticker { period: SimSpan::from_secs(1), fires: 0 },
-            Ticker { period: SimSpan::from_secs(1), fires: 0 },
+            Ticker {
+                period: SimSpan::from_secs(1),
+                fires: 0,
+            },
+            Ticker {
+                period: SimSpan::from_secs(1),
+                fires: 0,
+            },
         ];
         let mut c = SimCluster::new(actors, cfg);
         c.run_until(SimTime::from_secs(10));

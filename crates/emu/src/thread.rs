@@ -119,8 +119,10 @@ impl<M: Payload> Context<M> for ThreadCtx<'_, M> {
 
     fn open_socket_for(&mut self, peer: NodeId, dur: SimSpan) {
         self.open_socket(peer);
-        self.socket_closes
-            .push((Instant::now() + Duration::from_micros(dur.as_micros()), peer));
+        self.socket_closes.push((
+            Instant::now() + Duration::from_micros(dur.as_micros()),
+            peer,
+        ));
     }
 
     fn rng(&mut self) -> &mut StdRng {
@@ -167,7 +169,13 @@ impl<M: Payload, A: Actor<M> + 'static> ThreadCluster<M, A> {
             })
             .collect();
 
-        ThreadCluster { shared, senders, handles, fault_stop: None, fault_handle: None }
+        ThreadCluster {
+            shared,
+            senders,
+            handles,
+            fault_stop: None,
+            fault_handle: None,
+        }
     }
 
     /// Apply `plan` automatically: a background thread flips each node's
@@ -363,10 +371,7 @@ mod tests {
 
     #[test]
     fn threads_exchange_messages() {
-        let cluster = ThreadCluster::start(
-            vec![Echo { seen: vec![] }, Echo { seen: vec![] }],
-            7,
-        );
+        let cluster = ThreadCluster::start(vec![Echo { seen: vec![] }, Echo { seen: vec![] }], 7);
         cluster.inject(NodeId(0), NodeId(1), 6);
         std::thread::sleep(Duration::from_millis(100));
         let done = cluster.shutdown();
@@ -402,10 +407,8 @@ mod tests {
     #[test]
     fn fault_plan_toggles_liveness_automatically() {
         use crate::fault::{FaultPlan, Outage};
-        let mut cluster = ThreadCluster::start(
-            vec![Echo { seen: vec![] }, Echo { seen: vec![] }],
-            9,
-        );
+        let mut cluster =
+            ThreadCluster::start(vec![Echo { seen: vec![] }, Echo { seen: vec![] }], 9);
         // Node 1 is down for the window [0ms, 150ms).
         cluster.apply_fault_plan(FaultPlan::from_outages(
             2,
@@ -426,10 +429,7 @@ mod tests {
 
     #[test]
     fn down_node_drops_messages() {
-        let cluster = ThreadCluster::start(
-            vec![Echo { seen: vec![] }, Echo { seen: vec![] }],
-            7,
-        );
+        let cluster = ThreadCluster::start(vec![Echo { seen: vec![] }, Echo { seen: vec![] }], 7);
         cluster.set_up(NodeId(1), false);
         cluster.inject(NodeId(0), NodeId(1), 5);
         std::thread::sleep(Duration::from_millis(60));

@@ -186,7 +186,10 @@ impl EslurmMaster {
         match self.next_satellite(ctx.now()) {
             Some(idx) => {
                 self.fsm[idx].apply(SatEvent::TaskAssigned, ctx.now());
-                let task = self.tasks.get_mut(&task_id).expect("assigning unknown task");
+                let task = self
+                    .tasks
+                    .get_mut(&task_id)
+                    .expect("assigning unknown task");
                 task.sat = Some(idx);
                 self.dispatch_q.push_back(task_id);
                 if !self.dispatching {
@@ -202,7 +205,10 @@ impl EslurmMaster {
     /// exceeded or no satellite available) — correctness over offload.
     fn take_over(&mut self, ctx: &mut dyn Context<RmMsg>, task_id: u64) {
         self.takeovers += 1;
-        let task = self.tasks.get_mut(&task_id).expect("takeover of unknown task");
+        let task = self
+            .tasks
+            .get_mut(&task_id)
+            .expect("takeover of unknown task");
         task.sat = None;
         if task.list.is_empty() {
             let (job, kind) = (task.job, task.kind);
@@ -223,7 +229,12 @@ impl EslurmMaster {
             ctx.open_socket_for(NodeId(head), self.cfg.conn_lifetime);
             ctx.send(
                 NodeId(head),
-                RmMsg::JobCtl { job, kind, list: list.slice(lo + 1, lo + len), width: w as u16 },
+                RmMsg::JobCtl {
+                    job,
+                    kind,
+                    list: list.slice(lo + 1, lo + len),
+                    width: w as u16,
+                },
             );
         }
         let depth = topology::relay_depth(task_len, w) as u64;
@@ -241,7 +252,9 @@ impl EslurmMaster {
         reached: u32,
     ) {
         let (is_sweep, runtime) = {
-            let Some(state) = self.jobs.get_mut(&job) else { return };
+            let Some(state) = self.jobs.get_mut(&job) else {
+                return;
+            };
             if state.phase != kind {
                 return; // stale completion from a previous phase
             }
@@ -326,14 +339,20 @@ impl Actor<RmMsg> for EslurmMaster {
 
     fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, from: NodeId, msg: RmMsg) {
         match msg {
-            RmMsg::SubmitJob { job, nodes, runtime_us } => {
+            RmMsg::SubmitJob {
+                job,
+                nodes,
+                runtime_us,
+            } => {
                 Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
                 ctx.alloc_virt(self.cfg.per_job_virt as i64);
                 ctx.alloc_real(self.cfg.per_job_real as i64);
                 self.jobs.insert(
                     job,
                     JobState {
-                        kind: JobKind::Real { runtime: SimSpan::from_micros(runtime_us) },
+                        kind: JobKind::Real {
+                            runtime: SimSpan::from_micros(runtime_us),
+                        },
                         nodes,
                         submitted: ctx.now(),
                         launch_done: None,
@@ -345,9 +364,17 @@ impl Actor<RmMsg> for EslurmMaster {
                 );
                 self.start_ctl(ctx, job, CtlKind::Launch);
             }
-            RmMsg::BcastDone { task, job, kind, reached, ok: _ } => {
+            RmMsg::BcastDone {
+                task,
+                job,
+                kind,
+                reached,
+                ok: _,
+            } => {
                 Self::track_work(&mut self.busy_until, ctx, self.cfg.msg_cpu);
-                let Some(t) = self.tasks.get_mut(&task) else { return };
+                let Some(t) = self.tasks.get_mut(&task) else {
+                    return;
+                };
                 if t.done {
                     return;
                 }
@@ -465,10 +492,9 @@ impl Actor<RmMsg> for EslurmMaster {
                                     self.cfg.sat_per_node_cpu.as_micros()
                                         * t.list.len().max(1) as u64,
                                 );
-                                let depth = topology::relay_depth(
-                                    t.list.len(),
-                                    self.cfg.relay_width,
-                                ) as u64;
+                                let depth =
+                                    topology::relay_depth(t.list.len(), self.cfg.relay_width)
+                                        as u64;
                                 ctx.set_timer(
                                     self.cfg.task_timeout * (depth + 2) + proc,
                                     task_id * TOKEN_BASE + TASK_TIMEOUT,
@@ -509,7 +535,9 @@ impl Actor<RmMsg> for EslurmMaster {
                 }
             }
             TASK_TIMEOUT => {
-                let Some(t) = self.tasks.get_mut(&id) else { return };
+                let Some(t) = self.tasks.get_mut(&id) else {
+                    return;
+                };
                 if t.done {
                     return;
                 }

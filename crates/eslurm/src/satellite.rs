@@ -83,10 +83,7 @@ impl SatelliteDaemon {
     /// A satellite with the deployment config and an optional failure
     /// predictor (no predictor = plain grouping trees, the FP-Tree-off
     /// ablation).
-    pub fn new(
-        cfg: EslurmConfig,
-        predictor: Option<Arc<Mutex<dyn FailurePredictor>>>,
-    ) -> Self {
+    pub fn new(cfg: EslurmConfig, predictor: Option<Arc<Mutex<dyn FailurePredictor>>>) -> Self {
         SatelliteDaemon {
             cfg,
             predictor,
@@ -156,7 +153,9 @@ impl SatelliteDaemon {
             .as_ref()
             .map(|p| p.lock().expect("predictor poisoned").suspects(ctx.now()))
             .unwrap_or_default();
-        let Some(t) = self.tasks.get_mut(&token) else { return };
+        let Some(t) = self.tasks.get_mut(&token) else {
+            return;
+        };
         if t.relayed {
             return;
         }
@@ -166,7 +165,13 @@ impl SatelliteDaemon {
             self.tasks_done += 1;
             ctx.send(
                 done.origin,
-                RmMsg::BcastDone { task: done.task, job: done.job, kind: done.kind, reached: 0, ok: true },
+                RmMsg::BcastDone {
+                    task: done.task,
+                    job: done.job,
+                    kind: done.kind,
+                    reached: 0,
+                    ok: true,
+                },
             );
             return;
         }
@@ -186,7 +191,11 @@ impl SatelliteDaemon {
             }
         }
         let arranged = NodeSlice::new(arranged);
-        let k = if arranged.len() < w { arranged.len() } else { w };
+        let k = if arranged.len() < w {
+            arranged.len()
+        } else {
+            w
+        };
         let chunks = split_balanced(arranged.len(), k);
         t.expected = chunks.len() as u32;
         let (job, kind) = (t.job, t.kind);
@@ -211,7 +220,9 @@ impl SatelliteDaemon {
     }
 
     fn finish_task(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64, complete: bool) {
-        let Some(t) = self.tasks.remove(&token) else { return };
+        let Some(t) = self.tasks.remove(&token) else {
+            return;
+        };
         self.tasks_done += 1;
         let _ = t.started;
         ctx.charge_cpu(self.cfg.msg_cpu);
@@ -236,7 +247,13 @@ impl Actor<RmMsg> for SatelliteDaemon {
 
     fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, from: NodeId, msg: RmMsg) {
         match msg {
-            RmMsg::BcastTask { task, job, kind, list, width: _ } => {
+            RmMsg::BcastTask {
+                task,
+                job,
+                kind,
+                list,
+                width: _,
+            } => {
                 self.begin_task(ctx, from, task, job, kind, list);
             }
             RmMsg::CtlAck { job, kind, count } => {
@@ -255,7 +272,12 @@ impl Actor<RmMsg> for SatelliteDaemon {
             }
             RmMsg::SatHeartbeat => {
                 ctx.charge_cpu(self.cfg.msg_cpu);
-                ctx.send(from, RmMsg::SatHeartbeatAck { state: self.state().wire_id() });
+                ctx.send(
+                    from,
+                    RmMsg::SatHeartbeatAck {
+                        state: self.state().wire_id(),
+                    },
+                );
             }
             RmMsg::Shutdown => {
                 // Abandon in-flight work; the master's timeouts reassign it.
@@ -318,14 +340,21 @@ mod tests {
     }
 
     fn small_cfg() -> EslurmConfig {
-        EslurmConfig { eq1_width: 16, relay_width: 4, ..Default::default() }
+        EslurmConfig {
+            eq1_width: 16,
+            relay_width: 4,
+            ..Default::default()
+        }
     }
 
     /// Node 0 = master log, node 1 = satellite, 2..=n+1 slaves.
     fn cluster(n_slaves: usize, cfg: EslurmConfig) -> SimCluster<RmMsg, Node> {
         let mut actors = vec![
             Node::Master(Vec::new()),
-            Node::Sat(SatelliteDaemon::new(cfg, Some(Arc::new(Mutex::new(NullPredictor))))),
+            Node::Sat(SatelliteDaemon::new(
+                cfg,
+                Some(Arc::new(Mutex::new(NullPredictor))),
+            )),
         ];
         for _ in 0..n_slaves {
             actors.push(Node::Slave(SlaveDaemon::new(SlaveConfig {
@@ -354,15 +383,25 @@ mod tests {
             },
         );
         c.run_to_quiescence();
-        let Node::Master(log) = c.actor(NodeId::MASTER) else { panic!() };
+        let Node::Master(log) = c.actor(NodeId::MASTER) else {
+            panic!()
+        };
         assert_eq!(log.len(), 1);
         match &log[0] {
-            RmMsg::BcastDone { task: 5, job: 9, kind: CtlKind::Launch, reached, ok: true } => {
+            RmMsg::BcastDone {
+                task: 5,
+                job: 9,
+                kind: CtlKind::Launch,
+                reached,
+                ok: true,
+            } => {
                 assert_eq!(*reached, n as u32);
             }
             other => panic!("unexpected reply {other:?}"),
         }
-        let Node::Sat(sat) = c.actor(NodeId(1)) else { panic!() };
+        let Node::Sat(sat) = c.actor(NodeId(1)) else {
+            panic!()
+        };
         assert_eq!(sat.tasks_done, 1);
         assert_eq!(sat.fp_stats.trees, 1);
     }
@@ -383,8 +422,17 @@ mod tests {
             },
         );
         c.run_to_quiescence();
-        let Node::Master(log) = c.actor(NodeId::MASTER) else { panic!() };
-        assert!(matches!(log[0], RmMsg::BcastDone { ok: true, reached: 0, .. }));
+        let Node::Master(log) = c.actor(NodeId::MASTER) else {
+            panic!()
+        };
+        assert!(matches!(
+            log[0],
+            RmMsg::BcastDone {
+                ok: true,
+                reached: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -404,9 +452,16 @@ mod tests {
             },
         );
         // Heartbeat lands while the task is still being processed.
-        c.inject(SimTime::from_millis(2), NodeId::MASTER, NodeId(1), RmMsg::SatHeartbeat);
+        c.inject(
+            SimTime::from_millis(2),
+            NodeId::MASTER,
+            NodeId(1),
+            RmMsg::SatHeartbeat,
+        );
         c.run_to_quiescence();
-        let Node::Master(log) = c.actor(NodeId::MASTER) else { panic!() };
+        let Node::Master(log) = c.actor(NodeId::MASTER) else {
+            panic!()
+        };
         let states: Vec<u8> = log
             .iter()
             .filter_map(|m| match m {
@@ -438,7 +493,10 @@ mod tests {
                 up_at: SimTime::from_secs(1_000_000),
             }],
         );
-        let cfg = SimConfig { faults, ..SimConfig::new(n + 2, 5) };
+        let cfg = SimConfig {
+            faults,
+            ..SimConfig::new(n + 2, 5)
+        };
         let mut c = SimCluster::new(actors, cfg);
         let list: Vec<u32> = (2..2 + n as u32).collect();
         c.inject(
@@ -454,7 +512,9 @@ mod tests {
             },
         );
         c.run_until(SimTime::from_secs(120));
-        let Node::Master(log) = c.actor(NodeId::MASTER) else { panic!() };
+        let Node::Master(log) = c.actor(NodeId::MASTER) else {
+            panic!()
+        };
         assert_eq!(log.len(), 1);
         match &log[0] {
             RmMsg::BcastDone { reached, .. } => {
@@ -476,11 +536,8 @@ mod tests {
                 up_at: SimTime::from_secs(90),
             }],
         );
-        let predictor = monitoring::OraclePredictor::new(
-            faults.clone(),
-            SimSpan::from_secs(300),
-            1,
-        );
+        let predictor =
+            monitoring::OraclePredictor::new(faults.clone(), SimSpan::from_secs(300), 1);
         let mut actors = vec![
             Node::Master(Vec::new()),
             Node::Sat(SatelliteDaemon::new(
@@ -511,7 +568,9 @@ mod tests {
             },
         );
         c.run_to_quiescence();
-        let Node::Sat(sat) = c.actor(NodeId(1)) else { panic!() };
+        let Node::Sat(sat) = c.actor(NodeId(1)) else {
+            panic!()
+        };
         assert_eq!(sat.fp_stats.suspects_seen, 1);
         assert_eq!(sat.fp_stats.suspects_on_leaves, 1);
         assert_eq!(sat.fp_stats.placement_ratio(), 1.0);

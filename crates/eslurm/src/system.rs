@@ -145,8 +145,11 @@ impl EslurmSystemBuilder {
             if self.track_satellites {
                 tracked.extend(sat_ids.iter().map(|&s| NodeId(s)));
             }
-            config.sampling =
-                Some(Sampling { interval: SimSpan::from_secs(1), tracked, until });
+            config.sampling = Some(Sampling {
+                interval: SimSpan::from_secs(1),
+                tracked,
+                until,
+            });
         }
         EslurmSystem {
             sim: SimCluster::new(actors, config),
@@ -226,7 +229,10 @@ mod tests {
         assert_eq!(r.job, 42);
         assert_eq!(r.nodes, 32);
         let occ = r.occupation();
-        assert!(occ >= SimSpan::from_secs(10) && occ < SimSpan::from_secs(13), "{occ}");
+        assert!(
+            occ >= SimSpan::from_secs(10) && occ < SimSpan::from_secs(13),
+            "{occ}"
+        );
         assert_eq!(master.takeovers, 0);
     }
 
@@ -260,9 +266,15 @@ mod tests {
 
     #[test]
     fn eq1_splits_large_jobs_across_satellites() {
-        let mut sys =
-            EslurmSystemBuilder::new(EslurmConfig { eq1_width: 16, ..small_cfg(4) }, 128, 9)
-                .build();
+        let mut sys = EslurmSystemBuilder::new(
+            EslurmConfig {
+                eq1_width: 16,
+                ..small_cfg(4)
+            },
+            128,
+            9,
+        )
+        .build();
         // 64 nodes, width 16 => Eq. 1 gives 4 satellites.
         sys.submit(
             SimTime::from_secs(1),
@@ -290,7 +302,9 @@ mod tests {
                 up_at: SimTime::from_secs(100_000),
             }],
         );
-        let mut sys = EslurmSystemBuilder::new(small_cfg(m), 64, 11).faults(faults).build();
+        let mut sys = EslurmSystemBuilder::new(small_cfg(m), 64, 11)
+            .faults(faults)
+            .build();
         sys.submit(
             SimTime::from_secs(1),
             77,

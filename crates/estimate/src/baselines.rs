@@ -64,7 +64,9 @@ impl RuntimePredictor for Last2 {
         if q.is_empty() {
             return None;
         }
-        Some(SimSpan::from_secs_f64(q.iter().sum::<f64>() / q.len() as f64))
+        Some(SimSpan::from_secs_f64(
+            q.iter().sum::<f64>() / q.len() as f64,
+        ))
     }
 }
 
@@ -143,7 +145,11 @@ impl<R: Regressor> RuntimePredictor for WindowModel<R> {
 /// ablation of the ESlurm framework.
 pub fn svm_baseline(window: usize) -> WindowModel<Svr> {
     // The hashed name feature needs a local kernel to be useful at all.
-    WindowModel::new("SVM", Svr::default_rbf().with_kernel(ml::Kernel::Rbf { gamma: 2.0 }), window)
+    WindowModel::new(
+        "SVM",
+        Svr::default_rbf().with_kernel(ml::Kernel::Rbf { gamma: 2.0 }),
+        window,
+    )
 }
 
 /// The RandomForest baseline.
@@ -359,12 +365,18 @@ pub struct EslurmPredictor {
 impl EslurmPredictor {
     /// Model-comparison mode: always answer with the model estimate.
     pub fn new(config: EstimatorConfig) -> Self {
-        EslurmPredictor { inner: RuntimeEstimator::new(config), gated: false }
+        EslurmPredictor {
+            inner: RuntimeEstimator::new(config),
+            gated: false,
+        }
     }
 
     /// Deployment mode: apply the AEA gate against user estimates.
     pub fn gated(config: EstimatorConfig) -> Self {
-        EslurmPredictor { inner: RuntimeEstimator::new(config), gated: true }
+        EslurmPredictor {
+            inner: RuntimeEstimator::new(config),
+            gated: true,
+        }
     }
 
     /// Access the wrapped framework.
@@ -417,7 +429,10 @@ mod tests {
     #[test]
     fn user_estimate_passthrough() {
         let mut p = UserEstimate;
-        assert_eq!(p.predict(&job(1, 100, Some(300))), Some(SimSpan::from_secs(300)));
+        assert_eq!(
+            p.predict(&job(1, 100, Some(300))),
+            Some(SimSpan::from_secs(300))
+        );
         assert_eq!(p.predict(&job(1, 100, None)), None);
     }
 

@@ -53,11 +53,7 @@ impl Ord for Completion {
 /// Replay `jobs` through `predictor`, scoring each prediction against the
 /// ground-truth runtime. `warmup` initial jobs are replayed without being
 /// scored (the predictor still learns from them).
-pub fn evaluate(
-    jobs: &[Job],
-    predictor: &mut dyn RuntimePredictor,
-    warmup: usize,
-) -> ModelReport {
+pub fn evaluate(jobs: &[Job], predictor: &mut dyn RuntimePredictor, warmup: usize) -> ModelReport {
     let mut order: Vec<&Job> = jobs.iter().collect();
     order.sort_by_key(|j| j.submit);
 
@@ -100,9 +96,21 @@ pub fn evaluate(
 
     ModelReport {
         name: predictor.name(),
-        aea: if predicted == 0 { 0.0 } else { ea_sum / predicted as f64 },
-        underestimate_rate: if predicted == 0 { 0.0 } else { under as f64 / predicted as f64 },
-        coverage: if scored == 0 { 0.0 } else { predicted as f64 / scored as f64 },
+        aea: if predicted == 0 {
+            0.0
+        } else {
+            ea_sum / predicted as f64
+        },
+        underestimate_rate: if predicted == 0 {
+            0.0
+        } else {
+            under as f64 / predicted as f64
+        },
+        coverage: if scored == 0 {
+            0.0
+        } else {
+            predicted as f64 / scored as f64
+        },
         jobs: scored,
     }
 }

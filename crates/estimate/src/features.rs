@@ -32,7 +32,11 @@ pub const FEATURE_WEIGHTS: [f64; N_FEATURES] = [2.0, 2.0, 2.0, 1.0, 1.5, 1.5, 0.
 
 /// Apply [`FEATURE_WEIGHTS`] to a standardized feature vector.
 pub fn apply_weights(scaled: &[f64]) -> Vec<f64> {
-    scaled.iter().zip(FEATURE_WEIGHTS).map(|(v, w)| v * w).collect()
+    scaled
+        .iter()
+        .zip(FEATURE_WEIGHTS)
+        .map(|(v, w)| v * w)
+        .collect()
 }
 
 /// FNV-1a, stable across runs and platforms (unlike `DefaultHasher`).
@@ -106,8 +110,8 @@ mod tests {
     fn feature_vector_shape_and_ranges() {
         let f = features(&job("cfd.1", 64, 100));
         assert_eq!(f.len(), N_FEATURES);
-        for i in 0..4 {
-            assert!((0.0..1.0).contains(&f[i]), "feature {i} out of range");
+        for (i, v) in f.iter().take(4).enumerate() {
+            assert!((0.0..1.0).contains(v), "feature {i} out of range");
         }
         assert_eq!(f[4], 6.0); // log2(64)
         assert!((f[6] - 6.0 / 24.0).abs() < 1e-9); // hour 6

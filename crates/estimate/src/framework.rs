@@ -27,6 +27,10 @@ pub struct EstimatorConfig {
     pub aea_gate: f64,
     /// Seed for clustering.
     pub seed: u64,
+    /// Worker threads for per-cluster SVR training during [`RuntimeEstimator::retrain`]
+    /// (`0` = one per available core). SVR fitting is RNG-free, so the
+    /// trained model is bit-identical for every thread count.
+    pub train_threads: usize,
 }
 
 impl Default for EstimatorConfig {
@@ -38,6 +42,7 @@ impl Default for EstimatorConfig {
             slack: 1.05,
             aea_gate: 0.90,
             seed: 0xE5,
+            train_threads: 0,
         }
     }
 }
@@ -170,12 +175,7 @@ impl RuntimeEstimator {
 
     /// Force a retrain on the current interest window.
     pub fn retrain(&mut self, now: SimTime) {
-        let window: Vec<&Job> = self
-            .history
-            .iter()
-            .rev()
-            .take(self.config.window)
-            .collect();
+        let window: Vec<&Job> = self.history.iter().rev().take(self.config.window).collect();
         if window.len() < 10 {
             return;
         }
@@ -198,19 +198,12 @@ impl RuntimeEstimator {
         // individual applications, and the small per-cluster sample keeps
         // the tight bandwidth from starving for data. This is where the
         // cluster-then-regress design earns its accuracy.
-        let mut models: Vec<Svr> = (0..kmeans.k())
-            .map(|_| Svr::default_rbf().with_kernel(ml::Kernel::Rbf { gamma: 30.0 }).with_params(30.0, 0.05))
-            .collect();
-        for (c, model) in models.iter_mut().enumerate() {
-            let (cx, cy): (Vec<Vec<f64>>, Vec<f64>) = x
-                .iter()
-                .zip(&y)
-                .zip(&kmeans.labels)
-                .filter(|(_, &l)| l == c)
-                .map(|((xi, yi), _)| (xi.clone(), *yi))
-                .unzip();
-            model.fit(&cx, &cy);
+        let mut sets: Vec<(Vec<Vec<f64>>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); kmeans.k()];
+        for ((xi, yi), &l) in x.iter().zip(&y).zip(&kmeans.labels) {
+            sets[l].0.push(xi.clone());
+            sets[l].1.push(*yi);
         }
+        let models = train_cluster_models(&sets, self.config.train_threads);
         // Warm-start each cluster's accuracy record by back-testing on the
         // window itself, so the AEA gate has data from the first estimate.
         let mut records = vec![ClusterRecord::default(); kmeans.k()];
@@ -220,7 +213,12 @@ impl RuntimeEstimator {
             records[l].ea_sum += ea;
             records[l].count += 1;
         }
-        self.model = Some(ClusterModel { scaler, kmeans, models, records });
+        self.model = Some(ClusterModel {
+            scaler,
+            kmeans,
+            models,
+            records,
+        });
         self.last_train = Some(now);
         self.retrain_count += 1;
     }
@@ -236,17 +234,29 @@ impl RuntimeEstimator {
         let model_est = self.model_estimate(job);
         match (model_est, job.user_estimate) {
             (None, None) => None,
-            (None, Some(u)) => {
-                Some(Estimate { runtime: u, source: EstimateSource::User, cluster: None })
-            }
-            (Some((m, c, _)), None) => {
-                Some(Estimate { runtime: m, source: EstimateSource::Model, cluster: Some(c) })
-            }
+            (None, Some(u)) => Some(Estimate {
+                runtime: u,
+                source: EstimateSource::User,
+                cluster: None,
+            }),
+            (Some((m, c, _)), None) => Some(Estimate {
+                runtime: m,
+                source: EstimateSource::Model,
+                cluster: Some(c),
+            }),
             (Some((m, c, aea)), Some(u)) => {
                 if aea > self.config.aea_gate {
-                    Some(Estimate { runtime: m, source: EstimateSource::Model, cluster: Some(c) })
+                    Some(Estimate {
+                        runtime: m,
+                        source: EstimateSource::Model,
+                        cluster: Some(c),
+                    })
                 } else {
-                    Some(Estimate { runtime: u, source: EstimateSource::User, cluster: Some(c) })
+                    Some(Estimate {
+                        runtime: u,
+                        source: EstimateSource::User,
+                        cluster: Some(c),
+                    })
                 }
             }
         }
@@ -294,7 +304,9 @@ impl RuntimeEstimator {
     /// Per-cluster diagnostics of the current model: `(training samples,
     /// live AEA, SVR support vectors)` per cluster. Empty before training.
     pub fn cluster_diagnostics(&self) -> Vec<ClusterDiag> {
-        let Some(m) = &self.model else { return Vec::new() };
+        let Some(m) = &self.model else {
+            return Vec::new();
+        };
         let mut counts = vec![0usize; m.kmeans.k()];
         for &l in &m.kmeans.labels {
             counts[l] += 1;
@@ -308,6 +320,76 @@ impl RuntimeEstimator {
             })
             .collect()
     }
+}
+
+/// Fit one SVR per cluster training set, concurrently.
+///
+/// Clusters are uneven (fit cost is quadratic in cluster size), so the
+/// threads pull indices from a shared atomic counter instead of taking
+/// fixed chunks: whichever thread finishes a small cluster immediately
+/// picks up the next one. Each cluster's fit runs start-to-finish on one
+/// thread and `Svr::fit` draws no randomness, so the resulting models are
+/// bit-identical for every `threads` value — scheduling only decides
+/// *who* computes each model, never *what* is computed.
+fn train_cluster_models(sets: &[(Vec<Vec<f64>>, Vec<f64>)], threads: usize) -> Vec<Svr> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let template = Svr::default_rbf()
+        .with_kernel(ml::Kernel::Rbf { gamma: 30.0 })
+        .with_params(30.0, 0.05);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(sets.len())
+    .max(1);
+
+    if threads == 1 {
+        return sets
+            .iter()
+            .map(|(cx, cy)| {
+                let mut m = template.clone();
+                m.fit(cx, cy);
+                m
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Svr>> = (0..sets.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let template = &template;
+                s.spawn(move || {
+                    let mut out: Vec<(usize, Svr)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= sets.len() {
+                            break;
+                        }
+                        let mut m = template.clone();
+                        m.fit(&sets[i].0, &sets[i].1);
+                        out.push((i, m));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, m) in h.join().expect("SVR training thread panicked") {
+                slots[i] = Some(m);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.expect("every cluster trained"))
+        .collect()
 }
 
 /// Diagnostics of one cluster of the estimation model.
@@ -404,7 +486,13 @@ mod tests {
     #[test]
     fn configured_k_is_used() {
         let jobs = TraceConfig::small(900, 3).generate();
-        let est = train_on(&jobs, EstimatorConfig { k: Some(15), ..Default::default() });
+        let est = train_on(
+            &jobs,
+            EstimatorConfig {
+                k: Some(15),
+                ..Default::default()
+            },
+        );
         assert_eq!(est.current_k(), 15);
     }
 
@@ -417,7 +505,12 @@ mod tests {
         let total: usize = diags.iter().map(|d| d.training_samples).sum();
         assert_eq!(total, 700, "window not fully assigned to clusters");
         for d in &diags {
-            assert!((0.0..=1.0).contains(&d.aea), "cluster {} AEA {}", d.cluster, d.aea);
+            assert!(
+                (0.0..=1.0).contains(&d.aea),
+                "cluster {} AEA {}",
+                d.cluster,
+                d.aea
+            );
         }
         // Untrained framework has no diagnostics.
         let fresh = RuntimeEstimator::new(EstimatorConfig::default());
@@ -427,8 +520,20 @@ mod tests {
     #[test]
     fn slack_scales_the_estimate() {
         let jobs = TraceConfig::small(800, 4).generate();
-        let base = train_on(&jobs, EstimatorConfig { slack: 1.0, ..Default::default() });
-        let slacked = train_on(&jobs, EstimatorConfig { slack: 1.5, ..Default::default() });
+        let base = train_on(
+            &jobs,
+            EstimatorConfig {
+                slack: 1.0,
+                ..Default::default()
+            },
+        );
+        let slacked = train_on(
+            &jobs,
+            EstimatorConfig {
+                slack: 1.5,
+                ..Default::default()
+            },
+        );
         // Find a job the model estimates for both.
         let mut j = jobs[10].clone();
         j.user_estimate = None;
@@ -438,14 +543,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_retrain_is_bit_identical_to_serial() {
+        let jobs = TraceConfig::small(900, 12).generate();
+        let serial = train_on(
+            &jobs,
+            EstimatorConfig {
+                train_threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [2, 4, 8] {
+            let parallel = train_on(
+                &jobs,
+                EstimatorConfig {
+                    train_threads: threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial.current_k(), parallel.current_k());
+            // Every model estimate must agree to the last bit: same
+            // cluster match, same raw f64 prediction, same AEA.
+            for j in &jobs {
+                let a = serial.model_estimate(j).unwrap();
+                let b = parallel.model_estimate(j).unwrap();
+                assert_eq!(a, b, "threads={threads} diverged on job {:?}", j.id);
+            }
+            assert_eq!(
+                serial.cluster_diagnostics(),
+                parallel.cluster_diagnostics(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn aea_gate_falls_back_to_user() {
         let jobs = TraceConfig::small(800, 6).generate();
         // Impossible gate: model is never trusted when the user estimated.
-        let est = train_on(&jobs, EstimatorConfig { aea_gate: 2.0, ..Default::default() });
+        let est = train_on(
+            &jobs,
+            EstimatorConfig {
+                aea_gate: 2.0,
+                ..Default::default()
+            },
+        );
         let j = jobs.iter().find(|j| j.user_estimate.is_some()).unwrap();
         assert_eq!(est.estimate(j).unwrap().source, EstimateSource::User);
         // Gate of zero: model always trusted.
-        let est = train_on(&jobs, EstimatorConfig { aea_gate: 0.0, ..Default::default() });
+        let est = train_on(
+            &jobs,
+            EstimatorConfig {
+                aea_gate: 0.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(est.estimate(j).unwrap().source, EstimateSource::Model);
     }
 }

@@ -24,6 +24,5 @@ pub use baselines::{
 };
 pub use eval::{evaluate, ModelReport};
 pub use framework::{
-    estimation_accuracy, ClusterDiag, Estimate, EstimateSource, EstimatorConfig,
-    RuntimeEstimator,
+    estimation_accuracy, ClusterDiag, Estimate, EstimateSource, EstimatorConfig, RuntimeEstimator,
 };

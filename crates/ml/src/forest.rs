@@ -61,7 +61,11 @@ impl DecisionTree {
             return node_id;
         }
         let d = x[0].len();
-        let n_feats = if self.max_features == 0 { d } else { self.max_features.min(d) };
+        let n_feats = if self.max_features == 0 {
+            d
+        } else {
+            self.max_features.min(d)
+        };
         // Sample candidate features without replacement.
         let mut feats: Vec<usize> = (0..d).collect();
         for i in 0..n_feats {
@@ -121,7 +125,12 @@ impl DecisionTree {
         self.nodes.push(Node::Leaf { value: mean }); // placeholder
         let l = self.build(x, y, &mut left, depth + 1, rng);
         let r = self.build(x, y, &mut right, depth + 1, rng);
-        self.nodes[node_id as usize] = Node::Split { feature, threshold, left: l, right: r };
+        self.nodes[node_id as usize] = Node::Split {
+            feature,
+            threshold,
+            left: l,
+            right: r,
+        };
         node_id
     }
 }
@@ -144,8 +153,17 @@ impl Regressor for DecisionTree {
         loop {
             match &self.nodes[cur as usize] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    cur = if q[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if q[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

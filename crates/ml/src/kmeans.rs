@@ -2,7 +2,7 @@
 //! K-means++ for clustering … the classical elbow method to calculate the
 //! optimal value of K, K = 15 in our case").
 
-use crate::linalg::sq_dist;
+use crate::linalg::{dot, sq_dist, Matrix};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use simclock::rng::{stream_rng, weighted_index};
@@ -26,31 +26,87 @@ impl KMeans {
         assert!(!points.is_empty(), "cannot cluster zero points");
         let k = k.clamp(1, points.len());
         let mut rng = stream_rng(seed, 0x4B);
-        let mut centroids = plus_plus_init(points, k, &mut rng);
+        // Seeding is kept byte-identical to the original implementation:
+        // the weighted draws consume the RNG stream in a d2-dependent
+        // order, so any change here would silently change every result.
+        let seeded = plus_plus_init(points, k, &mut rng);
+        let d = points[0].len();
+
+        // Lloyd iterations over flat row-major storage with cached
+        // centroid norms: argmin over c of ‖p−c‖² is argmin of
+        // ‖c‖² − 2p·c (the ‖p‖² term is constant per point), which
+        // halves the flops of the assign step. Scores accumulate
+        // dimension-major over a transposed centroid block, so the inner
+        // loop is a contiguous axpy across all k centroids at once — no
+        // per-centroid dot products or horizontal reductions. Buffers are
+        // allocated once and reused.
+        let pm = Matrix::from_rows(points);
+        let mut cm = Matrix::from_rows(&seeded);
+        let mut c_norms = cm.row_sq_norms();
+        let mut ct = vec![0.0; d * k]; // centroids transposed: ct[di*k + ci]
+        let mut scores = vec![0.0; k];
         let mut labels = vec![0usize; points.len()];
+        let mut sums = vec![0.0; k * d];
+        let mut counts = vec![0usize; k];
         for _ in 0..max_iter {
             // Assign.
+            for ci in 0..k {
+                for (di, &v) in cm.row(ci).iter().enumerate() {
+                    ct[di * k + ci] = v;
+                }
+            }
             let mut changed = false;
-            for (i, p) in points.iter().enumerate() {
-                let nearest = nearest_centroid(p, &centroids).0;
-                if labels[i] != nearest {
-                    labels[i] = nearest;
+            for (i, p) in pm.iter_rows().enumerate() {
+                scores.copy_from_slice(&c_norms);
+                let mut di = 0usize;
+                while di + 2 <= d {
+                    // Two dimensions per pass halves the score-buffer
+                    // traffic relative to one axpy per dimension.
+                    let t0 = -2.0 * p[di];
+                    let t1 = -2.0 * p[di + 1];
+                    let c0 = &ct[di * k..(di + 1) * k];
+                    let c1 = &ct[(di + 1) * k..(di + 2) * k];
+                    for ((s, &a), &b) in scores.iter_mut().zip(c0).zip(c1) {
+                        *s += t0 * a + t1 * b;
+                    }
+                    di += 2;
+                }
+                if di < d {
+                    let t = -2.0 * p[di];
+                    for (s, &cv) in scores.iter_mut().zip(&ct[di * k..(di + 1) * k]) {
+                        *s += t * cv;
+                    }
+                }
+                let mut best = 0usize;
+                let mut best_score = scores[0];
+                for (ci, &s) in scores.iter().enumerate().skip(1) {
+                    if s < best_score {
+                        best = ci;
+                        best_score = s;
+                    }
+                }
+                if labels[i] != best {
+                    labels[i] = best;
                     changed = true;
                 }
             }
-            // Update.
-            let d = points[0].len();
-            let mut sums = vec![vec![0.0; d]; centroids.len()];
-            let mut counts = vec![0usize; centroids.len()];
-            for (p, &l) in points.iter().zip(&labels) {
+            // Update. Accumulation order matches the original row-of-rows
+            // code (points in index order), so means are bit-identical.
+            sums.fill(0.0);
+            counts.fill(0);
+            for (p, &l) in pm.iter_rows().zip(&labels) {
                 counts[l] += 1;
-                for (s, v) in sums[l].iter_mut().zip(p) {
+                for (s, v) in sums[l * d..(l + 1) * d].iter_mut().zip(p) {
                     *s += v;
                 }
             }
-            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
-                if *count > 0 {
-                    *c = sum.iter().map(|s| s / *count as f64).collect();
+            for ci in 0..k {
+                if counts[ci] > 0 {
+                    let row = cm.row_mut(ci);
+                    for (c, s) in row.iter_mut().zip(&sums[ci * d..(ci + 1) * d]) {
+                        *c = s / counts[ci] as f64;
+                    }
+                    c_norms[ci] = dot(cm.row(ci), cm.row(ci));
                 }
                 // Empty clusters keep their centroid (they may capture
                 // points in a later iteration).
@@ -59,12 +115,18 @@ impl KMeans {
                 break;
             }
         }
+        let centroids: Vec<Vec<f64>> = cm.iter_rows().map(|r| r.to_vec()).collect();
+        // Inertia uses the exact squared distance, not the norm trick.
         let inertia = points
             .iter()
             .zip(&labels)
             .map(|(p, &l)| sq_dist(p, &centroids[l]))
             .sum();
-        KMeans { centroids, inertia, labels }
+        KMeans {
+            centroids,
+            inertia,
+            labels,
+        }
     }
 
     /// Index of the centroid closest to `p`.
@@ -132,7 +194,7 @@ pub fn elbow_k(points: &[Vec<f64>], k_max: usize, seed: u64) -> usize {
     for (i, &inertia) in inertias.iter().enumerate() {
         let x = (1.0 + i as f64 - x0) / x_scale;
         let y = (inertia - y1) / y_scale; // 0 at the end, ~1 at the start
-        // Chord from (0,1) to (1,0): distance ∝ 1 - x - y (signed).
+                                          // Chord from (0,1) to (1,0): distance ∝ 1 - x - y (signed).
         let d = 1.0 - x - y;
         if d > best.1 {
             best = (i + 1, d);

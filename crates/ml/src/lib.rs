@@ -20,6 +20,7 @@ pub mod kmeans;
 pub mod linalg;
 pub mod linear;
 pub mod metrics;
+pub mod reference;
 pub mod svr;
 pub mod tobit;
 

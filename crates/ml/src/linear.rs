@@ -16,7 +16,11 @@ pub struct Ridge {
 impl Ridge {
     /// Ridge with penalty `alpha`.
     pub fn new(alpha: f64) -> Self {
-        Ridge { alpha, weights: Vec::new(), intercept: 0.0 }
+        Ridge {
+            alpha,
+            weights: Vec::new(),
+            intercept: 0.0,
+        }
     }
 
     /// Fitted coefficients (without intercept).
@@ -79,7 +83,13 @@ pub struct BayesianRidge {
 impl BayesianRidge {
     /// A model with default iteration budget.
     pub fn new() -> Self {
-        BayesianRidge { max_iter: 30, weights: Vec::new(), intercept: 0.0, alpha: 1.0, beta: 1.0 }
+        BayesianRidge {
+            max_iter: 30,
+            weights: Vec::new(),
+            intercept: 0.0,
+            alpha: 1.0,
+            beta: 1.0,
+        }
     }
 }
 
@@ -101,7 +111,9 @@ impl Regressor for BayesianRidge {
         let d = x[0].len();
         let y_mean = y.iter().sum::<f64>() / n;
         let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
-        let x_mean: Vec<f64> = (0..d).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n).collect();
+        let x_mean: Vec<f64> = (0..d)
+            .map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n)
+            .collect();
         let xc: Vec<Vec<f64>> = x
             .iter()
             .map(|r| r.iter().zip(&x_mean).map(|(v, m)| v - m).collect())
@@ -112,7 +124,9 @@ impl Regressor for BayesianRidge {
         let mut w = vec![0.0; d];
         for _ in 0..self.max_iter {
             let (a_mat, b_vec) = normal_equations(&xc, &yc, alpha / beta.max(1e-12));
-            let Some(new_w) = cholesky_solve(&a_mat, &b_vec) else { break };
+            let Some(new_w) = cholesky_solve(&a_mat, &b_vec) else {
+                break;
+            };
             w = new_w;
             // Effective number of parameters γ ≈ d·(β·s)/(α + β·s) is
             // approximated cheaply with the weight/residual balance.
@@ -125,8 +139,8 @@ impl Regressor for BayesianRidge {
             let gamma = d as f64 - alpha * d as f64 / (alpha + beta * n / d.max(1) as f64);
             let new_alpha = gamma.max(1e-3) / wtw.max(1e-12);
             let new_beta = (n - gamma).max(1e-3) / rss.max(1e-12);
-            let done = (new_alpha - alpha).abs() / alpha < 1e-4
-                && (new_beta - beta).abs() / beta < 1e-4;
+            let done =
+                (new_alpha - alpha).abs() / alpha < 1e-4 && (new_beta - beta).abs() / beta < 1e-4;
             alpha = new_alpha.clamp(1e-8, 1e8);
             beta = new_beta.clamp(1e-8, 1e8);
             if done {

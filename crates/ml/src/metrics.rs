@@ -8,7 +8,11 @@ pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Root mean squared error.
@@ -17,7 +21,12 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    (pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64)
+    (pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64)
         .sqrt()
 }
 
@@ -94,7 +103,12 @@ pub fn cross_validate<R: Regressor>(
         folds += 1;
     }
     let d = folds.max(1) as f64;
-    CvScore { mae: s_mae / d, rmse: s_rmse / d, r2: s_r2 / d, folds }
+    CvScore {
+        mae: s_mae / d,
+        rmse: s_rmse / d,
+        r2: s_r2 / d,
+        folds,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +146,10 @@ mod tests {
     fn cross_validation_recovers_linear_signal() {
         let mut rng = stream_rng(3, 0);
         let x: Vec<Vec<f64>> = (0..200).map(|_| vec![normal(&mut rng, 0.0, 1.0)]).collect();
-        let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0] + normal(&mut rng, 0.0, 0.1)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 4.0 * r[0] + normal(&mut rng, 0.0, 0.1))
+            .collect();
         let score = cross_validate(&x, &y, 5, || Ridge::new(1e-6));
         assert_eq!(score.folds, 5);
         assert!(score.r2 > 0.95, "r2 {}", score.r2);

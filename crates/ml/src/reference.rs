@@ -1,0 +1,260 @@
+//! Pre-optimization reference implementations of the kernel-method hot
+//! paths, preserved verbatim from before the flat-matrix refactor.
+//!
+//! These exist for two reasons:
+//!
+//! 1. **Equivalence testing** — property tests assert the optimized
+//!    [`crate::Svr`] and [`crate::KMeans`] stay within `1e-9` of these
+//!    on the same inputs (the flat Gram construction reorders floating
+//!    point, so bit-equality is not expected, but the algorithms are
+//!    contractions and the drift stays tiny).
+//! 2. **Benchmarking** — `perf_report` times these against the optimized
+//!    paths to quantify the speedup on the same machine and inputs.
+//!
+//! Do not "fix" or optimize this module: its value is being a faithful
+//! snapshot of the original `Vec<Vec<f64>>` algorithms.
+
+use crate::linalg::sq_dist;
+use crate::svr::Kernel;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use simclock::rng::{stream_rng, weighted_index};
+
+/// The original ε-SVR fit: `Vec<Vec<f64>>` kernel matrix, full `O(n²)`
+/// `K·β` recompute every iteration, no support-vector pruning.
+#[derive(Clone, Debug)]
+pub struct RefSvr {
+    /// Box constraint.
+    pub c: f64,
+    /// Tube width.
+    pub epsilon: f64,
+    /// Kernel (gamma ≤ 0 on RBF means auto `1/d`, as in the main model).
+    pub kernel: Kernel,
+    /// Gradient iterations.
+    pub max_iter: usize,
+    beta: Vec<f64>,
+    bias: f64,
+    x: Vec<Vec<f64>>,
+    fitted_kernel: Kernel,
+}
+
+impl RefSvr {
+    /// Mirror of `Svr::default_rbf`.
+    pub fn default_rbf() -> Self {
+        RefSvr {
+            c: 10.0,
+            epsilon: 0.1,
+            kernel: Kernel::Rbf { gamma: 0.0 },
+            max_iter: 300,
+            beta: Vec::new(),
+            bias: 0.0,
+            x: Vec::new(),
+            fitted_kernel: Kernel::Rbf { gamma: 0.0 },
+        }
+    }
+
+    fn resolve_kernel(&self, d: usize) -> Kernel {
+        match self.kernel {
+            Kernel::Rbf { gamma } if gamma <= 0.0 => Kernel::Rbf {
+                gamma: 1.0 / d.max(1) as f64,
+            },
+            k => k,
+        }
+    }
+
+    /// The original fit loop, kept structurally identical to the seed
+    /// implementation (row-of-rows kernel matrix, dense recompute).
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        if n == 0 {
+            self.bias = 0.0;
+            self.x.clear();
+            self.beta.clear();
+            return;
+        }
+        let d = x[0].len();
+        let kernel = self.resolve_kernel(d);
+        self.fitted_kernel = kernel;
+
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel_eval(kernel, &x[i], &x[j]);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+        }
+        let l = k
+            .iter()
+            .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(1e-9, f64::max);
+        let eta = 1.0 / l;
+
+        let mut beta = vec![0.0; n];
+        let mut kb = vec![0.0; n];
+        for _ in 0..self.max_iter {
+            let mut new_beta: Vec<f64> = (0..n)
+                .map(|i| {
+                    let z = beta[i] + eta * (y[i] - kb[i]);
+                    soft_threshold(z, eta * self.epsilon)
+                })
+                .collect();
+            for _ in 0..4 {
+                let mean: f64 = new_beta.iter().sum::<f64>() / n as f64;
+                for b in &mut new_beta {
+                    *b = (*b - mean).clamp(-self.c, self.c);
+                }
+            }
+            let delta: f64 = beta.iter().zip(&new_beta).map(|(a, b)| (a - b).abs()).sum();
+            beta = new_beta;
+            for i in 0..n {
+                kb[i] = crate::linalg::dot(&k[i], &beta);
+            }
+            if delta < 1e-8 * n as f64 {
+                break;
+            }
+        }
+
+        let mut b_sum = 0.0;
+        let mut b_cnt = 0usize;
+        for i in 0..n {
+            if beta[i].abs() > 1e-7 && beta[i].abs() < self.c - 1e-7 {
+                b_sum += y[i] - kb[i] - self.epsilon * beta[i].signum();
+                b_cnt += 1;
+            }
+        }
+        self.bias = if b_cnt > 0 {
+            b_sum / b_cnt as f64
+        } else {
+            (0..n).map(|i| y[i] - kb[i]).sum::<f64>() / n as f64
+        };
+        self.beta = beta;
+        self.x = x.to_vec();
+    }
+
+    /// The original predict: walks every training point, skipping
+    /// near-zero coefficients at query time.
+    pub fn predict(&self, q: &[f64]) -> f64 {
+        let mut acc = self.bias;
+        for (xi, bi) in self.x.iter().zip(&self.beta) {
+            if bi.abs() > 1e-12 {
+                acc += bi * kernel_eval(self.fitted_kernel, xi, q);
+            }
+        }
+        acc
+    }
+
+    /// Fitted bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+fn kernel_eval(k: Kernel, a: &[f64], b: &[f64]) -> f64 {
+    match k {
+        Kernel::Rbf { gamma } => (-gamma * sq_dist(a, b)).exp(),
+        Kernel::Linear => crate::linalg::dot(a, b),
+    }
+}
+
+fn soft_threshold(z: f64, t: f64) -> f64 {
+    if z > t {
+        z - t
+    } else if z < -t {
+        z + t
+    } else {
+        0.0
+    }
+}
+
+/// The original K-means fit: per-iteration `sq_dist` against row-of-rows
+/// centroids, no cached norms. Seeding is identical to the optimized
+/// model, so for the same seed both consume the same RNG stream.
+#[derive(Clone, Debug)]
+pub struct RefKMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of every point to its centroid.
+    pub inertia: f64,
+    /// Assignment of each training point.
+    pub labels: Vec<usize>,
+}
+
+impl RefKMeans {
+    /// Mirror of the seed `KMeans::fit`.
+    pub fn fit(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> RefKMeans {
+        assert!(!points.is_empty(), "cannot cluster zero points");
+        let k = k.clamp(1, points.len());
+        let mut rng = stream_rng(seed, 0x4B);
+        let mut centroids = plus_plus_init(points, k, &mut rng);
+        let mut labels = vec![0usize; points.len()];
+        for _ in 0..max_iter {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let nearest = nearest_centroid(p, &centroids).0;
+                if labels[i] != nearest {
+                    labels[i] = nearest;
+                    changed = true;
+                }
+            }
+            let d = points[0].len();
+            let mut sums = vec![vec![0.0; d]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &l) in points.iter().zip(&labels) {
+                counts[l] += 1;
+                for (s, v) in sums[l].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    *c = sum.iter().map(|s| s / *count as f64).collect();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let inertia = points
+            .iter()
+            .zip(&labels)
+            .map(|(p, &l)| sq_dist(p, &centroids[l]))
+            .sum();
+        RefKMeans {
+            centroids,
+            inertia,
+            labels,
+        }
+    }
+}
+
+fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.random_range(0..points.len())
+        } else {
+            weighted_index(rng, &d2)
+        };
+        centroids.push(points[idx].clone());
+        for (d, p) in d2.iter_mut().zip(points) {
+            *d = d.min(sq_dist(p, centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}

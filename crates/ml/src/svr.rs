@@ -14,7 +14,9 @@
 //! working-set machinery.
 
 use crate::features::Regressor;
-use crate::linalg::sq_dist;
+use crate::linalg::{
+    axpy, linear_gram, rbf_gram, sq_dist, sum_abs_unrolled, sum_unrolled, sym_matvec, Matrix,
+};
 
 /// Kernel choice for [`Svr`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -38,19 +40,30 @@ impl Kernel {
 }
 
 /// ε-SVR model.
+///
+/// The fitted state is pruned: only support vectors (non-zero dual
+/// coefficients) are stored, so `predict` is `O(#SV · d)` rather than
+/// `O(n · d)`.
 #[derive(Clone, Debug)]
 pub struct Svr {
     /// Box constraint (regularization strength).
     pub c: f64,
     /// Width of the ε-insensitive tube.
     pub epsilon: f64,
-    /// Kernel.
+    /// Kernel as configured (`gamma ≤ 0` on RBF means auto `1/d`).
+    /// Never mutated by `fit`; the resolved kernel lives in
+    /// `fitted_kernel`.
     pub kernel: Kernel,
     /// Gradient iterations.
     pub max_iter: usize,
+    /// Dual coefficients of the retained support vectors only.
     beta: Vec<f64>,
     bias: f64,
-    x: Vec<Vec<f64>>,
+    /// Support vectors, flat row-major.
+    x: Matrix,
+    /// Kernel with auto-gamma resolved against the training dimension.
+    fitted_kernel: Kernel,
+    fitted: bool,
 }
 
 impl Svr {
@@ -64,7 +77,9 @@ impl Svr {
             max_iter: 300,
             beta: Vec::new(),
             bias: 0.0,
-            x: Vec::new(),
+            x: Matrix::zeros(0, 0),
+            fitted_kernel: Kernel::Rbf { gamma: 0.0 },
+            fitted: false,
         }
     }
 
@@ -81,9 +96,11 @@ impl Svr {
         self
     }
 
-    /// Whether the model has been fitted.
+    /// Whether the model has been fitted. Tracked explicitly: a pruned
+    /// model may legitimately end up with zero support vectors and a zero
+    /// bias (e.g. a constant-zero target) and must still report fitted.
     pub fn is_fitted(&self) -> bool {
-        !self.x.is_empty() || self.bias != 0.0
+        self.fitted
     }
 
     /// Number of support vectors (non-zero dual coefficients).
@@ -91,69 +108,101 @@ impl Svr {
         self.beta.iter().filter(|b| b.abs() > 1e-9).count()
     }
 
+    /// Fitted bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
     fn resolve_kernel(&self, d: usize) -> Kernel {
         match self.kernel {
-            Kernel::Rbf { gamma } if gamma <= 0.0 => {
-                Kernel::Rbf { gamma: 1.0 / d.max(1) as f64 }
-            }
+            Kernel::Rbf { gamma } if gamma <= 0.0 => Kernel::Rbf {
+                gamma: 1.0 / d.max(1) as f64,
+            },
             k => k,
         }
     }
 }
 
+/// Below this magnitude a dual coefficient is treated as zero and its
+/// training point dropped from the fitted model.
+const PRUNE_TOL: f64 = 1e-12;
+
+/// Incremental K·β updates are exactly re-derived from β this often, so
+/// axpy rounding cannot accumulate across hundreds of iterations.
+const KB_REFRESH_EVERY: usize = 64;
+
 impl Regressor for Svr {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
         assert_eq!(x.len(), y.len());
         let n = x.len();
+        self.fitted = true;
         if n == 0 {
             self.bias = 0.0;
-            self.x.clear();
+            self.x = Matrix::zeros(0, 0);
             self.beta.clear();
             return;
         }
         let d = x[0].len();
         let kernel = self.resolve_kernel(d);
-        self.kernel = kernel;
+        self.fitted_kernel = kernel;
 
-        // Precompute the kernel matrix.
-        let mut k = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..=i {
-                let v = kernel.eval(&x[i], &x[j]);
-                k[i][j] = v;
-                k[j][i] = v;
-            }
-        }
+        // Flat Gram matrix; RBF entries come from precomputed squared
+        // norms instead of n²/2 explicit distance loops.
+        let xm = Matrix::from_rows(x);
+        let k = match kernel {
+            Kernel::Rbf { gamma } => rbf_gram(&xm, gamma),
+            Kernel::Linear => linear_gram(&xm),
+        };
         // Lipschitz bound on the gradient of the smooth part: ‖K‖∞.
-        let l = k
-            .iter()
-            .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
-            .fold(1e-9, f64::max);
+        let l = k.iter_rows().map(sum_abs_unrolled).fold(1e-9, f64::max);
         let eta = 1.0 / l;
 
         let mut beta = vec![0.0; n];
-        let mut kb = vec![0.0; n]; // K·β, maintained incrementally per sweep
-        for _ in 0..self.max_iter {
+        let mut new_beta = vec![0.0; n];
+        let mut kb = vec![0.0; n]; // K·β, maintained incrementally
+        for it in 0..self.max_iter {
             // Gradient step on the smooth part + soft threshold for ε‖β‖₁.
-            let mut new_beta: Vec<f64> = (0..n)
-                .map(|i| {
-                    let z = beta[i] + eta * (y[i] - kb[i]);
-                    soft_threshold(z, eta * self.epsilon)
-                })
-                .collect();
+            for i in 0..n {
+                let z = beta[i] + eta * (y[i] - kb[i]);
+                new_beta[i] = soft_threshold(z, eta * self.epsilon);
+            }
             // Project onto {Σβ = 0} ∩ box by a few alternating rounds.
+            // (The unrolled sum reassociates the mean vs the reference —
+            // covered by the same 1e-9 drift budget as the dot products.)
             for _ in 0..4 {
-                let mean: f64 = new_beta.iter().sum::<f64>() / n as f64;
+                let mean = sum_unrolled(&new_beta) / n as f64;
                 for b in &mut new_beta {
                     *b = (*b - mean).clamp(-self.c, self.c);
                 }
             }
-            let delta: f64 =
-                beta.iter().zip(&new_beta).map(|(a, b)| (a - b).abs()).sum();
-            beta = new_beta;
-            // Recompute K·β (n ≤ a few hundred, so O(n²) per iteration).
-            for i in 0..n {
-                kb[i] = crate::linalg::dot(&k[i], &beta);
+            // Which coefficients actually moved? Saturated (±C) and
+            // inactive components typically reproject to exactly their
+            // old value, so late iterations move only the active set.
+            // Count without branching (zero deltas add exactly 0.0, so
+            // `delta` matches a nonzero-only accumulation bit for bit).
+            let mut delta = 0.0;
+            let mut moved = 0usize;
+            for (nb, ob) in new_beta.iter().zip(&beta) {
+                let dj = nb - ob;
+                delta += dj.abs();
+                moved += (dj != 0.0) as usize;
+            }
+            let refresh = (it + 1) % KB_REFRESH_EVERY == 0;
+            if !refresh && moved * 2 < n {
+                // Sparse path: kb += Σ Δβⱼ · K[:,j] (= row j by symmetry),
+                // O(#moved · n) instead of O(n²).
+                for j in 0..n {
+                    let dj = new_beta[j] - beta[j];
+                    if dj != 0.0 {
+                        axpy(dj, k.row(j), &mut kb);
+                    }
+                }
+                beta.copy_from_slice(&new_beta);
+            } else {
+                // Dense (or periodic exact-refresh) path: recompute K·β
+                // from scratch via the symmetric half-traffic product.
+                beta.copy_from_slice(&new_beta);
+                sym_matvec(&k, &beta, &mut kb);
             }
             if delta < 1e-8 * n as f64 {
                 break;
@@ -174,16 +223,22 @@ impl Regressor for Svr {
         } else {
             (0..n).map(|i| y[i] - kb[i]).sum::<f64>() / n as f64
         };
-        self.beta = beta;
-        self.x = x.to_vec();
+
+        // Prune zero coefficients now so predict never revisits them.
+        let mut sv = xm;
+        sv.retain_rows(|i| beta[i].abs() > PRUNE_TOL);
+        self.beta = beta
+            .iter()
+            .copied()
+            .filter(|b| b.abs() > PRUNE_TOL)
+            .collect();
+        self.x = sv;
     }
 
     fn predict(&self, q: &[f64]) -> f64 {
         let mut acc = self.bias;
-        for (xi, bi) in self.x.iter().zip(&self.beta) {
-            if bi.abs() > 1e-12 {
-                acc += bi * self.kernel.eval(xi, q);
-            }
+        for (xi, bi) in self.x.iter_rows().zip(&self.beta) {
+            acc += bi * self.fitted_kernel.eval(xi, q);
         }
         acc
     }
@@ -193,14 +248,12 @@ impl Regressor for Svr {
     }
 }
 
+/// Soft threshold, branchless so the gradient pass auto-vectorizes:
+/// `(|z| − t)₊` with `z`'s sign restored is bit-identical to the branchy
+/// three-case form (`|z|−t` equals `z−t` or `−(z+t)` exactly, and IEEE
+/// round-to-nearest commutes with negation).
 fn soft_threshold(z: f64, t: f64) -> f64 {
-    if z > t {
-        z - t
-    } else if z < -t {
-        z + t
-    } else {
-        0.0
-    }
+    (z.abs() - t).max(0.0).copysign(z)
 }
 
 #[cfg(test)]
@@ -272,7 +325,10 @@ mod tests {
     fn linear_kernel_works() {
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 10.0, 1.0]).collect();
         let y: Vec<f64> = x.iter().map(|r| 1.5 * r[0] - 0.7).collect();
-        let mut m = Svr { kernel: Kernel::Linear, ..Svr::default_rbf() };
+        let mut m = Svr {
+            kernel: Kernel::Linear,
+            ..Svr::default_rbf()
+        };
         m.fit(&x, &y);
         assert!((m.predict(&[2.0, 1.0]) - 2.3).abs() < 0.3);
     }

@@ -59,7 +59,13 @@ pub struct Tobit {
 impl Tobit {
     /// Default configuration.
     pub fn new() -> Self {
-        Tobit { max_iter: 400, lr: 0.05, weights: Vec::new(), intercept: 0.0, sigma: 1.0 }
+        Tobit {
+            max_iter: 400,
+            lr: 0.05,
+            weights: Vec::new(),
+            intercept: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Fit to censored data.
@@ -134,7 +140,11 @@ impl Regressor for Tobit {
         let data: Vec<CensoredSample> = x
             .iter()
             .zip(y)
-            .map(|(x, &y)| CensoredSample { x: x.clone(), y, censored: false })
+            .map(|(x, &y)| CensoredSample {
+                x: x.clone(),
+                y,
+                censored: false,
+            })
             .collect();
         self.fit_censored(&data);
     }
@@ -168,10 +178,17 @@ mod tests {
     fn uncensored_fit_recovers_line() {
         let mut rng = stream_rng(1, 0);
         let x: Vec<Vec<f64>> = (0..300).map(|_| vec![normal(&mut rng, 0.0, 1.0)]).collect();
-        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0 + normal(&mut rng, 0.0, 0.2)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 2.0 * r[0] + 1.0 + normal(&mut rng, 0.0, 0.2))
+            .collect();
         let mut m = Tobit::new();
         m.fit(&x, &y);
-        assert!((m.predict(&[1.0]) - 3.0).abs() < 0.2, "{}", m.predict(&[1.0]));
+        assert!(
+            (m.predict(&[1.0]) - 3.0).abs() < 0.2,
+            "{}",
+            m.predict(&[1.0])
+        );
         assert!((m.predict(&[0.0]) - 1.0).abs() < 0.2);
     }
 
@@ -185,13 +202,16 @@ mod tests {
             let x = normal(&mut rng, 0.0, 1.0);
             let y = 2.0 * x + 1.0 + normal(&mut rng, 0.0, 0.3);
             let (obs, censored) = if y > 2.0 { (2.0, true) } else { (y, false) };
-            data.push(CensoredSample { x: vec![x], y: obs, censored });
+            data.push(CensoredSample {
+                x: vec![x],
+                y: obs,
+                censored,
+            });
         }
         let mut aware = Tobit::new();
         aware.fit_censored(&data);
         let mut naive = Tobit::new();
-        let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) =
-            data.iter().map(|s| (s.x.clone(), s.y)).unzip();
+        let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = data.iter().map(|s| (s.x.clone(), s.y)).unzip();
         naive.fit(&xs, &ys);
         // At x = 1.5 the truth is 4.0; the naive fit is dragged down by the
         // clipped observations, the censoring-aware fit much less so.
@@ -208,7 +228,10 @@ mod tests {
     fn sigma_is_learned() {
         let mut rng = stream_rng(3, 0);
         let x: Vec<Vec<f64>> = (0..500).map(|_| vec![normal(&mut rng, 0.0, 1.0)]).collect();
-        let y: Vec<f64> = x.iter().map(|r| r[0] + normal(&mut rng, 0.0, 0.5)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| r[0] + normal(&mut rng, 0.0, 0.5))
+            .collect();
         let mut m = Tobit::new();
         m.fit(&x, &y);
         assert!((m.sigma - 0.5).abs() < 0.15, "sigma {}", m.sigma);

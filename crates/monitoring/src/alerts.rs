@@ -35,7 +35,11 @@ pub struct AlertBus {
 impl AlertBus {
     /// A bus over the given hierarchy with the given alert time-to-live.
     pub fn new(hierarchy: UnitHierarchy, ttl: simclock::SimSpan) -> Self {
-        AlertBus { hierarchy, ttl, alerts: Vec::new() }
+        AlertBus {
+            hierarchy,
+            ttl,
+            alerts: Vec::new(),
+        }
     }
 
     /// Ingest a batch of sensor readings, raising alerts for any that

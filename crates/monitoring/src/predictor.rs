@@ -160,14 +160,17 @@ impl MonitorPredictor {
         // Cap the number of catch-up scans so a long idle gap doesn't
         // degenerate into thousands of scans: beyond the alert TTL only the
         // most recent scans matter.
-        let earliest_useful = SimTime(now.as_micros().saturating_sub(
-            self.scan_interval.as_micros() * 4 + self.bus_ttl().as_micros(),
-        ));
+        let earliest_useful = SimTime(
+            now.as_micros()
+                .saturating_sub(self.scan_interval.as_micros() * 4 + self.bus_ttl().as_micros()),
+        );
         if next < earliest_useful {
             next = earliest_useful;
         }
         while next <= now {
-            let readings = self.sensors.scan(self.n_nodes, next, &self.faults, &mut self.rng);
+            let readings = self
+                .sensors
+                .scan(self.n_nodes, next, &self.faults, &mut self.rng);
             self.bus.ingest(&readings);
             self.last_scan = Some(next);
             next += self.scan_interval;
@@ -208,8 +211,16 @@ pub struct PredictionQuality {
 pub fn score(predicted: &HashSet<u32>, actual: &HashSet<u32>) -> PredictionQuality {
     let hit = predicted.intersection(actual).count() as f64;
     PredictionQuality {
-        precision: if predicted.is_empty() { 1.0 } else { hit / predicted.len() as f64 },
-        recall: if actual.is_empty() { 1.0 } else { hit / actual.len() as f64 },
+        precision: if predicted.is_empty() {
+            1.0
+        } else {
+            hit / predicted.len() as f64
+        },
+        recall: if actual.is_empty() {
+            1.0
+        } else {
+            hit / actual.len() as f64
+        },
     }
 }
 
@@ -239,8 +250,14 @@ mod tests {
         let plan = plan_with_outage(4, 100, 200, 10);
         let mut o = OraclePredictor::new(plan, SimSpan::from_secs(60), 1);
         assert!(o.suspects(SimTime::from_secs(10)).is_empty(), "too early");
-        assert!(o.suspects(SimTime::from_secs(50)).contains(&4), "within lead");
-        assert!(o.suspects(SimTime::from_secs(150)).contains(&4), "during outage");
+        assert!(
+            o.suspects(SimTime::from_secs(50)).contains(&4),
+            "within lead"
+        );
+        assert!(
+            o.suspects(SimTime::from_secs(150)).contains(&4),
+            "during outage"
+        );
         assert!(o.suspects(SimTime::from_secs(250)).is_empty(), "recovered");
     }
 
@@ -254,8 +271,7 @@ mod tests {
     #[test]
     fn oracle_false_positives_added() {
         let plan = FaultPlan::none(100);
-        let mut o =
-            OraclePredictor::new(plan, SimSpan::from_secs(60), 1).with_false_positives(5);
+        let mut o = OraclePredictor::new(plan, SimSpan::from_secs(60), 1).with_false_positives(5);
         let s = o.suspects(SimTime::from_secs(5));
         assert!(!s.is_empty() && s.len() <= 5);
     }
@@ -265,7 +281,11 @@ mod tests {
         let plan = plan_with_outage(7, 300, 900, 32);
         let mut m = MonitorPredictor::new(
             UnitHierarchy::tianhe(32),
-            SensorModel { detection_prob: 1.0, false_alarm_prob: 0.0, ..Default::default() },
+            SensorModel {
+                detection_prob: 1.0,
+                false_alarm_prob: 0.0,
+                ..Default::default()
+            },
             plan,
             SimSpan::from_secs(30),
             SimSpan::from_secs(300),

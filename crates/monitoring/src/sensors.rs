@@ -140,7 +140,12 @@ impl SensorModel {
                 } else {
                     normal(rng, nominal, sigma)
                 };
-                out.push(SensorReading { node, kind, at: now, value });
+                out.push(SensorReading {
+                    node,
+                    kind,
+                    at: now,
+                    value,
+                });
             }
         }
         out
@@ -155,7 +160,10 @@ mod tests {
 
     #[test]
     fn healthy_nodes_rarely_alarm() {
-        let model = SensorModel { false_alarm_prob: 0.0, ..SensorModel::default() };
+        let model = SensorModel {
+            false_alarm_prob: 0.0,
+            ..SensorModel::default()
+        };
         let faults = FaultPlan::none(50);
         let mut rng = stream_rng(1, 0);
         let readings = model.scan(50, SimTime::from_secs(10), &faults, &mut rng);

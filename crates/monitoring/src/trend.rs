@@ -96,12 +96,16 @@ impl TrendPredictor {
             next = earliest;
         }
         while next <= now {
-            let readings = self.sensors.scan(self.n_nodes, next, &self.faults, &mut self.rng);
+            let readings = self
+                .sensors
+                .scan(self.n_nodes, next, &self.faults, &mut self.rng);
             for r in readings {
                 let stream = self
                     .history
                     .entry((r.node.0, r.kind))
-                    .or_insert_with(|| Stream { samples: VecDeque::new() });
+                    .or_insert_with(|| Stream {
+                        samples: VecDeque::new(),
+                    });
                 stream.samples.push_back((next.as_secs_f64(), r.value));
                 if stream.samples.len() > self.window {
                     stream.samples.pop_front();
@@ -123,7 +127,9 @@ impl FailurePredictor for TrendPredictor {
         }
         let horizon = self.horizon.as_secs_f64();
         for ((node, kind), stream) in &self.history {
-            let Some(&(t_last, v_last)) = stream.samples.back() else { continue };
+            let Some(&(t_last, v_last)) = stream.samples.back() else {
+                continue;
+            };
             let (_, threshold) = kind.nominal_and_threshold();
             if v_last > threshold {
                 out.insert(*node);
@@ -177,10 +183,8 @@ mod tests {
             detection_prob: 1.0,
             false_alarm_prob: 0.0,
             lead: SimSpan::from_secs(200),
-            ..Default::default()
         };
-        let mut p =
-            TrendPredictor::new(8, sensors, faults, SimSpan::from_secs(30), 5);
+        let mut p = TrendPredictor::new(8, sensors, faults, SimSpan::from_secs(30), 5);
         let s = p.suspects(SimTime::from_secs(450));
         assert!(s.contains(&3), "suspects at t=450: {s:?}");
     }
@@ -211,13 +215,8 @@ mod tests {
                 up_at: SimTime::from_secs(1000),
             }],
         );
-        let mut p = TrendPredictor::new(
-            4,
-            SensorModel::default(),
-            faults,
-            SimSpan::from_secs(60),
-            7,
-        );
+        let mut p =
+            TrendPredictor::new(4, SensorModel::default(), faults, SimSpan::from_secs(60), 7);
         assert!(p.suspects(SimTime::from_secs(500)).contains(&1));
     }
 }

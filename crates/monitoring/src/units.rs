@@ -30,7 +30,11 @@ impl UnitHierarchy {
     /// carry a handful of nodes and chassis a few dozen boards.
     pub fn new(nodes: u32, nodes_per_board: u32, boards_per_chassis: u32) -> Self {
         assert!(nodes_per_board >= 1 && boards_per_chassis >= 1);
-        UnitHierarchy { nodes, nodes_per_board, boards_per_chassis }
+        UnitHierarchy {
+            nodes,
+            nodes_per_board,
+            boards_per_chassis,
+        }
     }
 
     /// The Tianhe-like default: 4 nodes per board, 16 boards per chassis.
@@ -60,7 +64,8 @@ impl UnitHierarchy {
 
     /// Number of CMUs in the system.
     pub fn cmu_count(&self) -> u32 {
-        self.nodes.div_ceil(self.nodes_per_board * self.boards_per_chassis)
+        self.nodes
+            .div_ceil(self.nodes_per_board * self.boards_per_chassis)
     }
 
     /// All nodes on the same board as `node` (including itself).

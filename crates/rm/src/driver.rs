@@ -69,9 +69,13 @@ pub fn build_cluster(
     let slaves: Vec<u32> = (1..n as u32).collect();
     let heartbeat = match profile.heartbeat {
         HeartbeatMode::MasterPolls { .. } => SlaveHeartbeat::None,
-        HeartbeatMode::SlavePush { interval, synchronized } => {
-            SlaveHeartbeat::Push { interval, synchronized }
-        }
+        HeartbeatMode::SlavePush {
+            interval,
+            synchronized,
+        } => SlaveHeartbeat::Push {
+            interval,
+            synchronized,
+        },
     };
     let slave_cfg = SlaveConfig {
         master: NodeId::MASTER,
@@ -92,7 +96,9 @@ pub fn build_cluster(
             until,
         });
     }
-    ClusterHarness { sim: SimCluster::new(actors, config) }
+    ClusterHarness {
+        sim: SimCluster::new(actors, config),
+    }
 }
 
 /// Submit a job to the master at `at`.
@@ -107,7 +113,11 @@ pub fn inject_job(
         at,
         NodeId::MASTER,
         NodeId::MASTER,
-        RmMsg::SubmitJob { job, nodes: NodeSlice::new(nodes), runtime_us: runtime.as_micros() },
+        RmMsg::SubmitJob {
+            job,
+            nodes: NodeSlice::new(nodes),
+            runtime_us: runtime.as_micros(),
+        },
     );
 }
 
@@ -169,12 +179,7 @@ mod tests {
 
     #[test]
     fn sampling_records_master_series() {
-        let mut h = build_cluster(
-            RmProfile::lsf(),
-            33,
-            5,
-            Some(SimTime::from_secs(60)),
-        );
+        let mut h = build_cluster(RmProfile::lsf(), 33, 5, Some(SimTime::from_secs(60)));
         h.sim.run_until(SimTime::from_secs(120));
         let series = h.sim.series(NodeId::MASTER).expect("master tracked");
         assert_eq!(series.samples.len(), 60);

@@ -119,7 +119,12 @@ impl CentralizedMaster {
                     }
                     ctx.send(
                         NodeId(head),
-                        RmMsg::JobCtl { job, kind, list: state.nodes.slice(i, i), width: 2 },
+                        RmMsg::JobCtl {
+                            job,
+                            kind,
+                            list: state.nodes.slice(i, i),
+                            width: 2,
+                        },
                     );
                 }
             }
@@ -155,7 +160,9 @@ impl CentralizedMaster {
     }
 
     fn seq_step(&mut self, ctx: &mut dyn Context<RmMsg>, job: u64, kind: CtlKind) {
-        let Some(state) = self.jobs.get_mut(&job) else { return };
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return;
+        };
         if state.seq_next >= state.nodes.len() {
             return;
         }
@@ -166,7 +173,15 @@ impl CentralizedMaster {
             ctx.open_socket_for(NodeId(head), self.profile.conn_lifetime);
         }
         let i = state.seq_next - 1;
-        ctx.send(NodeId(head), RmMsg::JobCtl { job, kind, list: state.nodes.slice(i, i), width: 2 });
+        ctx.send(
+            NodeId(head),
+            RmMsg::JobCtl {
+                job,
+                kind,
+                list: state.nodes.slice(i, i),
+                width: 2,
+            },
+        );
         if state.seq_next < state.nodes.len() {
             let term_bit = (matches!(kind, CtlKind::Terminate) as u64) << 63;
             ctx.set_timer(self.profile.seq_gap, (job * 4 + JOB_SEQ_STEP) | term_bit);
@@ -205,12 +220,10 @@ impl CentralizedMaster {
 impl Actor<RmMsg> for CentralizedMaster {
     fn on_start(&mut self, ctx: &mut dyn Context<RmMsg>) {
         ctx.alloc_virt(
-            (self.profile.base_virt + self.slaves.len() as u64 * self.profile.per_node_virt)
-                as i64,
+            (self.profile.base_virt + self.slaves.len() as u64 * self.profile.per_node_virt) as i64,
         );
         ctx.alloc_real(
-            (self.profile.base_real + self.slaves.len() as u64 * self.profile.per_node_real)
-                as i64,
+            (self.profile.base_real + self.slaves.len() as u64 * self.profile.per_node_real) as i64,
         );
         if self.profile.persistent_connections {
             for &s in &self.slaves {
@@ -224,7 +237,11 @@ impl Actor<RmMsg> for CentralizedMaster {
 
     fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, _from: NodeId, msg: RmMsg) {
         match msg {
-            RmMsg::SubmitJob { job, nodes, runtime_us } => {
+            RmMsg::SubmitJob {
+                job,
+                nodes,
+                runtime_us,
+            } => {
                 Self::track_work(&mut self.busy_until, ctx, self.profile.sched_cpu);
                 ctx.alloc_virt(self.profile.per_job_virt as i64);
                 ctx.alloc_real(self.profile.per_job_real as i64);
@@ -243,9 +260,15 @@ impl Actor<RmMsg> for CentralizedMaster {
                 );
                 self.begin_ctl(ctx, job, CtlKind::Launch);
             }
-            RmMsg::CtlAck { job, kind, count: _ } => {
+            RmMsg::CtlAck {
+                job,
+                kind,
+                count: _,
+            } => {
                 Self::track_work(&mut self.busy_until, ctx, self.profile.msg_cpu);
-                let Some(state) = self.jobs.get_mut(&job) else { return };
+                let Some(state) = self.jobs.get_mut(&job) else {
+                    return;
+                };
                 let expected_kind = match state.phase {
                     Phase::Launching => CtlKind::Launch,
                     Phase::Terminating => CtlKind::Terminate,
@@ -335,7 +358,11 @@ impl Actor<RmMsg> for CentralizedMaster {
                 }
             }
             JOB_SEQ_STEP => {
-                let kind = if seq_term { CtlKind::Terminate } else { CtlKind::Launch };
+                let kind = if seq_term {
+                    CtlKind::Terminate
+                } else {
+                    CtlKind::Launch
+                };
                 self.seq_step(ctx, job, kind);
             }
             QUERY_REPLY => {
@@ -368,7 +395,12 @@ mod tests {
         );
         h.sim.run_until(SimTime::from_secs(300));
         let master = h.master_actor();
-        assert_eq!(master.records.len(), 1, "{} job did not finish", master.profile().name);
+        assert_eq!(
+            master.records.len(),
+            1,
+            "{} job did not finish",
+            master.profile().name
+        );
         let r = master.records[0];
         (r.occupation(), r.launch_done - r.submitted)
     }
@@ -386,7 +418,10 @@ mod tests {
         let (small, _) = run_one_job(RmProfile::torque(), 257, 32);
         let (big, _) = run_one_job(RmProfile::torque(), 257, 256);
         // 8 ms per node, twice (launch + terminate): 256 nodes ≈ +4 s.
-        assert!(big > small + SimSpan::from_secs(2), "small {small} big {big}");
+        assert!(
+            big > small + SimSpan::from_secs(2),
+            "small {small} big {big}"
+        );
     }
 
     #[test]
@@ -397,7 +432,13 @@ mod tests {
         let mut h = build_cluster(profile, 65, 3, None);
         h.sim.run_until(SimTime::from_millis(10));
         let before = h.sim.meter(NodeId::MASTER).virt_mem();
-        inject_job(&mut h, SimTime::from_millis(20), 1, (1..=64).collect(), SimSpan::from_secs(5));
+        inject_job(
+            &mut h,
+            SimTime::from_millis(20),
+            1,
+            (1..=64).collect(),
+            SimSpan::from_secs(5),
+        );
         h.sim.run_until(SimTime::from_secs(2));
         let during = h.sim.meter(NodeId::MASTER).virt_mem();
         assert_eq!(during, before + per_job);
@@ -409,7 +450,13 @@ mod tests {
     #[test]
     fn cancellation_reclaims_resources_early() {
         let mut h = build_cluster(RmProfile::slurm(), 65, 3, None);
-        inject_job(&mut h, SimTime::from_secs(1), 1, (1..=64).collect(), SimSpan::from_secs(600));
+        inject_job(
+            &mut h,
+            SimTime::from_secs(1),
+            1,
+            (1..=64).collect(),
+            SimSpan::from_secs(600),
+        );
         h.sim.inject(
             SimTime::from_secs(60),
             NodeId(1),
@@ -417,7 +464,12 @@ mod tests {
             RmMsg::CancelJob { job: 1 },
         );
         h.sim.run_until(SimTime::from_secs(300));
-        let rec = h.master_actor().records.first().copied().expect("job cleaned up");
+        let rec = h
+            .master_actor()
+            .records
+            .first()
+            .copied()
+            .expect("job cleaned up");
         let occ = rec.occupation().as_secs_f64();
         assert!((59.0..80.0).contains(&occ), "occupation {occ}s");
     }

@@ -146,7 +146,9 @@ impl RmProfile {
     pub fn sge() -> Self {
         RmProfile {
             name: "SGE",
-            heartbeat: HeartbeatMode::MasterPolls { interval: SimSpan::from_secs(20) },
+            heartbeat: HeartbeatMode::MasterPolls {
+                interval: SimSpan::from_secs(20),
+            },
             persistent_connections: true,
             fanout: Fanout::Sequential,
             msg_cpu: SimSpan::from_micros(900),
@@ -168,7 +170,9 @@ impl RmProfile {
     pub fn torque() -> Self {
         RmProfile {
             name: "Torque",
-            heartbeat: HeartbeatMode::MasterPolls { interval: SimSpan::from_secs(15) },
+            heartbeat: HeartbeatMode::MasterPolls {
+                interval: SimSpan::from_secs(15),
+            },
             persistent_connections: false,
             fanout: Fanout::Sequential,
             msg_cpu: SimSpan::from_micros(1100),
@@ -191,7 +195,9 @@ impl RmProfile {
     pub fn openpbs() -> Self {
         RmProfile {
             name: "OpenPBS",
-            heartbeat: HeartbeatMode::MasterPolls { interval: SimSpan::from_secs(20) },
+            heartbeat: HeartbeatMode::MasterPolls {
+                interval: SimSpan::from_secs(20),
+            },
             persistent_connections: true,
             fanout: Fanout::Sequential,
             msg_cpu: SimSpan::from_micros(700),
@@ -243,9 +249,21 @@ mod tests {
 
     #[test]
     fn pollers_poll_and_pushers_push() {
-        assert!(matches!(RmProfile::sge().heartbeat, HeartbeatMode::MasterPolls { .. }));
-        assert!(matches!(RmProfile::openpbs().heartbeat, HeartbeatMode::MasterPolls { .. }));
-        assert!(matches!(RmProfile::slurm().heartbeat, HeartbeatMode::SlavePush { .. }));
-        assert!(matches!(RmProfile::lsf().heartbeat, HeartbeatMode::SlavePush { .. }));
+        assert!(matches!(
+            RmProfile::sge().heartbeat,
+            HeartbeatMode::MasterPolls { .. }
+        ));
+        assert!(matches!(
+            RmProfile::openpbs().heartbeat,
+            HeartbeatMode::MasterPolls { .. }
+        ));
+        assert!(matches!(
+            RmProfile::slurm().heartbeat,
+            HeartbeatMode::SlavePush { .. }
+        ));
+        assert!(matches!(
+            RmProfile::lsf().heartbeat,
+            HeartbeatMode::SlavePush { .. }
+        ));
     }
 }

@@ -40,12 +40,20 @@ impl NodeSlice {
     /// Wrap a whole list.
     pub fn new(list: Vec<u32>) -> Self {
         let hi = list.len() as u32;
-        NodeSlice { list: Arc::new(list), lo: 0, hi }
+        NodeSlice {
+            list: Arc::new(list),
+            lo: 0,
+            hi,
+        }
     }
 
     /// An empty slice.
     pub fn empty() -> Self {
-        NodeSlice { list: Arc::new(Vec::new()), lo: 0, hi: 0 }
+        NodeSlice {
+            list: Arc::new(Vec::new()),
+            lo: 0,
+            hi: 0,
+        }
     }
 
     /// View a sub-range (relative to this slice).
@@ -53,7 +61,11 @@ impl NodeSlice {
         let abs_lo = self.lo as usize + lo;
         let abs_hi = self.lo as usize + hi;
         assert!(abs_lo <= abs_hi && abs_hi <= self.hi as usize);
-        NodeSlice { list: Arc::clone(&self.list), lo: abs_lo as u32, hi: abs_hi as u32 }
+        NodeSlice {
+            list: Arc::clone(&self.list),
+            lo: abs_lo as u32,
+            hi: abs_hi as u32,
+        }
     }
 
     /// The nodes in view.
@@ -86,16 +98,37 @@ pub enum RmMsg {
     /// Master's acknowledgement of a heartbeat.
     HeartbeatAck,
     /// External job submission (injected by the experiment driver).
-    SubmitJob { job: u64, nodes: NodeSlice, runtime_us: u64 },
+    SubmitJob {
+        job: u64,
+        nodes: NodeSlice,
+        runtime_us: u64,
+    },
     /// Job-control broadcast: the receiver handles the job locally and
     /// relays to `list` (its subtree) using grouping width `width`.
-    JobCtl { job: u64, kind: CtlKind, list: NodeSlice, width: u16 },
+    JobCtl {
+        job: u64,
+        kind: CtlKind,
+        list: NodeSlice,
+        width: u16,
+    },
     /// Aggregated acknowledgement flowing back up: `count` nodes handled.
     CtlAck { job: u64, kind: CtlKind, count: u32 },
     /// ESlurm master → satellite: relay a broadcast to `list`.
-    BcastTask { task: u64, job: u64, kind: CtlKind, list: NodeSlice, width: u16 },
+    BcastTask {
+        task: u64,
+        job: u64,
+        kind: CtlKind,
+        list: NodeSlice,
+        width: u16,
+    },
     /// Satellite → master: broadcast outcome.
-    BcastDone { task: u64, job: u64, kind: CtlKind, reached: u32, ok: bool },
+    BcastDone {
+        task: u64,
+        job: u64,
+        kind: CtlKind,
+        reached: u32,
+        ok: bool,
+    },
     /// Master → satellite health check.
     SatHeartbeat,
     /// Satellite → master health reply carrying its FSM state id.
@@ -159,13 +192,22 @@ pub fn encode(msg: &RmMsg) -> Bytes {
             b.put_u32(*node);
         }
         RmMsg::HeartbeatAck => b.put_u8(4),
-        RmMsg::SubmitJob { job, nodes, runtime_us } => {
+        RmMsg::SubmitJob {
+            job,
+            nodes,
+            runtime_us,
+        } => {
             b.put_u8(5);
             b.put_u64(*job);
             b.put_u64(*runtime_us);
             put_list(&mut b, nodes);
         }
-        RmMsg::JobCtl { job, kind, list, width } => {
+        RmMsg::JobCtl {
+            job,
+            kind,
+            list,
+            width,
+        } => {
             b.put_u8(6);
             b.put_u64(*job);
             b.put_u8(kind_tag(*kind));
@@ -178,7 +220,13 @@ pub fn encode(msg: &RmMsg) -> Bytes {
             b.put_u8(kind_tag(*kind));
             b.put_u32(*count);
         }
-        RmMsg::BcastTask { task, job, kind, list, width } => {
+        RmMsg::BcastTask {
+            task,
+            job,
+            kind,
+            list,
+            width,
+        } => {
             b.put_u8(8);
             b.put_u64(*task);
             b.put_u64(*job);
@@ -186,7 +234,13 @@ pub fn encode(msg: &RmMsg) -> Bytes {
             b.put_u16(*width);
             put_list(&mut b, list);
         }
-        RmMsg::BcastDone { task, job, kind, reached, ok } => {
+        RmMsg::BcastDone {
+            task,
+            job,
+            kind,
+            reached,
+            ok,
+        } => {
             b.put_u8(9);
             b.put_u64(*task);
             b.put_u64(*job);
@@ -232,28 +286,41 @@ pub fn decode(mut buf: Bytes) -> Option<RmMsg> {
         7 => 13,
         8 => 19,
         9 => 22,
-        13 | 14 | 15 => 8,
+        13..=15 => 8,
         _ => return None,
     };
     if buf.remaining() < fixed {
         return None;
     }
     Some(match tag {
-        0 => RmMsg::Register { node: buf.get_u32() },
+        0 => RmMsg::Register {
+            node: buf.get_u32(),
+        },
         1 => RmMsg::Poll,
         2 => RmMsg::PollReply { load: buf.get_u8() },
-        3 => RmMsg::Heartbeat { node: buf.get_u32() },
+        3 => RmMsg::Heartbeat {
+            node: buf.get_u32(),
+        },
         4 => RmMsg::HeartbeatAck,
         5 => {
             let job = buf.get_u64();
             let runtime_us = buf.get_u64();
-            RmMsg::SubmitJob { job, nodes: get_list(&mut buf)?, runtime_us }
+            RmMsg::SubmitJob {
+                job,
+                nodes: get_list(&mut buf)?,
+                runtime_us,
+            }
         }
         6 => {
             let job = buf.get_u64();
             let kind = kind_from(buf.get_u8())?;
             let width = buf.get_u16();
-            RmMsg::JobCtl { job, kind, list: get_list(&mut buf)?, width }
+            RmMsg::JobCtl {
+                job,
+                kind,
+                list: get_list(&mut buf)?,
+                width,
+            }
         }
         7 => RmMsg::CtlAck {
             job: buf.get_u64(),
@@ -265,7 +332,13 @@ pub fn decode(mut buf: Bytes) -> Option<RmMsg> {
             let job = buf.get_u64();
             let kind = kind_from(buf.get_u8())?;
             let width = buf.get_u16();
-            RmMsg::BcastTask { task, job, kind, list: get_list(&mut buf)?, width }
+            RmMsg::BcastTask {
+                task,
+                job,
+                kind,
+                list: get_list(&mut buf)?,
+                width,
+            }
         }
         9 => RmMsg::BcastDone {
             task: buf.get_u64(),
@@ -275,7 +348,9 @@ pub fn decode(mut buf: Bytes) -> Option<RmMsg> {
             ok: buf.get_u8() != 0,
         },
         10 => RmMsg::SatHeartbeat,
-        11 => RmMsg::SatHeartbeatAck { state: buf.get_u8() },
+        11 => RmMsg::SatHeartbeatAck {
+            state: buf.get_u8(),
+        },
         12 => RmMsg::Shutdown,
         13 => RmMsg::StatusQuery { id: buf.get_u64() },
         14 => RmMsg::StatusReply { id: buf.get_u64() },
@@ -379,7 +454,11 @@ mod tests {
                 list: NodeSlice::new(vec![4, 5]),
                 width: 16,
             },
-            RmMsg::CtlAck { job: 42, kind: CtlKind::Terminate, count: 12 },
+            RmMsg::CtlAck {
+                job: 42,
+                kind: CtlKind::Terminate,
+                count: 12,
+            },
             RmMsg::BcastTask {
                 task: 1,
                 job: 42,
@@ -387,7 +466,13 @@ mod tests {
                 list: NodeSlice::new(vec![9]),
                 width: 8,
             },
-            RmMsg::BcastDone { task: 1, job: 42, kind: CtlKind::Launch, reached: 9, ok: true },
+            RmMsg::BcastDone {
+                task: 1,
+                job: 42,
+                kind: CtlKind::Launch,
+                reached: 9,
+                ok: true,
+            },
             RmMsg::SatHeartbeat,
             RmMsg::SatHeartbeatAck { state: 1 },
             RmMsg::Shutdown,

@@ -88,7 +88,12 @@ pub struct SlaveDaemon {
 impl SlaveDaemon {
     /// A daemon with the given configuration.
     pub fn new(cfg: SlaveConfig) -> Self {
-        SlaveDaemon { cfg, relays: BTreeMap::new(), next_token: TOKEN_RELAY_BASE, ctl_handled: 0 }
+        SlaveDaemon {
+            cfg,
+            relays: BTreeMap::new(),
+            next_token: TOKEN_RELAY_BASE,
+            ctl_handled: 0,
+        }
     }
 
     fn handle_ctl(
@@ -108,7 +113,14 @@ impl SlaveDaemon {
             CtlKind::Ping => SimSpan::from_micros(30),
         });
         if list.is_empty() {
-            ctx.send(from, RmMsg::CtlAck { job, kind, count: 1 });
+            ctx.send(
+                from,
+                RmMsg::CtlAck {
+                    job,
+                    kind,
+                    count: 1,
+                },
+            );
             return;
         }
         // Relay: chunk the remaining list, hand each chunk to its head.
@@ -119,13 +131,29 @@ impl SlaveDaemon {
         for (lo, len) in chunks {
             let head = list.nodes()[lo];
             let rest = list.slice(lo + 1, lo + len);
-            ctx.send(NodeId(head), RmMsg::JobCtl { job, kind, list: rest, width });
+            ctx.send(
+                NodeId(head),
+                RmMsg::JobCtl {
+                    job,
+                    kind,
+                    list: rest,
+                    width,
+                },
+            );
         }
         let token = self.next_token;
         self.next_token += 1;
         self.relays.insert(
             token,
-            Relay { origin: from, job, kind, expected, received: 0, count: 1, done: false },
+            Relay {
+                origin: from,
+                job,
+                kind,
+                expected,
+                received: 0,
+                count: 1,
+                done: false,
+            },
         );
         let depth = relay_depth(list.len(), w) as u64;
         ctx.set_timer(self.cfg.ack_timeout * depth.max(1), token);
@@ -138,12 +166,20 @@ impl SlaveDaemon {
         relay.done = true;
         ctx.send(
             relay.origin,
-            RmMsg::CtlAck { job: relay.job, kind: relay.kind, count: relay.count },
+            RmMsg::CtlAck {
+                job: relay.job,
+                kind: relay.kind,
+                count: relay.count,
+            },
         );
     }
 
     fn arm_heartbeat(&self, ctx: &mut dyn Context<RmMsg>) {
-        if let SlaveHeartbeat::Push { interval, synchronized } = self.cfg.heartbeat {
+        if let SlaveHeartbeat::Push {
+            interval,
+            synchronized,
+        } = self.cfg.heartbeat
+        {
             let delay = if synchronized {
                 // Fire at the next wall-clock multiple of the interval,
                 // plus sub-millisecond skew so ties stay deterministic but
@@ -172,7 +208,12 @@ impl Actor<RmMsg> for SlaveDaemon {
                 ctx.send(from, RmMsg::PollReply { load: 0 });
             }
             RmMsg::HeartbeatAck => {}
-            RmMsg::JobCtl { job, kind, list, width } => {
+            RmMsg::JobCtl {
+                job,
+                kind,
+                list,
+                width,
+            } => {
                 self.handle_ctl(ctx, from, job, kind, list, width);
             }
             RmMsg::CtlAck { job, kind, count } => {
@@ -253,7 +294,10 @@ mod tests {
     }
 
     fn quiet_slave() -> SlaveDaemon {
-        SlaveDaemon::new(SlaveConfig { heartbeat: SlaveHeartbeat::None, ..Default::default() })
+        SlaveDaemon::new(SlaveConfig {
+            heartbeat: SlaveHeartbeat::None,
+            ..Default::default()
+        })
     }
 
     fn cluster(n: usize) -> SimCluster<RmMsg, Node> {
@@ -275,14 +319,23 @@ mod tests {
             simclock::SimTime::from_millis(1),
             NodeId::MASTER,
             NodeId(head),
-            RmMsg::JobCtl { job: 7, kind: CtlKind::Launch, list: rest, width: 4 },
+            RmMsg::JobCtl {
+                job: 7,
+                kind: CtlKind::Launch,
+                list: rest,
+                width: 4,
+            },
         );
         c.run_to_quiescence();
-        let Node::Sink(sink) = c.actor(NodeId::MASTER) else { panic!() };
+        let Node::Sink(sink) = c.actor(NodeId::MASTER) else {
+            panic!()
+        };
         assert_eq!(sink.acks, vec![(7, CtlKind::Launch, n as u32)]);
         // Every slave executed the launch exactly once.
         for i in 1..=n as u32 {
-            let Node::Slave(s) = c.actor(NodeId(i)) else { panic!() };
+            let Node::Slave(s) = c.actor(NodeId(i)) else {
+                panic!()
+            };
             assert_eq!(s.ctl_handled, 1, "node {i}");
         }
     }
@@ -302,7 +355,9 @@ mod tests {
             },
         );
         c.run_to_quiescence();
-        let Node::Sink(sink) = c.actor(NodeId::MASTER) else { panic!() };
+        let Node::Sink(sink) = c.actor(NodeId::MASTER) else {
+            panic!()
+        };
         assert_eq!(sink.acks, vec![(1, CtlKind::Terminate, 1)]);
     }
 
@@ -322,7 +377,10 @@ mod tests {
                 up_at: simclock::SimTime::from_secs(1_000_000),
             }],
         );
-        let cfg = SimConfig { faults, ..SimConfig::new(n + 1, 1) };
+        let cfg = SimConfig {
+            faults,
+            ..SimConfig::new(n + 1, 1)
+        };
         let mut c = SimCluster::new(actors, cfg);
         let list: Vec<u32> = (1..=n as u32).collect();
         let head = list[0];
@@ -331,10 +389,17 @@ mod tests {
             simclock::SimTime::from_millis(1),
             NodeId::MASTER,
             NodeId(head),
-            RmMsg::JobCtl { job: 9, kind: CtlKind::Launch, list: rest, width: 4 },
+            RmMsg::JobCtl {
+                job: 9,
+                kind: CtlKind::Launch,
+                list: rest,
+                width: 4,
+            },
         );
         c.run_to_quiescence();
-        let Node::Sink(sink) = c.actor(NodeId::MASTER) else { panic!() };
+        let Node::Sink(sink) = c.actor(NodeId::MASTER) else {
+            panic!()
+        };
         assert_eq!(sink.acks.len(), 1);
         let (_, _, count) = sink.acks[0];
         // Node 5 and any nodes stranded below it are missing from the

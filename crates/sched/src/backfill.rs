@@ -123,7 +123,12 @@ struct Running {
 enum Ev {
     Arrive(usize),
     /// Nodes release; payload describes what ended.
-    End { slot: usize, queued: Queued, started: SimTime, killed: bool },
+    End {
+        slot: usize,
+        queued: Queued,
+        started: SimTime,
+        killed: bool,
+    },
     RmUp,
 }
 
@@ -139,7 +144,11 @@ enum Ev {
 /// assert_eq!(report.completed + report.abandoned, 200);
 /// assert!(report.utilization() <= 1.0);
 /// ```
-pub fn simulate(jobs: &[Job], policy: &mut dyn LimitPolicy, cfg: &BackfillConfig) -> ScheduleReport {
+pub fn simulate(
+    jobs: &[Job],
+    policy: &mut dyn LimitPolicy,
+    cfg: &BackfillConfig,
+) -> ScheduleReport {
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| jobs[i].submit);
 
@@ -154,10 +163,15 @@ pub fn simulate(jobs: &[Job], policy: &mut dyn LimitPolicy, cfg: &BackfillConfig
     let mut free = cfg.nodes;
     let mut queue: VecDeque<Queued> = VecDeque::new();
     let mut running: Vec<Option<Running>> = Vec::new();
-    let mut report = ScheduleReport { nodes: cfg.nodes, ..Default::default() };
+    let mut report = ScheduleReport {
+        nodes: cfg.nodes,
+        ..Default::default()
+    };
 
     let in_outage = |t: SimTime, cfg: &BackfillConfig| {
-        cfg.rm_outages.iter().any(|&(at, dur)| t >= at && t < at + dur)
+        cfg.rm_outages
+            .iter()
+            .any(|&(at, dur)| t >= at && t < at + dur)
     };
 
     while let Some((now, ev)) = events.pop() {
@@ -171,7 +185,12 @@ pub fn simulate(jobs: &[Job], policy: &mut dyn LimitPolicy, cfg: &BackfillConfig
                     original_submit: jobs[i].submit,
                 });
             }
-            Ev::End { slot, queued, started, killed } => {
+            Ev::End {
+                slot,
+                queued,
+                started,
+                killed,
+            } => {
                 let r = running[slot].take().expect("ending a job twice");
                 free += r.nodes;
                 let job = &jobs[queued.job];
@@ -195,8 +214,7 @@ pub fn simulate(jobs: &[Job], policy: &mut dyn LimitPolicy, cfg: &BackfillConfig
                     e.1 += wait;
                     report.total_slowdown += bounded_slowdown(wait, job.actual_runtime);
                     // r.nodes is the clamped allocation actually held.
-                    report.useful_node_secs +=
-                        r.nodes as f64 * job.actual_runtime.as_secs_f64();
+                    report.useful_node_secs += r.nodes as f64 * job.actual_runtime.as_secs_f64();
                     policy.on_complete(job, now);
                 }
                 report.makespan = report.makespan.max(now);
@@ -206,7 +224,16 @@ pub fn simulate(jobs: &[Job], policy: &mut dyn LimitPolicy, cfg: &BackfillConfig
         if in_outage(now, cfg) {
             continue; // the RM is down: no scheduling decisions
         }
-        schedule(now, &mut free, &mut queue, &mut running, &mut events, jobs, cfg, &mut report);
+        schedule(
+            now,
+            &mut free,
+            &mut queue,
+            &mut running,
+            &mut events,
+            jobs,
+            cfg,
+            &mut report,
+        );
     }
     report
 }
@@ -301,7 +328,13 @@ fn conservative_pass(
 ) {
     let mut profile = AvailabilityProfile::new(now, cfg.nodes);
     for r in running.iter().flatten() {
-        profile.reserve(now, r.planned_end, r.nodes);
+        // A job whose planned end coincides with `now` still holds its
+        // nodes: its End event sits at the same timestamp later in the
+        // event order, and `free` is only incremented when it processes.
+        // Keep such nodes reserved for an instant so this pass cannot
+        // hand them out before they are physically released.
+        let end = r.planned_end.max(now + SimSpan::from_micros(1));
+        profile.reserve(now, end, r.nodes);
     }
     let mut i = 0;
     while i < queue.len() {
@@ -346,8 +379,19 @@ fn start(
         running.push(None);
         running.len() - 1
     });
-    running[slot] = Some(Running { nodes, planned_end: now + planned });
-    events.push(now + occupied, Ev::End { slot, queued: q, started: now, killed });
+    running[slot] = Some(Running {
+        nodes,
+        planned_end: now + planned,
+    });
+    events.push(
+        now + occupied,
+        Ev::End {
+            slot,
+            queued: q,
+            started: now,
+            killed,
+        },
+    );
 }
 
 #[cfg(test)]
@@ -434,7 +478,7 @@ mod tests {
         // capacity without delaying it.
         let jobs = vec![
             job(0, 4, 0, 100, 100),
-            job(1, 2, 1, 100, 100),  // head after job0
+            job(1, 2, 1, 100, 100),   // head after job0
             job(2, 1, 2, 1000, 1000), // narrow + long
         ];
         let r = simulate(&jobs, &mut UserLimit::default(), &zero_overhead(4));
@@ -574,10 +618,10 @@ mod tests {
         // extra-node rule only if it spares the head — but it would push
         // C's reservation back, which conservative backfill must refuse.
         let jobs = vec![
-            job(0, 3, 0, 100, 100),  // running
-            job(1, 4, 1, 100, 100),  // head, reserved [100, 200)
-            job(2, 2, 2, 100, 100),  // reserved [200, 300)
-            job(3, 1, 3, 250, 250),  // would overlap C's reservation
+            job(0, 3, 0, 100, 100), // running
+            job(1, 4, 1, 100, 100), // head, reserved [100, 200)
+            job(2, 2, 2, 100, 100), // reserved [200, 300)
+            job(3, 1, 3, 250, 250), // would overlap C's reservation
         ];
         let mut cfg = zero_overhead(4);
         cfg.algo = SchedAlgo::Conservative;

@@ -22,6 +22,6 @@ pub mod policy;
 pub mod profile_resv;
 
 pub use backfill::{simulate, BackfillConfig, DispatchModel, SchedAlgo};
-pub use profile_resv::AvailabilityProfile;
 pub use metrics::{bounded_slowdown, ScheduleReport};
 pub use policy::{LimitPolicy, OracleLimit, UserLimit};
+pub use profile_resv::AvailabilityProfile;

@@ -122,7 +122,9 @@ mod tests {
             10.0
         );
         // Very short job clamped by tau: wait 90, run 1 -> (91)/10 = 9.1.
-        assert!((bounded_slowdown(SimSpan::from_secs(90), SimSpan::from_secs(1)) - 9.1).abs() < 1e-9);
+        assert!(
+            (bounded_slowdown(SimSpan::from_secs(90), SimSpan::from_secs(1)) - 9.1).abs() < 1e-9
+        );
         // No wait -> slowdown 1 (floor).
         assert_eq!(
             bounded_slowdown(SimSpan::ZERO, SimSpan::from_secs(100)),

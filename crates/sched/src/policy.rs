@@ -32,7 +32,9 @@ pub struct UserLimit {
 impl Default for UserLimit {
     /// A 24-hour partition default.
     fn default() -> Self {
-        UserLimit { default: SimSpan::from_hours(24) }
+        UserLimit {
+            default: SimSpan::from_hours(24),
+        }
     }
 }
 

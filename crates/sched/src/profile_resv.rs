@@ -16,7 +16,9 @@ pub struct AvailabilityProfile {
 impl AvailabilityProfile {
     /// A profile that is entirely free from `now`.
     pub fn new(now: SimTime, total: u32) -> Self {
-        AvailabilityProfile { steps: vec![(now, total)] }
+        AvailabilityProfile {
+            steps: vec![(now, total)],
+        }
     }
 
     /// Subtract `nodes` from `[from, until)`. Panics (debug) if that would
@@ -39,11 +41,8 @@ impl AvailabilityProfile {
     /// for `dur`.
     pub fn earliest_fit(&self, not_before: SimTime, nodes: u32, dur: SimSpan) -> SimTime {
         // Candidate starts are breakpoints (clamped to not_before).
-        let mut candidates: Vec<SimTime> = self
-            .steps
-            .iter()
-            .map(|&(t, _)| t.max(not_before))
-            .collect();
+        let mut candidates: Vec<SimTime> =
+            self.steps.iter().map(|&(t, _)| t.max(not_before)).collect();
         candidates.push(not_before);
         candidates.sort();
         candidates.dedup();

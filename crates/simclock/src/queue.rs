@@ -103,6 +103,13 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Reserve space for at least `additional` more events, so a caller
+    /// about to schedule a known batch (e.g. one event per job of a
+    /// trace) pays for at most one heap growth.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -11,12 +11,38 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// An absolute instant of virtual time, in microseconds since simulation
 /// start.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimSpan(pub u64);
+
+// Serialized as bare microsecond counts (the offline serde stub has no
+// derive macro, so newtype impls are written out).
+impl serde::Serialize for SimTime {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+impl serde::Deserialize for SimTime {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        <u64 as serde::Deserialize>::from_value(v).map(SimTime)
+    }
+}
+
+impl serde::Serialize for SimSpan {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+impl serde::Deserialize for SimSpan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        <u64 as serde::Deserialize>::from_value(v).map(SimSpan)
+    }
+}
 
 impl SimTime {
     /// The origin of simulated time.

@@ -16,7 +16,7 @@
 //!   and the shared-memory board is insensitive to client failures.
 
 use crate::fptree::rearrange;
-use crate::tree::split_balanced;
+use crate::tree::split_balanced_into;
 use simclock::SimSpan;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
@@ -213,6 +213,12 @@ fn tree_sim(list: &[u32], failed: &HashSet<u32>, p: &BcastParams) -> BcastResult
     // The virtual root (satellite/controller) is ready at t=0 and owns the
     // whole list.
     let mut stack: Vec<(SimSpan, usize, usize)> = vec![(SimSpan::ZERO, 0, list.len())];
+    // Per-sender working state, hoisted out of the loop and reused: a
+    // 20K-node broadcast visits hundreds of senders and previously paid a
+    // task queue, a slot heap, and a chunk list allocation for each.
+    let mut tasks: VecDeque<Task> = VecDeque::with_capacity(p.width.max(1));
+    let mut slots: BinaryHeap<Reverse<SimSpan>> = BinaryHeap::with_capacity(p.parallel.max(1));
+    let mut chunks: Vec<(usize, usize)> = Vec::with_capacity(p.width.max(1));
 
     while let Some((ready, lo, hi)) = stack.pop() {
         let len = hi - lo;
@@ -221,14 +227,21 @@ fn tree_sim(list: &[u32], failed: &HashSet<u32>, p: &BcastParams) -> BcastResult
         }
         // Chunk the sender's list.
         let k = if len < p.width { len } else { p.width };
-        let mut tasks: VecDeque<Task> = split_balanced(len, k)
-            .into_iter()
-            .map(|(cs, cl)| Task { avail: ready, lo: lo + cs, hi: lo + cs + cl })
-            .collect();
+        chunks.clear();
+        split_balanced_into(len, k, &mut chunks);
+        tasks.clear();
+        for &(cs, cl) in &chunks {
+            tasks.push_back(Task {
+                avail: ready,
+                lo: lo + cs,
+                hi: lo + cs + cl,
+            });
+        }
         // Worker slots (outbound connection threads), min-heap of free times.
-        let mut slots: BinaryHeap<Reverse<SimSpan>> = (0..p.parallel.max(1))
-            .map(|_| Reverse(ready))
-            .collect();
+        slots.clear();
+        for _ in 0..p.parallel.max(1) {
+            slots.push(Reverse(ready));
+        }
 
         while let Some(task) = tasks.pop_front() {
             let Reverse(slot_free) = slots.pop().expect("slot heap never empty");
@@ -245,8 +258,14 @@ fn tree_sim(list: &[u32], failed: &HashSet<u32>, p: &BcastParams) -> BcastResult
                 let rest_len = rest_hi - rest_lo;
                 if rest_len > 0 {
                     res.adoptions += 1;
-                    let k2 = if rest_len < p.width { rest_len } else { p.width };
-                    for (cs, cl) in split_balanced(rest_len, k2) {
+                    let k2 = if rest_len < p.width {
+                        rest_len
+                    } else {
+                        p.width
+                    };
+                    chunks.clear();
+                    split_balanced_into(rest_len, k2, &mut chunks);
+                    for &(cs, cl) in &chunks {
                         tasks.push_back(Task {
                             avail: end,
                             lo: rest_lo + cs,
@@ -336,7 +355,11 @@ mod tests {
             fp.completion,
             plain.completion
         );
-        assert!(fp.completion.as_secs_f64() < 10.0, "fp completion {}", fp.completion);
+        assert!(
+            fp.completion.as_secs_f64() < 10.0,
+            "fp completion {}",
+            fp.completion
+        );
         assert!(fp.completion >= base.completion);
     }
 
@@ -370,8 +393,20 @@ mod tests {
     fn ring_cost_scales_with_failures() {
         let list = nodes(1000);
         let p = BcastParams::default();
-        let r10 = broadcast(Structure::Ring, &list, &fail_every(&list, 10), &no_fail(), &p);
-        let r5 = broadcast(Structure::Ring, &list, &fail_every(&list, 5), &no_fail(), &p);
+        let r10 = broadcast(
+            Structure::Ring,
+            &list,
+            &fail_every(&list, 10),
+            &no_fail(),
+            &p,
+        );
+        let r5 = broadcast(
+            Structure::Ring,
+            &list,
+            &fail_every(&list, 5),
+            &no_fail(),
+            &p,
+        );
         assert!(r5.completion > r10.completion);
         // 100 failures at 3 attempts x 2 s each = 600 s of pure detection.
         assert!(r10.completion.as_secs_f64() > 600.0);

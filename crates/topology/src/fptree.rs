@@ -29,9 +29,16 @@ pub fn rearrange(nodelist: &[u32], suspects: &HashSet<u32>, w: usize) -> Vec<u32
     }
     let leaves = leaf_positions(n, w);
     // Two order-preserving queues over the input.
-    let mut failed: Vec<u32> = nodelist.iter().copied().filter(|n| suspects.contains(n)).collect();
-    let mut healthy: Vec<u32> =
-        nodelist.iter().copied().filter(|n| !suspects.contains(n)).collect();
+    let mut failed: Vec<u32> = nodelist
+        .iter()
+        .copied()
+        .filter(|n| suspects.contains(n))
+        .collect();
+    let mut healthy: Vec<u32> = nodelist
+        .iter()
+        .copied()
+        .filter(|n| !suspects.contains(n))
+        .collect();
     let n_failed = failed.len();
     // Consume from the front: reverse so `pop` is O(1).
     failed.reverse();
@@ -219,7 +226,10 @@ mod tests {
         let mut sorted = healthy.clone();
         sorted.sort();
         assert_eq!(sorted, expected);
-        assert!(healthy.windows(2).all(|w| w[0] < w[1]), "healthy order changed");
+        assert!(
+            healthy.windows(2).all(|w| w[0] < w[1]),
+            "healthy order changed"
+        );
     }
 
     #[test]

@@ -52,8 +52,9 @@ pub fn fine_tune(
         .collect();
 
     // Internal suspects that need to move.
-    let internal_suspects: Vec<usize> =
-        (0..n).filter(|&p| !leaves[p] && suspects.contains(&out[p])).collect();
+    let internal_suspects: Vec<usize> = (0..n)
+        .filter(|&p| !leaves[p] && suspects.contains(&out[p]))
+        .collect();
 
     for pos in internal_suspects {
         if healthy_leaves.is_empty() {
@@ -74,11 +75,7 @@ pub fn fine_tune(
 
 /// Fraction of parent→child tree edges whose endpoints share a chassis —
 /// the locality property topology-aware construction exists to maximize.
-pub fn chassis_locality(
-    list: &[u32],
-    w: usize,
-    chassis_of: impl Fn(u32) -> u32,
-) -> f64 {
+pub fn chassis_locality(list: &[u32], w: usize, chassis_of: impl Fn(u32) -> u32) -> f64 {
     let tree = CommTree::build(list.len(), w);
     let mut total = 0usize;
     let mut local = 0usize;

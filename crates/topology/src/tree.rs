@@ -12,11 +12,18 @@
 ///
 /// Returns `(start, len)` pairs; the first `len % k` chunks are one longer.
 pub fn split_balanced(len: usize, k: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(k.min(len));
+    split_balanced_into(len, k, &mut out);
+    out
+}
+
+/// [`split_balanced`] into a caller-provided buffer (appended, not
+/// cleared), so hot loops can reuse one allocation across many splits.
+pub fn split_balanced_into(len: usize, k: usize, out: &mut Vec<(usize, usize)>) {
     assert!(k > 0, "cannot split into zero groups");
     let k = k.min(len);
-    let mut out = Vec::with_capacity(k);
     if len == 0 {
-        return out;
+        return;
     }
     let base = len / k;
     let extra = len % k;
@@ -26,7 +33,6 @@ pub fn split_balanced(len: usize, k: usize) -> Vec<(usize, usize)> {
         out.push((start, l));
         start += l;
     }
-    out
 }
 
 /// Mark which positions of an `n`-element node list become **leaves** of a
@@ -141,9 +147,17 @@ impl CommTree {
     /// Depth of the tree (root children are at depth 1); 0 when empty.
     pub fn depth(&self) -> usize {
         fn rec(t: &CommTree, p: u32) -> usize {
-            1 + t.children[p as usize].iter().map(|&c| rec(t, c)).max().unwrap_or(0)
+            1 + t.children[p as usize]
+                .iter()
+                .map(|&c| rec(t, c))
+                .max()
+                .unwrap_or(0)
         }
-        self.root_children.iter().map(|&c| rec(self, c)).max().unwrap_or(0)
+        self.root_children
+            .iter()
+            .map(|&c| rec(self, c))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of descendants below position `p` (excluding `p`).
@@ -180,9 +194,9 @@ mod tests {
         for (n, w) in [(1, 2), (7, 2), (64, 4), (100, 3), (1000, 32), (4096, 16)] {
             let leaves = leaf_positions(n, w);
             let tree = CommTree::build(n, w);
-            for p in 0..n {
+            for (p, &leaf) in leaves.iter().enumerate() {
                 assert_eq!(
-                    leaves[p],
+                    leaf,
                     tree.is_leaf(p as u32),
                     "mismatch at pos {p} (n={n}, w={w})"
                 );
@@ -203,7 +217,10 @@ mod tests {
                 seen[c as usize] += 1;
             }
         }
-        assert!(seen.iter().all(|&s| s == 1), "positions duplicated or missing");
+        assert!(
+            seen.iter().all(|&s| s == 1),
+            "positions duplicated or missing"
+        );
     }
 
     #[test]
@@ -223,7 +240,7 @@ mod tests {
         // 16 + 16*16 + ... a width-16 grouping tree over 4096 nodes stays
         // within a handful of levels.
         let d = tree.depth();
-        assert!(d >= 3 && d <= 5, "depth {d}");
+        assert!((3..=5).contains(&d), "depth {d}");
     }
 
     #[test]
@@ -247,7 +264,14 @@ mod tests {
 
     #[test]
     fn relay_depth_matches_tree_depth() {
-        for (n, w) in [(0usize, 4usize), (1, 4), (4, 4), (5, 4), (100, 3), (4096, 16)] {
+        for (n, w) in [
+            (0usize, 4usize),
+            (1, 4),
+            (4, 4),
+            (5, 4),
+            (100, 3),
+            (4096, 16),
+        ] {
             let d = relay_depth(n, w);
             let t = CommTree::build(n, w).depth();
             assert_eq!(d, t, "n={n} w={w}");

@@ -257,7 +257,13 @@ impl<'a> Generator<'a> {
         let extras_share = avg_extras / (1.0 + avg_extras);
         let effective_resubmit =
             (1.0 - (1.0 - cfg.resubmit_24h) / (1.0 - extras_share).max(0.05)).clamp(0.0, 1.0);
-        Generator { cfg, rng, users, next_template_id, effective_resubmit }
+        Generator {
+            cfg,
+            rng,
+            users,
+            next_template_id,
+            effective_resubmit,
+        }
     }
 
     fn new_template_named(
@@ -271,20 +277,21 @@ impl<'a> Generator<'a> {
         *next_id += 1;
         // Job size: power-of-two-ish, heavy at small sizes.
         let max_exp = (cfg.max_nodes as f64).log2() as u32;
-        let exp_weights: Vec<f64> =
-            (0..=max_exp).map(|e| 1.0 / (1.0 + e as f64).powf(1.3)).collect();
+        let exp_weights: Vec<f64> = (0..=max_exp)
+            .map(|e| 1.0 / (1.0 + e as f64).powf(1.3))
+            .collect();
         let nodes = 1u32 << weighted_index(rng, &exp_weights);
         // Runtime scale: lognormal across templates, median ~25 min, with a
         // fat tail into multi-hour and multi-day jobs.
         let runtime_mu = simclock::rng::normal(rng, (1500.0f64).ln(), 1.6);
-        let kind = ["cfd", "em", "combust", "nlflow", "bioinf", "mech", "qcd", "wrf"]
-            [rng.random_range(0..8)];
+        let kind = [
+            "cfd", "em", "combust", "nlflow", "bioinf", "mech", "qcd", "wrf",
+        ][rng.random_range(0..8)];
         // Runtime stability is heterogeneous: most production codes have
         // very repeatable runtimes, a minority are input-dependent and
         // noisy. This mixture is what lets some clusters clear the
         // estimation framework's 90 % AEA gate while others don't.
-        let runtime_sigma =
-            (0.015 + simclock::rng::exponential(rng, 50.0)).min(0.5);
+        let runtime_sigma = (0.015 + simclock::rng::exponential(rng, 50.0)).min(0.5);
         Template {
             name: reuse_name.unwrap_or_else(|| format!("{kind}_{user}.{id}")),
             nodes,
@@ -345,11 +352,18 @@ impl<'a> Generator<'a> {
                         break;
                     }
                     bt += simclock::rng::exponential(&mut self.rng, 1.0 / 45.0);
-                    let job =
-                        self.emit(uid, tidx, SimTime::from_secs_f64(bt), jobs.len() as u64);
+                    let job = self.emit(uid, tidx, SimTime::from_secs_f64(bt), jobs.len() as u64);
                     jobs.push(job);
                 }
             }
+        }
+        // Evening snapping of long jobs moves submit times within their
+        // day, so restore the documented contract: sorted by submission
+        // time, IDs in submission order (stable sort keeps generation
+        // order on ties).
+        jobs.sort_by_key(|j| j.submit);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = JobId(i as u64);
         }
         jobs
     }
@@ -371,7 +385,10 @@ impl<'a> Generator<'a> {
                 .collect();
             let recent_vec: Vec<usize> = recent.iter().copied().collect();
             if !recent_vec.is_empty() && self.rng.random::<f64>() < self.effective_resubmit {
-                (recent_vec[self.rng.random_range(0..recent_vec.len())], false)
+                (
+                    recent_vec[self.rng.random_range(0..recent_vec.len())],
+                    false,
+                )
             } else if self.rng.random::<f64>() < cfg.template_churn {
                 (usize::MAX, true)
             } else {
@@ -414,8 +431,8 @@ impl<'a> Generator<'a> {
             submit
         };
 
-        let runtime_s = lognormal(&mut self.rng, tpl.runtime_mu, tpl.runtime_sigma)
-            .clamp(10.0, 7.0 * 86_400.0);
+        let runtime_s =
+            lognormal(&mut self.rng, tpl.runtime_mu, tpl.runtime_sigma).clamp(10.0, 7.0 * 86_400.0);
         let actual_runtime = SimSpan::from_secs_f64(runtime_s);
 
         let user_estimate = if self.rng.random::<f64>() < cfg.no_estimate_prob {
@@ -465,7 +482,10 @@ mod tests {
         // IDs are in submission order (long-job evening snapping can only
         // move a submit time within its day, so order is approximate; check
         // the 99th percentile of inversions instead of strict sortedness).
-        let inversions = jobs.windows(2).filter(|w| w[0].submit > w[1].submit).count();
+        let inversions = jobs
+            .windows(2)
+            .filter(|w| w[0].submit > w[1].submit)
+            .count();
         assert!(inversions < jobs.len() / 10, "{inversions} inversions");
     }
 
@@ -521,7 +541,10 @@ mod tests {
         let mut high = TraceConfig::small(3000, 9);
         high.template_churn = 0.05;
         let names = |jobs: &[Job]| {
-            jobs.iter().map(|j| j.name.clone()).collect::<std::collections::HashSet<_>>().len()
+            jobs.iter()
+                .map(|j| j.name.clone())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
         };
         assert!(names(&high.generate()) > names(&low.generate()));
     }

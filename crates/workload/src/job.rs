@@ -4,25 +4,47 @@
 //! Table IV features) plus the two ground-truth quantities the evaluation
 //! needs: the user-supplied walltime estimate and the actual runtime.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use simclock::{SimSpan, SimTime};
 
 /// Identifier of a job. IDs are assigned in submission order, which is what
 /// makes the paper's "job correlation vs. ID gap" analysis (Fig. 5c)
 /// meaningful.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct JobId(pub u64);
 
 /// Identifier of a user account.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct UserId(pub u32);
 
+// Newtype ids serialize as their bare numbers (the offline serde stub has
+// no derive macro, so these impls are written out).
+impl Serialize for JobId {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for JobId {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u64::from_value(v).map(JobId)
+    }
+}
+
+impl Serialize for UserId {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for UserId {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u32::from_value(v).map(UserId)
+    }
+}
+
 /// One batch job as recorded in a workload trace.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Job {
     /// Submission-order id.
     pub id: JobId,
@@ -42,6 +64,36 @@ pub struct Job {
     pub actual_runtime: SimSpan,
 }
 
+impl Serialize for Job {
+    fn to_value(&self) -> Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("id".to_string(), self.id.to_value());
+        m.insert("name".to_string(), self.name.to_value());
+        m.insert("user".to_string(), self.user.to_value());
+        m.insert("nodes".to_string(), self.nodes.to_value());
+        m.insert("cores_per_node".to_string(), self.cores_per_node.to_value());
+        m.insert("submit".to_string(), self.submit.to_value());
+        m.insert("user_estimate".to_string(), self.user_estimate.to_value());
+        m.insert("actual_runtime".to_string(), self.actual_runtime.to_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for Job {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Job {
+            id: serde::field(v, "id")?,
+            name: serde::field(v, "name")?,
+            user: serde::field(v, "user")?,
+            nodes: serde::field(v, "nodes")?,
+            cores_per_node: serde::field(v, "cores_per_node")?,
+            submit: serde::field(v, "submit")?,
+            user_estimate: serde::field(v, "user_estimate")?,
+            actual_runtime: serde::field(v, "actual_runtime")?,
+        })
+    }
+}
+
 impl Job {
     /// Total cores requested.
     pub fn cores(&self) -> u64 {
@@ -56,9 +108,8 @@ impl Job {
     /// Estimation accuracy `P = t_s / t_r` of the user estimate (Fig. 5a);
     /// `None` when the user gave no estimate. `P > 1` is overestimation.
     pub fn user_p(&self) -> Option<f64> {
-        self.user_estimate.map(|e| {
-            e.as_secs_f64() / self.actual_runtime.as_secs_f64().max(1.0)
-        })
+        self.user_estimate
+            .map(|e| e.as_secs_f64() / self.actual_runtime.as_secs_f64().max(1.0))
     }
 
     /// The paper's correlation criterion: two jobs are correlated when they
@@ -126,9 +177,18 @@ mod tests {
     fn correlation_criterion() {
         let a = job("cfd", 8, 1000, 0);
         assert!(a.correlated_with(&job("cfd", 8, 1500, 50)));
-        assert!(!a.correlated_with(&job("cfd", 8, 2500, 50)), "runtime too far");
-        assert!(!a.correlated_with(&job("cfd", 16, 1000, 50)), "different nodes");
-        assert!(!a.correlated_with(&job("bio", 8, 1000, 50)), "different name");
+        assert!(
+            !a.correlated_with(&job("cfd", 8, 2500, 50)),
+            "runtime too far"
+        );
+        assert!(
+            !a.correlated_with(&job("cfd", 16, 1000, 50)),
+            "different nodes"
+        );
+        assert!(
+            !a.correlated_with(&job("bio", 8, 1000, 50)),
+            "different name"
+        );
     }
 
     #[test]

@@ -31,7 +31,14 @@ pub fn cdf(values: &[f64], points: &[f64]) -> Vec<(f64, f64)> {
         .iter()
         .map(|&x| {
             let cnt = sorted.partition_point(|&v| v <= x);
-            (x, if sorted.is_empty() { 0.0 } else { cnt as f64 / sorted.len() as f64 })
+            (
+                x,
+                if sorted.is_empty() {
+                    0.0
+                } else {
+                    cnt as f64 / sorted.len() as f64
+                },
+            )
         })
         .collect()
 }
@@ -151,7 +158,14 @@ pub fn correlation_vs_interval(
             }
         }
         let mid = (lo + hi) / 2.0;
-        out.push((mid, if total == 0 { 0.0 } else { correlated as f64 / total as f64 }));
+        out.push((
+            mid,
+            if total == 0 {
+                0.0
+            } else {
+                correlated as f64 / total as f64
+            },
+        ));
     }
     out
 }
@@ -178,7 +192,14 @@ pub fn correlation_vs_id_gap(
                     }
                 }
             }
-            (g, if total == 0 { 0.0 } else { correlated as f64 / total as f64 })
+            (
+                g,
+                if total == 0 {
+                    0.0
+                } else {
+                    correlated as f64 / total as f64
+                },
+            )
         })
         .collect()
 }
@@ -209,11 +230,7 @@ pub fn size_histogram(jobs: &[Job]) -> Vec<(u32, usize)> {
 /// Offered node-load over time: the fraction of `capacity` node-seconds
 /// demanded in each `bucket`-long window (assuming immediate starts). The
 /// input to sizing saturating replays.
-pub fn offered_load_profile(
-    jobs: &[Job],
-    capacity: u32,
-    bucket: SimSpan,
-) -> Vec<(u64, f64)> {
+pub fn offered_load_profile(jobs: &[Job], capacity: u32, bucket: SimSpan) -> Vec<(u64, f64)> {
     if jobs.is_empty() || capacity == 0 || bucket.as_secs() == 0 {
         return Vec::new();
     }
@@ -331,7 +348,7 @@ mod tests {
     fn resubmit_probability_on_crafted_trace() {
         let jobs = vec![
             mk("x", 1, 0, 100, None),
-            mk("x", 1, 3600, 100, None),            // within 24 h -> hit
+            mk("x", 1, 3600, 100, None), // within 24 h -> hit
             mk("x", 1, 3600 + 100 * 3600, 100, None), // 100 h later -> miss
         ];
         assert!((resubmit_within_24h_prob(&jobs) - 0.5).abs() < 1e-9);
@@ -340,8 +357,7 @@ mod tests {
     #[test]
     fn correlation_decays_with_interval() {
         let jobs = TraceConfig::small(6000, 21).generate();
-        let series =
-            correlation_vs_interval(&jobs, &[0.0, 0.1, 1.0, 10.0, 30.0, 100.0], 4000, 1);
+        let series = correlation_vs_interval(&jobs, &[0.0, 0.1, 1.0, 10.0, 30.0, 100.0], 4000, 1);
         assert_eq!(series.len(), 5);
         let first = series.first().unwrap().1;
         let last = series.last().unwrap().1;

@@ -60,7 +60,10 @@ impl SwfRecord {
     fn parse(line: &str, lineno: usize) -> io::Result<SwfRecord> {
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 18 {
-            return Err(bad(lineno, &format!("expected 18 fields, found {}", fields.len())));
+            return Err(bad(
+                lineno,
+                &format!("expected 18 fields, found {}", fields.len()),
+            ));
         }
         let int = |idx: usize| -> io::Result<i64> {
             fields[idx]
@@ -120,7 +123,10 @@ impl SwfRecord {
 }
 
 fn bad(lineno: usize, msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("SWF line {lineno}: {msg}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("SWF line {lineno}: {msg}"),
+    )
 }
 
 /// How SWF processor counts map onto our node-oriented [`Job`] model.
@@ -136,7 +142,10 @@ pub struct SwfImportOptions {
 
 impl Default for SwfImportOptions {
     fn default() -> Self {
-        SwfImportOptions { cores_per_node: 1, completed_only: true }
+        SwfImportOptions {
+            cores_per_node: 1,
+            completed_only: true,
+        }
     }
 }
 
@@ -149,7 +158,11 @@ pub fn record_to_job(r: &SwfRecord, opts: &SwfImportOptions, id: u64) -> Option<
     if r.run_time <= 0 || r.submit < 0 {
         return None;
     }
-    let procs = if r.requested_procs > 0 { r.requested_procs } else { r.allocated_procs };
+    let procs = if r.requested_procs > 0 {
+        r.requested_procs
+    } else {
+        r.allocated_procs
+    };
     if procs <= 0 {
         return None;
     }
@@ -163,8 +176,7 @@ pub fn record_to_job(r: &SwfRecord, opts: &SwfImportOptions, id: u64) -> Option<
         nodes,
         cores_per_node: opts.cores_per_node,
         submit: SimTime::from_secs(r.submit as u64),
-        user_estimate: (r.requested_time > 0)
-            .then(|| SimSpan::from_secs(r.requested_time as u64)),
+        user_estimate: (r.requested_time > 0).then(|| SimSpan::from_secs(r.requested_time as u64)),
         actual_runtime: SimSpan::from_secs(r.run_time as u64),
     })
 }
@@ -252,7 +264,10 @@ mod tests {
     fn cores_per_node_scaling() {
         let line = "1 0 -1 600 48 -1 -1 48 900 -1 1 3 1 9 1 1 -1 -1";
         let r = SwfRecord::parse(line, 1).unwrap();
-        let opts = SwfImportOptions { cores_per_node: 16, completed_only: true };
+        let opts = SwfImportOptions {
+            cores_per_node: 16,
+            completed_only: true,
+        };
         let job = record_to_job(&r, &opts, 0).unwrap();
         assert_eq!(job.nodes, 3);
         assert_eq!(job.cores(), 48);
@@ -279,7 +294,10 @@ mod tests {
         let jobs = TraceConfig::small(120, 3).generate();
         let path = tmp("rt.swf");
         save_swf(&jobs, &path).unwrap();
-        let opts = SwfImportOptions { cores_per_node: 12, completed_only: true };
+        let opts = SwfImportOptions {
+            cores_per_node: 12,
+            completed_only: true,
+        };
         let back = load_swf(&path, &opts).unwrap();
         assert_eq!(back.len(), jobs.len());
         for (a, b) in jobs.iter().zip(&back) {

@@ -22,7 +22,10 @@ fn main() {
     trace_cfg.horizon = SimSpan::from_hours(7 * 24);
     trace_cfg.jobs = 9_000;
     let jobs = trace_cfg.generate();
-    println!("replaying {} jobs over one week on {nodes} nodes\n", jobs.len());
+    println!(
+        "replaying {} jobs over one week on {nodes} nodes\n",
+        jobs.len()
+    );
 
     let run = |name: &str, policy: &mut dyn LimitPolicy, cfg: &BackfillConfig| {
         let r = simulate(&jobs, policy, cfg);

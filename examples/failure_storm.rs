@@ -71,7 +71,11 @@ fn main() {
     use eslurm_suite::eslurm::{EslurmConfig, EslurmSystemBuilder};
     use std::sync::{Arc, Mutex};
 
-    let cfg = EslurmConfig { n_satellites: 4, eq1_width: 512, ..Default::default() };
+    let cfg = EslurmConfig {
+        n_satellites: 4,
+        eq1_width: 512,
+        ..Default::default()
+    };
     // Shift ground truth by the node-id offset of the full system layout
     // (0 = master, 1..=4 satellites, compute nodes after).
     let sys_plan = {

@@ -12,7 +12,7 @@ fn main() {
     // A 256-node cluster managed by one master and two satellite nodes.
     let config = EslurmConfig {
         n_satellites: 2,
-        eq1_width: 64,  // one satellite per 64 job nodes (Eq. 1 width)
+        eq1_width: 64,   // one satellite per 64 job nodes (Eq. 1 width)
         relay_width: 16, // fan-out of the FP communication trees
         ..Default::default()
     };
@@ -20,9 +20,24 @@ fn main() {
 
     // Submit three jobs: a small one, a half-cluster one, and a full-
     // cluster one, each running for a minute of virtual time.
-    system.submit(SimTime::from_secs(5), 1, &(0..16).collect::<Vec<_>>(), SimSpan::from_secs(60));
-    system.submit(SimTime::from_secs(6), 2, &(16..144).collect::<Vec<_>>(), SimSpan::from_secs(60));
-    system.submit(SimTime::from_secs(7), 3, &(0..256).collect::<Vec<_>>(), SimSpan::from_secs(60));
+    system.submit(
+        SimTime::from_secs(5),
+        1,
+        &(0..16).collect::<Vec<_>>(),
+        SimSpan::from_secs(60),
+    );
+    system.submit(
+        SimTime::from_secs(6),
+        2,
+        &(16..144).collect::<Vec<_>>(),
+        SimSpan::from_secs(60),
+    );
+    system.submit(
+        SimTime::from_secs(7),
+        3,
+        &(0..256).collect::<Vec<_>>(),
+        SimSpan::from_secs(60),
+    );
 
     // Run ten minutes of virtual time.
     system.sim.run_until(SimTime::from_secs(600));

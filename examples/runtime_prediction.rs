@@ -39,7 +39,9 @@ fn main() {
     // Estimate the next 2 000 submissions before "running" them.
     let (mut model_ea, mut user_ea, mut model_n, mut from_model) = (0.0, 0.0, 0.0, 0);
     for job in incoming {
-        let Some(est) = framework.estimate(job) else { continue };
+        let Some(est) = framework.estimate(job) else {
+            continue;
+        };
         let actual = job.actual_runtime.as_secs_f64();
         model_ea += estimation_accuracy(est.runtime.as_secs_f64(), actual);
         model_n += 1.0;

@@ -9,8 +9,8 @@
 
 use eslurm_suite::simclock::SimSpan;
 use eslurm_suite::topology::{
-    broadcast, chassis_locality, fine_tune, leaf_positions, rearrange, topology_order,
-    BcastParams, Structure,
+    broadcast, chassis_locality, fine_tune, leaf_positions, rearrange, topology_order, BcastParams,
+    Structure,
 };
 use std::collections::HashSet;
 

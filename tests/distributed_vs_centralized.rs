@@ -30,7 +30,11 @@ fn run_centralized(profile: RmProfile) -> (SimSpan, u64, u32, u64) {
 }
 
 fn run_eslurm() -> (SimSpan, u64, u32, u64) {
-    let cfg = EslurmConfig { n_satellites: 2, eq1_width: 256, ..Default::default() };
+    let cfg = EslurmConfig {
+        n_satellites: 2,
+        eq1_width: 256,
+        ..Default::default()
+    };
     let mut sys = EslurmSystemBuilder::new(cfg, N, 7).build();
     for j in 0..20u64 {
         sys.submit(
@@ -84,13 +88,19 @@ fn eslurm_master_sockets_independent_of_cluster_size() {
     // The defining scalability property: master connections track the
     // satellite pool, not the compute-node count.
     let peak_for = |n_slaves: usize| {
-        let cfg = EslurmConfig { n_satellites: 2, ..Default::default() };
+        let cfg = EslurmConfig {
+            n_satellites: 2,
+            ..Default::default()
+        };
         let mut sys = EslurmSystemBuilder::new(cfg, n_slaves, 9).build();
         sys.sim.run_until(SimTime::from_secs(600));
         sys.sim.meter(NodeId::MASTER).peak_sockets()
     };
     let small = peak_for(64);
     let big = peak_for(1024);
-    assert!(big <= small + 2, "master sockets grew with the cluster: {small} -> {big}");
+    assert!(
+        big <= small + 2,
+        "master sockets grew with the cluster: {small} -> {big}"
+    );
     assert!(big <= 8);
 }

@@ -1,6 +1,7 @@
-//! End-to-end integration: a full ESlurm deployment (master + satellites
-//! + compute nodes) on the discrete-event emulator, with a live workload,
-//! ground-truth failures, and a monitoring-fed FP-Tree constructor.
+//! End-to-end integration: a full ESlurm deployment (master, satellites,
+//! and compute nodes) on the discrete-event emulator, with a live
+//! workload, ground-truth failures, and a monitoring-fed FP-Tree
+//! constructor.
 
 use eslurm_suite::emu::{FaultPlan, NodeId, Outage};
 use eslurm_suite::eslurm::{EslurmConfig, EslurmSystemBuilder, SatState};
@@ -33,8 +34,7 @@ fn workload_completes_with_failures_and_prediction() {
         })
         .collect();
     let plan = FaultPlan::from_outages(total, outages);
-    let predictor =
-        OraclePredictor::new(plan.clone(), SimSpan::from_secs(120), 3);
+    let predictor = OraclePredictor::new(plan.clone(), SimSpan::from_secs(120), 3);
     let mut sys = EslurmSystemBuilder::new(cfg(m), n_slaves, 21)
         .faults(plan)
         .predictor(Arc::new(Mutex::new(predictor)))
@@ -110,7 +110,9 @@ fn satellite_crash_recovers_and_fsm_tracks_it() {
             up_at: SimTime::from_secs(300),
         }],
     );
-    let mut sys = EslurmSystemBuilder::new(cfg(m), n_slaves, 5).faults(plan).build();
+    let mut sys = EslurmSystemBuilder::new(cfg(m), n_slaves, 5)
+        .faults(plan)
+        .build();
     for j in 0..20u64 {
         sys.submit(
             SimTime::from_secs(35 + j * 10),
@@ -129,7 +131,10 @@ fn satellite_crash_recovers_and_fsm_tracks_it() {
         );
         // While down, the FSM shows FAULT (not yet 20 min → not DOWN).
         let st = master.satellite_state(0, sys.sim.now());
-        assert!(matches!(st, SatState::Fault | SatState::Down), "state {st:?}");
+        assert!(
+            matches!(st, SatState::Fault | SatState::Down),
+            "state {st:?}"
+        );
     }
     // After recovery, heartbeats bring it back to RUNNING.
     sys.sim.run_until(SimTime::from_secs(400));
@@ -154,7 +159,11 @@ fn identical_seeds_identical_outcomes() {
         }
         sys.sim.run_until(SimTime::from_secs(600));
         let m = sys.master();
-        let occs: Vec<u64> = m.records.iter().map(|r| r.occupation().as_micros()).collect();
+        let occs: Vec<u64> = m
+            .records
+            .iter()
+            .map(|r| r.occupation().as_micros())
+            .collect();
         (sys.sim.events_processed(), occs, m.sweeps.len())
     };
     assert_eq!(run(9), run(9));

@@ -3,9 +3,7 @@
 //! the whole chain.
 
 use eslurm_suite::eslurm::PredictiveLimit;
-use eslurm_suite::estimate::{
-    evaluate, EslurmPredictor, EstimatorConfig, Last2, UserEstimate,
-};
+use eslurm_suite::estimate::{evaluate, EslurmPredictor, EstimatorConfig, Last2, UserEstimate};
 use eslurm_suite::sched::{simulate, BackfillConfig, UserLimit};
 use eslurm_suite::workload::{trace, TraceConfig};
 

@@ -5,15 +5,18 @@
 
 use eslurm_suite::emu::{NodeId, ThreadCluster};
 use eslurm_suite::eslurm::{EslurmConfig, EslurmNode, EslurmSystemBuilder, SatelliteDaemon};
+use eslurm_suite::rm::master::CentralizedMaster;
 use eslurm_suite::rm::proto::{CtlKind, NodeSlice, RmMsg};
 use eslurm_suite::rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
-use eslurm_suite::rm::master::CentralizedMaster;
 use eslurm_suite::rm::{RmNode, RmProfile};
 use eslurm_suite::simclock::{SimSpan, SimTime};
 use std::time::Duration;
 
 fn quiet_slave() -> SlaveDaemon {
-    SlaveDaemon::new(SlaveConfig { heartbeat: SlaveHeartbeat::None, ..Default::default() })
+    SlaveDaemon::new(SlaveConfig {
+        heartbeat: SlaveHeartbeat::None,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -38,7 +41,9 @@ fn centralized_job_lifecycle_on_threads() {
     );
     std::thread::sleep(Duration::from_millis(600));
     let done = cluster.shutdown();
-    let RmNode::Master(master) = &done[0].0 else { panic!() };
+    let RmNode::Master(master) = &done[0].0 else {
+        panic!()
+    };
     assert_eq!(master.records.len(), 1, "job did not complete on threads");
     let r = master.records[0];
     assert_eq!(r.nodes, n);
@@ -52,7 +57,11 @@ fn centralized_job_lifecycle_on_threads() {
 #[test]
 fn satellite_relay_on_threads_matches_des_outcome() {
     let n_slaves = 60usize;
-    let cfg = EslurmConfig { eq1_width: 64, relay_width: 4, ..Default::default() };
+    let cfg = EslurmConfig {
+        eq1_width: 64,
+        relay_width: 4,
+        ..Default::default()
+    };
 
     // --- Thread transport: master log at node 0, satellite at 1.
     struct Log(Vec<RmMsg>);
@@ -129,13 +138,21 @@ fn satellite_relay_on_threads_matches_des_outcome() {
         .filter(|m| matches!(m, RmMsg::BcastDone { .. }))
         .collect();
     assert_eq!(thread_outcome.len(), 1, "satellite never reported");
-    let RmMsg::BcastDone { reached: thread_reached, ok: true, .. } = thread_outcome[0] else {
+    let RmMsg::BcastDone {
+        reached: thread_reached,
+        ok: true,
+        ..
+    } = thread_outcome[0]
+    else {
         panic!("unexpected report {:?}", thread_outcome[0]);
     };
 
     // --- DES transport: the full system wiring, same satellite logic.
     let mut sys = EslurmSystemBuilder::new(
-        EslurmConfig { n_satellites: 1, ..cfg },
+        EslurmConfig {
+            n_satellites: 1,
+            ..cfg
+        },
         n_slaves,
         3,
     )
