@@ -154,12 +154,9 @@ fn main() {
         for rm in rms {
             let mut policy = policy_for(rm);
             let cfg = BackfillConfig {
-                nodes,
-                algo: sched::SchedAlgo::Easy,
                 dispatch: dispatch_for(rm, nodes),
-                kill_at_limit: true,
-                max_resubmits: 3,
                 rm_outages: outages_for(rm, nodes, SimSpan::from_hours(days * 24 + 48)),
+                ..BackfillConfig::new(nodes)
             };
             let r = simulate(&jobs, policy.as_mut(), &cfg);
             let util = r.utilization();

@@ -14,6 +14,7 @@ use estimate::{
     evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2, Prep,
     RuntimePredictor, Trip, UserEstimate,
 };
+use obs::{Hist, Recorder};
 use simclock::{SimSpan, SimTime};
 use workload::TraceConfig;
 
@@ -31,27 +32,27 @@ fn main() {
             hb_sweep_interval: SimSpan::from_secs(120),
             ..Default::default()
         };
-        let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed).build();
+        let rec = Recorder::metrics_only();
+        let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed)
+            .obs(rec.clone())
+            .build();
         sys.sim.run_until(horizon);
-        let master = sys.master();
-        let sweeps = &master.sweeps;
-        let avg = if sweeps.is_empty() {
+        // The recorder bins sweep-completion times as they happen; the
+        // exact mean comes from the histogram's running sum.
+        let sweeps = rec.hist(Hist::SweepCompletionUs);
+        let avg = if sweeps.count == 0 {
             f64::NAN
         } else {
-            sweeps
-                .iter()
-                .map(|s| s.completion.as_secs_f64())
-                .sum::<f64>()
-                / sweeps.len() as f64
+            sweeps.mean() / 1e6
         };
         let master_sockets = sys.sim.meter(NodeId::MASTER).peak_sockets();
         rows.push(vec![
             m.to_string(),
             f(avg, 3),
-            sweeps.len().to_string(),
+            sweeps.count.to_string(),
             master_sockets.to_string(),
         ]);
-        println!("m={m:2}: avg sweep {avg:.3}s over {} sweeps", sweeps.len());
+        println!("m={m:2}: avg sweep {avg:.3}s over {} sweeps", sweeps.count);
     }
     print_table(
         &format!("Fig 11a — heartbeat broadcast time vs satellites ({n} nodes)"),

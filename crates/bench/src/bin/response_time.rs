@@ -12,8 +12,7 @@ use emu::NodeId;
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, print_table, write_csv, ExpArgs};
 use rand::RngExt;
-use rm::proto::RmMsg;
-use rm::{build_cluster, inject_job_stream, RmProfile};
+use rm::{build_cluster, inject_job_stream, RmMsg, RmProfile};
 use simclock::rng::stream_rng;
 use simclock::{SimSpan, SimTime};
 

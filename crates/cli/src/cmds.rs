@@ -1,11 +1,14 @@
 //! The CLI subcommands.
 
+use crate::error::CliError;
 use crate::opts::Opts;
-use eslurm::{EslurmConfig, EslurmSystemBuilder, PredictiveLimit};
+use emu::{FaultPlan, FaultPlanBuilder, NodeId, Outage};
+use eslurm::{EslurmConfig, EslurmSystem, EslurmSystemBuilder, PredictiveLimit};
 use estimate::{
     evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2, Prep,
     RuntimePredictor, Trip, UserEstimate,
 };
+use obs::Recorder;
 use sched::{
     simulate as run_schedule, BackfillConfig, LimitPolicy, OracleLimit, SchedAlgo, UserLimit,
 };
@@ -13,53 +16,179 @@ use simclock::{SimSpan, SimTime};
 use std::path::Path;
 use workload::{stats, swf, trace, Job, TraceConfig};
 
-fn help(name: &str, summary: &str, o: &Opts) -> Result<(), String> {
-    println!("eslurm {name} — {summary}\noptions:");
-    for k in o.known() {
-        println!("    --{k} <value>");
-    }
-    Ok(())
+/// One subcommand: its name, a one-line summary, and the flags it takes.
+pub struct CmdSpec {
+    /// The subcommand name as typed on the command line.
+    pub name: &'static str,
+    /// One-line summary shown in help.
+    pub summary: &'static str,
+    /// Accepted `--flags`.
+    pub flags: &'static [&'static str],
 }
 
-fn load_trace(path: &str) -> Result<Vec<Job>, String> {
+/// Every subcommand the CLI knows, in help order.
+pub const COMMANDS: &[CmdSpec] = &[
+    CmdSpec {
+        name: "gen-trace",
+        summary: "generate a synthetic workload trace",
+        flags: &["jobs", "system", "seed", "out"],
+    },
+    CmdSpec {
+        name: "analyze",
+        summary: "workload statistics for a trace",
+        flags: &["samples", "seed"],
+    },
+    CmdSpec {
+        name: "replay",
+        summary: "replay a trace through the backfill scheduler",
+        flags: &["nodes", "policy", "algo", "resubmits", "obs"],
+    },
+    CmdSpec {
+        name: "predict",
+        summary: "compare runtime-prediction models",
+        flags: &["warmup", "window", "seed"],
+    },
+    CmdSpec {
+        name: "simulate",
+        summary: "run an emulated ESlurm cluster",
+        flags: &[
+            "nodes",
+            "satellites",
+            "minutes",
+            "jobs",
+            "seed",
+            "faults",
+            "obs",
+        ],
+    },
+    CmdSpec {
+        name: "trace",
+        summary: "record an execution trace of an emulated faulted run",
+        flags: &[
+            "nodes",
+            "satellites",
+            "minutes",
+            "jobs",
+            "seed",
+            "faults",
+            "out",
+            "format",
+        ],
+    },
+    CmdSpec {
+        name: "convert",
+        summary: "convert between .jsonl and .swf traces",
+        flags: &["cores-per-node"],
+    },
+];
+
+fn spec(name: &str) -> Option<&'static CmdSpec> {
+    COMMANDS.iter().find(|c| c.name == name)
+}
+
+/// Print the option list for `name` (used for `--help` and after usage
+/// errors). Unknown names print nothing.
+pub fn print_help(name: &str) {
+    if let Some(s) = spec(name) {
+        println!("eslurm {} — {}\noptions:", s.name, s.summary);
+        for k in s.flags {
+            println!("    --{k} <value>");
+        }
+    }
+}
+
+/// Parse `args` against the subcommand's declared flags.
+fn parse_opts(name: &'static str, args: &[String]) -> Result<Opts, CliError> {
+    let s = spec(name).expect("command registered in COMMANDS");
+    Opts::parse(args, s.flags).map_err(|e| CliError::usage(name, e))
+}
+
+/// A typed flag with a default; bad values are usage errors.
+fn flag_or<T: std::str::FromStr>(
+    cmd: &'static str,
+    o: &Opts,
+    name: &str,
+    default: T,
+) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    o.get_or(name, default).map_err(|e| CliError::usage(cmd, e))
+}
+
+fn load_trace(path: &str) -> Result<Vec<Job>, CliError> {
     let p = Path::new(path);
     let jobs = if path.ends_with(".swf") {
         swf::load_swf(p, &swf::SwfImportOptions::default())
     } else {
         trace::load_jsonl(p)
     }
-    .map_err(|e| format!("loading {path}: {e}"))?;
+    .map_err(|e| CliError::io(format!("loading {path}"), e))?;
     if jobs.is_empty() {
-        return Err(format!("{path}: trace is empty"));
+        return Err(CliError::parse(path, "trace is empty"));
     }
     Ok(jobs)
 }
 
-fn save_trace(jobs: &[Job], path: &str) -> Result<(), String> {
+fn save_trace(jobs: &[Job], path: &str) -> Result<(), CliError> {
     let p = Path::new(path);
     if path.ends_with(".swf") {
         swf::save_swf(jobs, p)
     } else {
         trace::save_jsonl(jobs, p)
     }
-    .map_err(|e| format!("writing {path}: {e}"))
+    .map_err(|e| CliError::io(format!("writing {path}"), e))
+}
+
+/// Serialize the recorded events in the requested format and write them.
+fn write_obs(rec: &Recorder, path: &str, format: &str) -> Result<usize, CliError> {
+    let events = rec.events();
+    let body = match format {
+        "chrome" => obs::export::to_chrome_trace(&events),
+        "jsonl" => obs::export::to_jsonl(&events),
+        other => {
+            return Err(CliError::usage(
+                "trace",
+                format!("unknown --format {other} (chrome | jsonl)"),
+            ))
+        }
+    };
+    std::fs::write(path, body).map_err(|e| CliError::io(format!("writing {path}"), e))?;
+    Ok(events.len())
+}
+
+/// Trace format implied by a file name: `.jsonl` means line-delimited
+/// events, anything else the Chrome trace JSON Perfetto loads.
+fn format_for(path: &str) -> &'static str {
+    if path.ends_with(".jsonl") {
+        "jsonl"
+    } else {
+        "chrome"
+    }
 }
 
 /// `eslurm gen-trace --jobs N --system tianhe2a|ng --seed S --out FILE`
-pub fn gen_trace(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["jobs", "system", "seed", "out"])?;
+pub fn gen_trace(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "gen-trace";
+    let o = parse_opts(CMD, args)?;
     if o.wants_help() {
-        return help("gen-trace", "generate a synthetic workload trace", &o);
+        print_help(CMD);
+        return Ok(());
     }
     let system = o.get("system").unwrap_or("tianhe2a");
-    let seed = o.get_or("seed", 42u64)?;
+    let seed = flag_or(CMD, &o, "seed", 42u64)?;
     let mut cfg = match system {
         "tianhe2a" => TraceConfig::tianhe2a(),
         "ng" | "ng-tianhe" => TraceConfig::ng_tianhe(),
-        other => return Err(format!("unknown --system {other} (tianhe2a | ng)")),
+        other => {
+            return Err(CliError::usage(
+                CMD,
+                format!("unknown --system {other} (tianhe2a | ng)"),
+            ))
+        }
     }
     .with_seed(seed);
-    let jobs = o.get_or("jobs", 0usize)?;
+    let jobs = flag_or(CMD, &o, "jobs", 0usize)?;
     if jobs > 0 {
         cfg = cfg.shrunk_to(jobs);
     }
@@ -75,14 +204,19 @@ pub fn gen_trace(args: &[String]) -> Result<(), String> {
 }
 
 /// `eslurm analyze FILE`
-pub fn analyze(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["samples", "seed"])?;
+pub fn analyze(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "analyze";
+    let o = parse_opts(CMD, args)?;
     if o.wants_help() {
-        return help("analyze", "workload statistics for a trace", &o);
+        print_help(CMD);
+        return Ok(());
     }
-    let jobs = load_trace(o.positional(0, "trace file")?)?;
-    let samples = o.get_or("samples", 20_000usize)?;
-    let seed = o.get_or("seed", 1u64)?;
+    let path = o
+        .positional(0, "trace file")
+        .map_err(|e| CliError::usage(CMD, e))?;
+    let jobs = load_trace(path)?;
+    let samples = flag_or(CMD, &o, "samples", 20_000usize)?;
+    let seed = flag_or(CMD, &o, "seed", 1u64)?;
 
     let s = stats::summarize(&jobs);
     println!("jobs: {}   users: {}   names: {}", s.jobs, s.users, s.names);
@@ -122,25 +256,28 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `eslurm replay FILE --nodes N --policy user|predictive|oracle --algo ...`
-pub fn replay(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["nodes", "policy", "algo", "resubmits"])?;
+/// `eslurm replay FILE --nodes N --policy user|predictive|oracle --algo ...
+/// [--obs trace.json]`
+pub fn replay(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "replay";
+    let o = parse_opts(CMD, args)?;
     if o.wants_help() {
-        return help(
-            "replay",
-            "replay a trace through the backfill scheduler",
-            &o,
-        );
+        print_help(CMD);
+        return Ok(());
     }
-    let jobs = load_trace(o.positional(0, "trace file")?)?;
-    let nodes = o.get_or("nodes", 1024u32)?;
+    let path = o
+        .positional(0, "trace file")
+        .map_err(|e| CliError::usage(CMD, e))?;
+    let jobs = load_trace(path)?;
+    let nodes = flag_or(CMD, &o, "nodes", 1024u32)?;
     let algo = match o.get("algo").unwrap_or("easy") {
         "easy" => SchedAlgo::Easy,
         "fcfs" => SchedAlgo::Fcfs,
         "conservative" => SchedAlgo::Conservative,
         other => {
-            return Err(format!(
-                "unknown --algo {other} (easy | fcfs | conservative)"
+            return Err(CliError::usage(
+                CMD,
+                format!("unknown --algo {other} (easy | fcfs | conservative)"),
             ))
         }
     };
@@ -149,14 +286,21 @@ pub fn replay(args: &[String]) -> Result<(), String> {
         "predictive" => Box::new(PredictiveLimit::new(EstimatorConfig::default())),
         "oracle" => Box::new(OracleLimit),
         other => {
-            return Err(format!(
-                "unknown --policy {other} (user | predictive | oracle)"
+            return Err(CliError::usage(
+                CMD,
+                format!("unknown --policy {other} (user | predictive | oracle)"),
             ))
         }
     };
+    let rec = if o.get("obs").is_some() {
+        Recorder::full()
+    } else {
+        Recorder::disabled()
+    };
     let cfg = BackfillConfig {
         algo,
-        max_resubmits: o.get_or("resubmits", 3u32)?,
+        max_resubmits: flag_or(CMD, &o, "resubmits", 3u32)?,
+        obs: rec.clone(),
         ..BackfillConfig::new(nodes)
     };
     println!(
@@ -179,19 +323,28 @@ pub fn replay(args: &[String]) -> Result<(), String> {
         "makespan:         {:.1}h",
         r.makespan.as_secs_f64() / 3600.0
     );
+    if let Some(out) = o.get("obs") {
+        let n = write_obs(&rec, out, format_for(out))?;
+        println!("trace:            {n} events -> {out}");
+    }
     Ok(())
 }
 
 /// `eslurm predict FILE [--warmup N] [--window N]`
-pub fn predict(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["warmup", "window", "seed"])?;
+pub fn predict(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "predict";
+    let o = parse_opts(CMD, args)?;
     if o.wants_help() {
-        return help("predict", "compare runtime-prediction models", &o);
+        print_help(CMD);
+        return Ok(());
     }
-    let jobs = load_trace(o.positional(0, "trace file")?)?;
-    let warmup = o.get_or("warmup", jobs.len() / 10)?;
-    let window = o.get_or("window", 2000usize)?;
-    let seed = o.get_or("seed", 7u64)?;
+    let path = o
+        .positional(0, "trace file")
+        .map_err(|e| CliError::usage(CMD, e))?;
+    let jobs = load_trace(path)?;
+    let warmup = flag_or(CMD, &o, "warmup", jobs.len() / 10)?;
+    let window = flag_or(CMD, &o, "window", 2000usize)?;
+    let seed = flag_or(CMD, &o, "seed", 7u64)?;
     let mut models: Vec<Box<dyn RuntimePredictor>> = vec![
         Box::new(UserEstimate),
         Box::new(Last2::default()),
@@ -219,25 +372,37 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `eslurm simulate --nodes N --satellites M --minutes T --jobs J`
-pub fn simulate(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["nodes", "satellites", "minutes", "jobs", "seed"])?;
-    if o.wants_help() {
-        return help("simulate", "run an emulated ESlurm cluster", &o);
-    }
-    let nodes = o.get_or("nodes", 256usize)?;
-    let satellites = o.get_or("satellites", 2usize)?;
-    let minutes = o.get_or("minutes", 10u64)?;
-    let n_jobs = o.get_or("jobs", 20u64)?;
-    let seed = o.get_or("seed", 42u64)?;
-
+/// Shared emulation driver for `simulate` and `trace`: a cluster of
+/// `nodes` compute nodes + `satellites` satellites running a synthetic
+/// job stream for `minutes` of virtual time, optionally with `fault_events`
+/// small outage events hitting the compute nodes.
+#[allow(clippy::too_many_arguments)]
+fn run_emulation(
+    nodes: usize,
+    satellites: usize,
+    minutes: u64,
+    n_jobs: u64,
+    seed: u64,
+    fault_events: usize,
+    rec: Recorder,
+) -> EslurmSystem {
     let cfg = EslurmConfig {
         n_satellites: satellites,
         eq1_width: (nodes / satellites.max(1)).max(32),
         relay_width: 32,
         ..Default::default()
     };
-    let mut sys = EslurmSystemBuilder::new(cfg, nodes, seed).build();
+    let mut builder = EslurmSystemBuilder::new(cfg, nodes, seed).obs(rec);
+    if fault_events > 0 {
+        builder = builder.faults(compute_fault_plan(
+            nodes,
+            satellites,
+            minutes,
+            fault_events,
+            seed,
+        ));
+    }
+    let mut sys = builder.build();
     let horizon = SimTime::ZERO + SimSpan::from_secs(minutes * 60);
     for j in 0..n_jobs {
         let size = ((j % 5 + 1) as usize * nodes / 8).max(1).min(nodes);
@@ -250,6 +415,66 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         );
     }
     sys.sim.run_until(horizon);
+    sys
+}
+
+/// A plan of `events` small outages on the *compute* nodes: the builder
+/// draws node ids in `0..nodes` compute space, which we shift past the
+/// master and satellites into the deployment's global id space.
+fn compute_fault_plan(
+    nodes: usize,
+    satellites: usize,
+    minutes: u64,
+    events: usize,
+    seed: u64,
+) -> FaultPlan {
+    let horizon = SimSpan::from_secs(minutes * 60);
+    let plan = FaultPlanBuilder::new(nodes, horizon, seed ^ 0xFA17)
+        .small_events(events, 4)
+        .mean_outage(SimSpan::from_secs(120))
+        .build();
+    let offset = (1 + satellites) as u32;
+    let shifted: Vec<Outage> = plan
+        .outages()
+        .iter()
+        .map(|o| Outage {
+            node: NodeId(o.node.0 + offset),
+            ..*o
+        })
+        .collect();
+    FaultPlan::from_outages(1 + satellites + nodes, shifted)
+}
+
+/// `eslurm simulate --nodes N --satellites M --minutes T --jobs J
+/// [--faults K] [--obs trace.json]`
+pub fn simulate(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "simulate";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let nodes = flag_or(CMD, &o, "nodes", 256usize)?;
+    let satellites = flag_or(CMD, &o, "satellites", 2usize)?;
+    let minutes = flag_or(CMD, &o, "minutes", 10u64)?;
+    let n_jobs = flag_or(CMD, &o, "jobs", 20u64)?;
+    let seed = flag_or(CMD, &o, "seed", 42u64)?;
+    let fault_events = flag_or(CMD, &o, "faults", 0usize)?;
+
+    let rec = if o.get("obs").is_some() {
+        Recorder::full()
+    } else {
+        Recorder::disabled()
+    };
+    let sys = run_emulation(
+        nodes,
+        satellites,
+        minutes,
+        n_jobs,
+        seed,
+        fault_events,
+        rec.clone(),
+    );
 
     let master = sys.master();
     println!(
@@ -273,17 +498,66 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         m.peak_sockets()
     );
     println!("events processed:  {}", sys.sim.events_processed());
+    if let Some(out) = o.get("obs") {
+        let n = write_obs(&rec, out, format_for(out))?;
+        println!("trace:             {n} events -> {out}");
+        print!("{}", rec.summary());
+    }
+    Ok(())
+}
+
+/// `eslurm trace --nodes N --satellites M --minutes T --jobs J --seed S
+/// --faults K --out FILE --format chrome|jsonl`
+pub fn trace_cmd(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "trace";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let nodes = flag_or(CMD, &o, "nodes", 64usize)?;
+    let satellites = flag_or(CMD, &o, "satellites", 2usize)?;
+    let minutes = flag_or(CMD, &o, "minutes", 5u64)?;
+    let n_jobs = flag_or(CMD, &o, "jobs", 10u64)?;
+    let seed = flag_or(CMD, &o, "seed", 42u64)?;
+    let fault_events = flag_or(CMD, &o, "faults", 2usize)?;
+    let out = o.get("out").unwrap_or("trace.json");
+    let format = o.get("format").unwrap_or_else(|| format_for(out));
+
+    let rec = Recorder::full();
+    let sys = run_emulation(
+        nodes,
+        satellites,
+        minutes,
+        n_jobs,
+        seed,
+        fault_events,
+        rec.clone(),
+    );
+    let n = write_obs(&rec, out, format)?;
+    println!(
+        "traced {nodes}+{satellites} nodes for {minutes} virtual minutes: \
+         {n} events -> {out} ({format})"
+    );
+    println!("jobs completed:    {}/{n_jobs}", sys.master().records.len());
+    print!("{}", rec.summary());
     Ok(())
 }
 
 /// `eslurm convert IN OUT`
-pub fn convert(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["cores-per-node"])?;
+pub fn convert(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "convert";
+    let o = parse_opts(CMD, args)?;
     if o.wants_help() {
-        return help("convert", "convert between .jsonl and .swf traces", &o);
+        print_help(CMD);
+        return Ok(());
     }
-    let input = o.positional(0, "input file")?;
-    let output = o.positional(1, "output file")?;
+    let input = o
+        .positional(0, "input file")
+        .map_err(|e| CliError::usage(CMD, e))?;
+    let output = o
+        .positional(1, "output file")
+        .map_err(|e| CliError::usage(CMD, e))?;
     let jobs = load_trace(input)?;
     save_trace(&jobs, output)?;
     println!("converted {} jobs: {input} -> {output}", jobs.len());

@@ -1,0 +1,125 @@
+//! Typed CLI errors.
+//!
+//! Every subcommand returns `Result<(), CliError>`; `main` maps the
+//! variant to an exit code (usage mistakes exit 2, everything else 1)
+//! and, for usage errors, reprints the relevant subcommand's help.
+
+use std::fmt;
+
+/// What went wrong while running a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// A filesystem operation failed.
+    Io {
+        /// What the CLI was doing, e.g. `loading trace.jsonl`.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Input data was read but could not be interpreted.
+    Parse {
+        /// What was being parsed, e.g. the file path.
+        context: String,
+        /// Parser-level detail.
+        detail: String,
+    },
+    /// The command line itself is wrong: unknown flag, missing argument,
+    /// or a value outside the accepted set.
+    Usage {
+        /// The subcommand the mistake belongs to (empty at top level).
+        command: &'static str,
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl CliError {
+    /// An I/O failure while doing `context`.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        CliError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A malformed-input failure while parsing `context`.
+    pub fn parse(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        CliError::Parse {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// A command-line mistake on `command`.
+    pub fn usage(command: &'static str, message: impl Into<String>) -> Self {
+        CliError::Usage {
+            command,
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io { context, source } => write!(f, "{context}: {source}"),
+            CliError::Parse { context, detail } => write!(f, "{context}: {detail}"),
+            CliError::Usage {
+                command: "",
+                message,
+            } => write!(f, "{message}"),
+            CliError::Usage { command, message } => write!(f, "{command}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_errors_exit_2_others_1() {
+        assert_eq!(CliError::usage("replay", "bad flag").exit_code(), 2);
+        assert_eq!(CliError::parse("t.jsonl", "empty").exit_code(), 1);
+        let io = CliError::io(
+            "loading x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert_eq!(io.exit_code(), 1);
+    }
+
+    #[test]
+    fn display_carries_context() {
+        let e = CliError::parse("trace.swf", "trace is empty");
+        assert_eq!(e.to_string(), "trace.swf: trace is empty");
+        let u = CliError::usage("simulate", "unknown --algo wat");
+        assert_eq!(u.to_string(), "simulate: unknown --algo wat");
+    }
+
+    #[test]
+    fn io_source_is_exposed() {
+        use std::error::Error;
+        let e = CliError::io(
+            "writing out.json",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "ro"),
+        );
+        assert!(e.source().is_some());
+    }
+}

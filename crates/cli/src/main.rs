@@ -6,12 +6,19 @@
 //! eslurm replay trace.jsonl --nodes 1024 --policy predictive --algo easy
 //! eslurm predict trace.jsonl
 //! eslurm simulate --nodes 512 --satellites 4 --minutes 30 --jobs 50
+//! eslurm simulate --nodes 256 --faults 3 --obs trace.json
+//! eslurm trace --nodes 64 --faults 2 --out trace.json
 //! eslurm convert trace.jsonl trace.swf
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (I/O, malformed input),
+//! 2 command-line usage error.
 
 mod cmds;
+mod error;
 mod opts;
 
+use error::CliError;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -26,6 +33,7 @@ COMMANDS:
     replay      Replay a trace through the backfill scheduler
     predict     Compare runtime-prediction models on a trace
     simulate    Run an emulated ESlurm cluster and report RM metrics
+    trace       Record a Perfetto-loadable trace of a faulted emulated run
     convert     Convert between .jsonl and .swf trace formats
     help        Show this message
 
@@ -43,18 +51,32 @@ fn main() -> ExitCode {
         "replay" => cmds::replay(rest),
         "predict" => cmds::predict(rest),
         "simulate" => cmds::simulate(rest),
+        "trace" => cmds::trace_cmd(rest),
         "convert" => cmds::convert(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        other => Err(CliError::usage("", format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(1)
+            if let CliError::Usage { command, .. } = &e {
+                if command.is_empty() {
+                    eprintln!("\n{USAGE}");
+                } else {
+                    print_help_stderr(command);
+                }
+            }
+            ExitCode::from(e.exit_code())
         }
     }
+}
+
+/// Reprint the offending subcommand's option list after a usage error.
+fn print_help_stderr(command: &str) {
+    eprintln!();
+    cmds::print_help(command);
 }

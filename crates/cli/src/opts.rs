@@ -7,7 +7,6 @@ use std::collections::BTreeMap;
 pub struct Opts {
     flags: BTreeMap<String, String>,
     positional: Vec<String>,
-    known: Vec<&'static str>,
     help: bool,
 }
 
@@ -44,7 +43,6 @@ impl Opts {
         Ok(Opts {
             flags,
             positional,
-            known: known.to_vec(),
             help,
         })
     }
@@ -52,11 +50,6 @@ impl Opts {
     /// Whether `--help` was requested.
     pub fn wants_help(&self) -> bool {
         self.help
-    }
-
-    /// The list of accepted flags (for help text).
-    pub fn known(&self) -> &[&'static str] {
-        &self.known
     }
 
     /// A required positional argument.

@@ -6,6 +6,7 @@ use crate::fault::FaultPlan;
 use crate::meter::{Meter, SampleSeries};
 use crate::network::LatencyModel;
 use crate::node::NodeId;
+use obs::{Counter, EventKind, Hist, Recorder};
 use rand::rngs::StdRng;
 use simclock::rng::stream_rng;
 use simclock::{EventQueue, SimSpan, SimTime};
@@ -23,6 +24,10 @@ pub struct SimConfig {
     /// are recorded for the tracked nodes only — at 20K nodes a 1 Hz series
     /// for everyone would dwarf the experiment itself.
     pub sampling: Option<Sampling>,
+    /// Observability sink. Disabled by default; when enabled the transport
+    /// records message counters/latency histograms (and, in full-trace
+    /// mode, send/recv/process spans plus fault-plan node up/down marks).
+    pub obs: Recorder,
 }
 
 /// Periodic meter sampling configuration.
@@ -44,15 +49,33 @@ impl SimConfig {
             latency: LatencyModel::default(),
             faults: FaultPlan::none(n),
             sampling: None,
+            obs: Recorder::disabled(),
         }
     }
 }
 
 enum Ev<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, token: u64 },
-    SocketClose { a: NodeId, b: NodeId },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    SocketClose {
+        a: NodeId,
+        b: NodeId,
+    },
     Sample,
+    /// Fault-plan marker so the trace shows outages at their virtual time.
+    /// Only queued when the recorder is enabled, so un-observed runs see
+    /// an identical event stream.
+    Fault {
+        node: NodeId,
+        up: bool,
+    },
 }
 
 /// Everything the context needs, kept apart from the actors so that an
@@ -65,6 +88,7 @@ struct Inner<M> {
     latency: LatencyModel,
     faults: FaultPlan,
     msg_drops: u64,
+    obs: Recorder,
 }
 
 impl<M: Payload> Inner<M> {
@@ -75,6 +99,19 @@ impl<M: Payload> Inner<M> {
         self.tx_free[me.index()] = depart;
         let arrive = depart + self.latency.latency(size, &mut self.rngs[me.index()]);
         self.meters[me.index()].count_sent();
+        if self.obs.enabled() {
+            let flight = arrive.as_micros() - now.as_micros();
+            self.obs.inc(Counter::MsgsSent);
+            self.obs.observe(Hist::HopLatencyUs, flight);
+            self.obs.span(
+                now.as_micros(),
+                flight,
+                me.0,
+                EventKind::MsgSend,
+                to.0 as u64,
+                size as u64,
+            );
+        }
         self.queue.push(arrive, Ev::Deliver { from: me, to, msg });
     }
 
@@ -208,6 +245,27 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         if let Some(s) = &config.sampling {
             queue.push(SimTime::ZERO + s.interval, Ev::Sample);
         }
+        if config.obs.enabled() {
+            // Fault-plan markers ride the queue so node_down/node_up land in
+            // the trace at their exact virtual time. Skipped entirely when
+            // un-observed, keeping the event stream identical to the seed.
+            for o in config.faults.outages() {
+                queue.push(
+                    o.down_at,
+                    Ev::Fault {
+                        node: o.node,
+                        up: false,
+                    },
+                );
+                queue.push(
+                    o.up_at,
+                    Ev::Fault {
+                        node: o.node,
+                        up: true,
+                    },
+                );
+            }
+        }
         SimCluster {
             actors,
             inner: Inner {
@@ -218,6 +276,7 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 latency: config.latency,
                 faults: config.faults,
                 msg_drops: 0,
+                obs: config.obs,
             },
             sampling: config.sampling,
             series,
@@ -297,6 +356,12 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         self.inner.msg_drops
     }
 
+    /// The observability recorder this cluster records into (disabled
+    /// unless one was supplied via [`SimConfig`]).
+    pub fn obs(&self) -> &Recorder {
+        &self.inner.obs
+    }
+
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -323,14 +388,41 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 let now = self.inner.queue.now();
                 if !self.inner.faults.is_up(to, now) {
                     self.inner.msg_drops += 1;
+                    self.inner.obs.inc(Counter::MsgsDropped);
+                    self.inner
+                        .obs
+                        .event_at(now, to.0, EventKind::MsgDrop, from.0 as u64, 0);
                     return;
                 }
                 self.inner.meters[to.index()].count_received();
+                let tracing = self.inner.obs.events_enabled();
+                let (size, cpu_before) = if tracing {
+                    let s = msg.size_bytes() as u64;
+                    let c = self.inner.meters[to.index()].cpu_time().as_micros();
+                    self.inner
+                        .obs
+                        .event_at(now, to.0, EventKind::MsgRecv, from.0 as u64, s);
+                    (s, c)
+                } else {
+                    (0, 0)
+                };
                 let mut ctx = DesCtx {
                     inner: &mut self.inner,
                     me: to,
                 };
                 self.actors[to.index()].on_message(&mut ctx, from, msg);
+                if tracing {
+                    let cpu = self.inner.meters[to.index()].cpu_time().as_micros() - cpu_before;
+                    self.inner.obs.observe(Hist::MsgProcessUs, cpu);
+                    self.inner.obs.span(
+                        now.as_micros(),
+                        cpu,
+                        to.0,
+                        EventKind::MsgProcess,
+                        from.0 as u64,
+                        size,
+                    );
+                }
             }
             Ev::Timer { node, token } => {
                 let now = self.inner.queue.now();
@@ -362,6 +454,20 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                     series.push(self.inner.meters[node.index()].sample(now));
                 }
                 self.inner.queue.push(now + s.interval, Ev::Sample);
+            }
+            Ev::Fault { node, up } => {
+                let now = self.inner.queue.now();
+                if up {
+                    self.inner.obs.inc(Counter::NodeUps);
+                    self.inner
+                        .obs
+                        .event_at(now, node.0, EventKind::NodeUp, 0, 0);
+                } else {
+                    self.inner.obs.inc(Counter::NodeDowns);
+                    self.inner
+                        .obs
+                        .event_at(now, node.0, EventKind::NodeDown, 0, 0);
+                }
             }
         }
     }

@@ -13,6 +13,7 @@ use crate::fault::FaultPlan;
 use crate::meter::Meter;
 use crate::node::NodeId;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use obs::{Counter, EventKind, Hist, Recorder};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use simclock::rng::stream_rng;
@@ -32,6 +33,9 @@ struct Shared {
     meters: Vec<Mutex<Meter>>,
     up: Vec<AtomicBool>,
     start: Instant,
+    /// Observability sink; events are stamped with wall time since `start`
+    /// (the same µs timeline `now()` reports).
+    obs: Recorder,
 }
 
 impl Shared {
@@ -83,6 +87,16 @@ impl<M: Payload> Context<M> for ThreadCtx<'_, M> {
 
     fn send(&mut self, to: NodeId, msg: M) {
         self.shared.meters[self.me.index()].lock().count_sent();
+        self.shared.obs.inc(Counter::MsgsSent);
+        if self.shared.obs.events_enabled() {
+            self.shared.obs.event_at(
+                self.shared.now(),
+                self.me.0,
+                EventKind::MsgSend,
+                to.0 as u64,
+                msg.size_bytes() as u64,
+            );
+        }
         // A send to a stopped node's closed channel is a drop, like a send
         // to a failed node.
         let _ = self.senders[to.index()].send(Ctl::Msg { from: self.me, msg });
@@ -146,11 +160,19 @@ pub struct ThreadCluster<M: Payload, A: Actor<M> + 'static> {
 impl<M: Payload, A: Actor<M> + 'static> ThreadCluster<M, A> {
     /// Spawn one thread per actor; node `i` runs `actors[i]`.
     pub fn start(actors: Vec<A>, seed: u64) -> Self {
+        Self::start_with_obs(actors, seed, Recorder::disabled())
+    }
+
+    /// Like [`ThreadCluster::start`], but recording into `obs`. Events are
+    /// stamped with wall time since cluster start (µs), so the same trace
+    /// tooling works for both transports.
+    pub fn start_with_obs(actors: Vec<A>, seed: u64, obs: Recorder) -> Self {
         let n = actors.len();
         let shared = Arc::new(Shared {
             meters: (0..n).map(|_| Mutex::new(Meter::new())).collect(),
             up: (0..n).map(|_| AtomicBool::new(true)).collect(),
             start: Instant::now(),
+            obs,
         });
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..n).map(|_| channel::unbounded::<Ctl<M>>()).unzip();
@@ -212,6 +234,13 @@ impl<M: Payload, A: Actor<M> + 'static> ThreadCluster<M, A> {
                         }
                     }
                     shared.up[node].store(up, Ordering::Release);
+                    let (c, k) = if up {
+                        (Counter::NodeUps, EventKind::NodeUp)
+                    } else {
+                        (Counter::NodeDowns, EventKind::NodeDown)
+                    };
+                    shared.obs.inc(c);
+                    shared.obs.event_at(shared.now(), node as u32, k, 0, 0);
                 }
                 // Park until shutdown so the channel stays open.
                 let _ = rx.recv();
@@ -240,6 +269,11 @@ impl<M: Payload, A: Actor<M> + 'static> ThreadCluster<M, A> {
     /// Elapsed cluster time.
     pub fn now(&self) -> SimTime {
         self.shared.now()
+    }
+
+    /// The observability recorder this cluster records into.
+    pub fn obs(&self) -> &Recorder {
+        &self.shared.obs
     }
 
     /// Stop all nodes and return their final actor states with meters.
@@ -334,9 +368,24 @@ fn node_loop<M: Payload, A: Actor<M>>(
             Ok(Ctl::Stop) => return actor,
             Ok(Ctl::Msg { from, msg }) => {
                 if !shared.up[me.index()].load(Ordering::Acquire) {
+                    shared.obs.inc(Counter::MsgsDropped);
+                    shared
+                        .obs
+                        .event_at(shared.now(), me.0, EventKind::MsgDrop, from.0 as u64, 0);
                     continue; // down: drop the message
                 }
                 shared.meters[me.index()].lock().count_received();
+                let tracing = shared.obs.events_enabled();
+                let (size, t0) = if tracing {
+                    let s = msg.size_bytes() as u64;
+                    let t = shared.now();
+                    shared
+                        .obs
+                        .event_at(t, me.0, EventKind::MsgRecv, from.0 as u64, s);
+                    (s, t)
+                } else {
+                    (0, SimTime::ZERO)
+                };
                 let mut ctx = ThreadCtx {
                     shared: &shared,
                     senders: &senders,
@@ -346,6 +395,18 @@ fn node_loop<M: Payload, A: Actor<M>>(
                     rng: &mut rng,
                 };
                 actor.on_message(&mut ctx, from, msg);
+                if tracing {
+                    let dur = shared.now().as_micros().saturating_sub(t0.as_micros());
+                    shared.obs.observe(Hist::MsgProcessUs, dur);
+                    shared.obs.span(
+                        t0.as_micros(),
+                        dur,
+                        me.0,
+                        EventKind::MsgProcess,
+                        from.0 as u64,
+                        size,
+                    );
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return actor,

@@ -46,3 +46,18 @@ pub use limits::PredictiveLimit;
 pub use master::{EslurmMaster, SweepRecord};
 pub use satellite::{FpPlacementStats, SatelliteDaemon};
 pub use system::{EslurmNode, EslurmSystem, EslurmSystemBuilder};
+
+/// One-stop imports for examples, benches, and downstream experiments:
+/// everything needed to assemble a cluster, drive it, and observe it,
+/// without reaching into internal module paths.
+pub mod prelude {
+    pub use crate::config::{satellites_needed, EslurmConfig};
+    pub use crate::fsm::{SatEvent, SatState};
+    pub use crate::master::{EslurmMaster, SweepRecord};
+    pub use crate::satellite::{FpPlacementStats, SatelliteDaemon};
+    pub use crate::system::{EslurmNode, EslurmSystem, EslurmSystemBuilder};
+    pub use emu::{Actor, Context, FaultPlan, FaultPlanBuilder, NodeId, Outage, SimConfig};
+    pub use obs::{Counter, EventKind, Gauge, Hist, MetricsSummary, Recorder, TraceEvent};
+    pub use rm::{CtlKind, NodeSlice, RmMsg};
+    pub use simclock::{SimSpan, SimTime};
+}

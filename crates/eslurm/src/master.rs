@@ -7,6 +7,7 @@
 use crate::config::{partition, satellites_needed, EslurmConfig};
 use crate::fsm::{SatEvent, SatFsm, SatState};
 use emu::{Actor, Context, NodeId};
+use obs::{Counter, EventKind, Gauge, Hist, Recorder};
 use rm::master::JobRecord;
 use rm::proto::{CtlKind, NodeSlice, RmMsg};
 use simclock::{SimSpan, SimTime};
@@ -91,6 +92,7 @@ pub struct EslurmMaster {
     query_arrival: BTreeMap<u64, SimTime>,
     /// `(request id, response latency)` for served user requests.
     pub query_log: Vec<(u64, SimSpan)>,
+    obs: Recorder,
 }
 
 impl EslurmMaster {
@@ -119,6 +121,30 @@ impl EslurmMaster {
             pending_queries: BTreeMap::new(),
             query_arrival: BTreeMap::new(),
             query_log: Vec::new(),
+            obs: Recorder::disabled(),
+        }
+    }
+
+    /// Record job/task/FSM telemetry into `obs` (builder-style).
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Apply an FSM event to satellite `idx`, tracing the transition if
+    /// the observable state actually changed.
+    fn apply_fsm(&mut self, idx: usize, event: SatEvent, now: SimTime) {
+        let before = self.fsm[idx].state(now);
+        let after = self.fsm[idx].apply(event, now);
+        if before != after {
+            self.obs.inc(Counter::FsmTransitions);
+            self.obs.event_at(
+                now,
+                self.satellites[idx],
+                EventKind::FsmTransition,
+                before.wire_id() as u64,
+                after.wire_id() as u64,
+            );
         }
     }
 
@@ -167,6 +193,8 @@ impl EslurmMaster {
         for id in task_ids {
             self.assign_task(ctx, id);
         }
+        self.obs
+            .gauge_set(Gauge::TasksInFlight, self.tasks.len() as i64);
     }
 
     /// Round-robin over RUNNING satellites; `None` if the pool is dry.
@@ -185,12 +213,21 @@ impl EslurmMaster {
     fn assign_task(&mut self, ctx: &mut dyn Context<RmMsg>, task_id: u64) {
         match self.next_satellite(ctx.now()) {
             Some(idx) => {
-                self.fsm[idx].apply(SatEvent::TaskAssigned, ctx.now());
+                self.apply_fsm(idx, SatEvent::TaskAssigned, ctx.now());
+                self.obs.inc(Counter::TasksAssigned);
+                let sat_node = self.satellites[idx] as u64;
                 let task = self
                     .tasks
                     .get_mut(&task_id)
                     .expect("assigning unknown task");
                 task.sat = Some(idx);
+                self.obs.event_at(
+                    ctx.now(),
+                    ctx.me().0,
+                    EventKind::TaskAssign,
+                    task.job,
+                    sat_node,
+                );
                 self.dispatch_q.push_back(task_id);
                 if !self.dispatching {
                     self.dispatching = true;
@@ -205,11 +242,14 @@ impl EslurmMaster {
     /// exceeded or no satellite available) — correctness over offload.
     fn take_over(&mut self, ctx: &mut dyn Context<RmMsg>, task_id: u64) {
         self.takeovers += 1;
+        self.obs.inc(Counter::Takeovers);
         let task = self
             .tasks
             .get_mut(&task_id)
             .expect("takeover of unknown task");
         task.sat = None;
+        self.obs
+            .event_at(ctx.now(), ctx.me().0, EventKind::TaskTakeover, task.job, 0);
         if task.list.is_empty() {
             let (job, kind) = (task.job, task.kind);
             task.done = true;
@@ -271,9 +311,21 @@ impl EslurmMaster {
         // Whole broadcast finished.
         if is_sweep {
             let state = self.jobs.remove(&job).expect("sweep vanished");
+            let completion = ctx.now() - state.submitted;
+            self.obs.inc(Counter::SweepsDone);
+            self.obs
+                .observe(Hist::SweepCompletionUs, completion.as_micros());
+            self.obs.span_from(
+                state.submitted,
+                ctx.now(),
+                ctx.me().0,
+                EventKind::SweepDone,
+                job & !SWEEP_BIT,
+                state.reached as u64,
+            );
             self.sweeps.push(SweepRecord {
                 started: state.submitted,
-                completion: ctx.now() - state.submitted,
+                completion,
                 reached: state.reached,
             });
             return;
@@ -286,6 +338,15 @@ impl EslurmMaster {
             }
             CtlKind::Terminate => {
                 let state = self.jobs.remove(&job).expect("job vanished");
+                self.obs.inc(Counter::JobsCompleted);
+                self.obs.span_from(
+                    state.submitted,
+                    ctx.now(),
+                    ctx.me().0,
+                    EventKind::JobComplete,
+                    job,
+                    0,
+                );
                 Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
                 let keep = self.cfg.job_record_leak as i64;
                 ctx.alloc_virt(-(self.cfg.per_job_virt as i64) + keep);
@@ -347,6 +408,14 @@ impl Actor<RmMsg> for EslurmMaster {
                 Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
                 ctx.alloc_virt(self.cfg.per_job_virt as i64);
                 ctx.alloc_real(self.cfg.per_job_real as i64);
+                self.obs.inc(Counter::JobsSubmitted);
+                self.obs.event_at(
+                    ctx.now(),
+                    ctx.me().0,
+                    EventKind::JobSubmit,
+                    job,
+                    nodes.len() as u64,
+                );
                 self.jobs.insert(
                     job,
                     JobState {
@@ -380,9 +449,11 @@ impl Actor<RmMsg> for EslurmMaster {
                 }
                 t.done = true;
                 if let Some(idx) = t.sat {
-                    self.fsm[idx].apply(SatEvent::BtSuccess, ctx.now());
+                    self.apply_fsm(idx, SatEvent::BtSuccess, ctx.now());
                 }
                 self.tasks.remove(&task);
+                self.obs
+                    .gauge_set(Gauge::TasksInFlight, self.tasks.len() as i64);
                 self.task_completed(ctx, job, kind, reached);
             }
             RmMsg::CtlAck { job, kind, count } => {
@@ -434,7 +505,7 @@ impl Actor<RmMsg> for EslurmMaster {
                 if let Some(idx) = self.satellites.iter().position(|&s| s == from.0) {
                     self.hb_pending[idx] = false;
                     let _ = SatState::from_wire(state);
-                    self.fsm[idx].apply(SatEvent::HbSuccess, ctx.now());
+                    self.apply_fsm(idx, SatEvent::HbSuccess, ctx.now());
                 }
             }
             _ => {}
@@ -453,7 +524,7 @@ impl Actor<RmMsg> for EslurmMaster {
                 for idx in 0..self.satellites.len() {
                     if self.hb_pending[idx] {
                         self.hb_pending[idx] = false;
-                        self.fsm[idx].apply(SatEvent::HbFailure, ctx.now());
+                        self.apply_fsm(idx, SatEvent::HbFailure, ctx.now());
                     }
                 }
                 for idx in 0..self.satellites.len() {
@@ -529,7 +600,17 @@ impl Actor<RmMsg> for EslurmMaster {
             QUERY_REPLY => {
                 if let Some(asker) = self.pending_queries.remove(&id) {
                     if let Some(arrived) = self.query_arrival.remove(&id) {
-                        self.query_log.push((id, ctx.now() - arrived));
+                        let latency = ctx.now() - arrived;
+                        self.obs.inc(Counter::QueriesServed);
+                        self.obs.observe(Hist::QueryLatencyUs, latency.as_micros());
+                        self.obs.event_at(
+                            ctx.now(),
+                            ctx.me().0,
+                            EventKind::QueryServed,
+                            asker.0 as u64,
+                            0,
+                        );
+                        self.query_log.push((id, latency));
                     }
                     ctx.send(asker, RmMsg::StatusReply { id });
                 }
@@ -551,13 +632,22 @@ impl Actor<RmMsg> for EslurmMaster {
                 }
                 // Satellite failed to report: BT-failure, reassign or take
                 // over (paper threshold: 2 reassignments).
-                if let Some(idx) = t.sat.take() {
-                    self.fsm[idx].apply(SatEvent::BtFailure, ctx.now());
-                }
+                let job = t.job;
                 t.attempts += 1;
                 let attempts = t.attempts;
+                if let Some(idx) = t.sat.take() {
+                    self.apply_fsm(idx, SatEvent::BtFailure, ctx.now());
+                }
                 if attempts <= self.cfg.reassign_threshold {
                     self.reassignments += 1;
+                    self.obs.inc(Counter::TaskRetries);
+                    self.obs.event_at(
+                        ctx.now(),
+                        ctx.me().0,
+                        EventKind::TaskRetry,
+                        job,
+                        attempts as u64,
+                    );
                     self.assign_task(ctx, id);
                 } else {
                     self.take_over(ctx, id);

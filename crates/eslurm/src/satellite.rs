@@ -12,6 +12,7 @@ use crate::config::EslurmConfig;
 use crate::fsm::SatState;
 use emu::{Actor, Context, NodeId};
 use monitoring::FailurePredictor;
+use obs::{EventKind, Hist, Recorder};
 use rm::proto::{CtlKind, NodeSlice, RmMsg};
 use simclock::{SimSpan, SimTime};
 use std::collections::BTreeMap;
@@ -77,6 +78,7 @@ pub struct SatelliteDaemon {
     pub task_nodes_total: u64,
     /// FP-Tree placement statistics.
     pub fp_stats: FpPlacementStats,
+    obs: Recorder,
 }
 
 impl SatelliteDaemon {
@@ -93,7 +95,14 @@ impl SatelliteDaemon {
             tasks_done: 0,
             task_nodes_total: 0,
             fp_stats: FpPlacementStats::default(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Record task-service telemetry into `obs` (builder-style).
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
     }
 
     fn state(&self) -> SatState {
@@ -224,7 +233,16 @@ impl SatelliteDaemon {
             return;
         };
         self.tasks_done += 1;
-        let _ = t.started;
+        let service = ctx.now() - t.started;
+        self.obs.observe(Hist::TaskServiceUs, service.as_micros());
+        self.obs.span_from(
+            t.started,
+            ctx.now(),
+            ctx.me().0,
+            EventKind::TaskService,
+            t.job,
+            0,
+        );
         ctx.charge_cpu(self.cfg.msg_cpu);
         ctx.send(
             t.origin,

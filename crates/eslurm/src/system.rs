@@ -10,6 +10,7 @@ use crate::master::EslurmMaster;
 use crate::satellite::SatelliteDaemon;
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
 use monitoring::FailurePredictor;
+use obs::Recorder;
 use rm::proto::{NodeSlice, RmMsg};
 use rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use simclock::{SimSpan, SimTime};
@@ -69,6 +70,7 @@ pub struct EslurmSystemBuilder {
     predictor: Option<Arc<Mutex<dyn FailurePredictor>>>,
     sample_until: Option<SimTime>,
     track_satellites: bool,
+    obs: Recorder,
 }
 
 impl EslurmSystemBuilder {
@@ -82,7 +84,16 @@ impl EslurmSystemBuilder {
             predictor: None,
             sample_until: None,
             track_satellites: false,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Record transport and daemon telemetry into `recorder`: the DES
+    /// traces message flow and fault marks, the master traces job/task/FSM
+    /// activity, and every satellite traces task service times.
+    pub fn obs(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
     }
 
     /// Inject the given outage schedule (indices refer to the final node
@@ -114,16 +125,15 @@ impl EslurmSystemBuilder {
         let slave_ids: Vec<u32> = (m as u32 + 1..total as u32).collect();
 
         let mut actors: Vec<EslurmNode> = Vec::with_capacity(total);
-        actors.push(EslurmNode::Master(EslurmMaster::new(
-            self.cfg.clone(),
-            slave_ids,
-            sat_ids.clone(),
-        )));
+        actors.push(EslurmNode::Master(
+            EslurmMaster::new(self.cfg.clone(), slave_ids, sat_ids.clone())
+                .with_obs(self.obs.clone()),
+        ));
         for _ in 0..m {
-            actors.push(EslurmNode::Satellite(SatelliteDaemon::new(
-                self.cfg.clone(),
-                self.predictor.clone(),
-            )));
+            actors.push(EslurmNode::Satellite(
+                SatelliteDaemon::new(self.cfg.clone(), self.predictor.clone())
+                    .with_obs(self.obs.clone()),
+            ));
         }
         for _ in 0..self.n_slaves {
             // ESlurm compute nodes don't push heartbeats to the master;
@@ -137,6 +147,7 @@ impl EslurmSystemBuilder {
         }
 
         let mut config = SimConfig::new(total, self.seed);
+        config.obs = self.obs;
         if let Some(f) = self.faults {
             config.faults = f;
         }

@@ -1,0 +1,235 @@
+//! Exporters: Chrome-trace JSON (for `chrome://tracing` / Perfetto),
+//! JSONL, and the JSON metrics summary.
+//!
+//! Every exported field is numeric or a static string from the event
+//! taxonomy, so the JSON is assembled by hand — no escaping, no serde
+//! dependency, and the output is byte-for-byte deterministic.
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+use crate::recorder::MetricsSummary;
+
+/// Append one event as a Chrome-trace JSON object. Spans use ph "X"
+/// (complete), instants ph "i" with process scope.
+fn push_chrome_event(out: &mut String, e: &TraceEvent) {
+    let (an, bn) = e.kind.arg_names();
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{}",
+        e.kind.name(),
+        e.kind.category(),
+        e.node,
+        e.ts_us
+    );
+    if e.dur_us > 0 {
+        let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", e.dur_us);
+    } else {
+        out.push_str(",\"ph\":\"i\",\"s\":\"p\"");
+    }
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    for (name, val) in [(an, e.a), (bn, e.b)] {
+        if !name.is_empty() {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{val}");
+            first = false;
+        }
+    }
+    out.push_str("}}");
+}
+
+/// Render events as a Chrome-trace document (`{"traceEvents":[...]}`).
+/// Events are sorted by timestamp so the file loads with a monotone
+/// timeline regardless of recording order.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.ts_us);
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_chrome_event(&mut out, e);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Render events as JSONL: one flat object per line, in recording order
+/// (useful for `jq`/grep pipelines and diffing same-seed runs).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 80);
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{{\"ts_us\":{},\"dur_us\":{},\"node\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+            e.ts_us,
+            e.dur_us,
+            e.node,
+            e.kind.name(),
+            e.a,
+            e.b
+        );
+    }
+    out
+}
+
+/// Render a metrics summary as a single JSON object
+/// (`{"counters":{...},"gauges":{...},"hists":{...}}`).
+pub fn summary_to_json(s: &MetricsSummary) -> String {
+    let mut out = String::new();
+    out.push_str("{\"counters\":{");
+    for (i, (c, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", c.name());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (g, v)) in s.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", g.name());
+    }
+    out.push_str("},\"hists\":{");
+    for (i, (h, snap)) in s.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"bounds\":[",
+            h.name(),
+            snap.count,
+            snap.sum
+        );
+        for (j, b) in snap.bounds.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("],\"buckets\":[");
+        for (j, c) in snap.counts.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push_str("]}");
+    }
+    let _ = write!(out, "}},\"n_events\":{}}}", s.n_events);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::recorder::Recorder;
+    use serde::Value;
+
+    fn as_u64(v: &Value) -> Option<u64> {
+        match v {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    fn as_str(v: &Value) -> Option<&str> {
+        match v {
+            Value::String(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn as_array(v: &Value) -> Option<&[Value]> {
+        match v {
+            Value::Array(a) => Some(a.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The Chrome-trace document must parse as JSON with the documented
+    /// shape: a traceEvents array of objects carrying name/ph/ts/pid/tid,
+    /// spans with dur, instants with scope.
+    #[test]
+    fn chrome_trace_shape_parses() {
+        let r = Recorder::full();
+        r.span(10, 5, 1, EventKind::MsgSend, 2, 7);
+        r.event(20, 2, EventKind::NodeDown, 0, 0);
+        r.event(15, 2, EventKind::MsgRecv, 1, 7);
+        let doc = to_chrome_trace(&r.events());
+
+        let v = serde_json::parse_value_str(&doc).expect("chrome trace must be valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        // Sorted by ts on export.
+        let ts: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("ts").and_then(as_u64).unwrap())
+            .collect();
+        assert_eq!(ts, vec![10, 15, 20]);
+
+        let span = &events[0];
+        assert_eq!(span.get("name").and_then(as_str), Some("msg_send"));
+        assert_eq!(span.get("ph").and_then(as_str), Some("X"));
+        assert_eq!(span.get("dur").and_then(as_u64), Some(5));
+        assert_eq!(span.get("pid").and_then(as_u64), Some(0));
+        assert_eq!(span.get("tid").and_then(as_u64), Some(1));
+        let args = span.get("args").expect("args object");
+        assert_eq!(args.get("dst").and_then(as_u64), Some(2));
+        assert_eq!(args.get("bytes").and_then(as_u64), Some(7));
+
+        let instant = &events[2];
+        assert_eq!(instant.get("ph").and_then(as_str), Some("i"));
+        assert_eq!(instant.get("s").and_then(as_str), Some("p"));
+        assert!(instant.get("dur").is_none());
+        assert_eq!(v.get("displayTimeUnit").and_then(as_str), Some("ms"));
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let r = Recorder::full();
+        r.event(5, 0, EventKind::JobSubmit, 9, 3);
+        r.span(6, 2, 1, EventKind::TaskService, 9, 0);
+        let text = to_jsonl(&r.events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = serde_json::parse_value_str(line).expect("each line parses");
+            assert!(v.get("ts_us").is_some());
+            assert!(v.get("kind").and_then(as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn summary_json_parses_and_round_trips_counts() {
+        use crate::metric::{Counter, Hist};
+        let r = Recorder::metrics_only();
+        r.add(Counter::MsgsSent, 12);
+        r.observe(Hist::HopLatencyUs, 150);
+        let doc = summary_to_json(&r.summary());
+        let v = serde_json::parse_value_str(&doc).expect("summary is valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("msgs_sent"))
+                .and_then(as_u64),
+            Some(12)
+        );
+        let hist = v
+            .get("hists")
+            .and_then(|h| h.get("hop_latency_us"))
+            .expect("hist entry");
+        assert_eq!(hist.get("count").and_then(as_u64), Some(1));
+        assert_eq!(hist.get("sum").and_then(as_u64), Some(150));
+    }
+}

@@ -1,0 +1,44 @@
+//! # eslurm-obs
+//!
+//! The virtual-time observability layer for the ESlurm reproduction:
+//! a lock-cheap metrics [`Recorder`] (counters / gauges / fixed-bucket
+//! histograms keyed by static ids) plus span-style event tracing, shared
+//! by the DES and real-thread transports.
+//!
+//! ## Design
+//!
+//! - **Handles are free to clone and free to disable.** [`Recorder`] is an
+//!   `Option<Arc<..>>`; the default ([`Recorder::disabled`]) makes every
+//!   recording call an inlined branch, so instrumented hot paths cost
+//!   nothing in un-observed runs.
+//! - **Metrics are relaxed atomics.** Counters, gauges, and histogram
+//!   buckets are `fetch_add`/`store` with `Ordering::Relaxed` — safe from
+//!   any thread, no lock on the recording path.
+//! - **Events are virtual-time stamped.** Timestamps are `SimTime` µs in
+//!   DES mode; in real-thread mode the transport's clock already reports
+//!   wall time since run start, so the same call sites work unchanged.
+//! - **Exports are deterministic.** [`export::to_chrome_trace`] renders a
+//!   `chrome://tracing` / Perfetto-loadable document, [`export::to_jsonl`]
+//!   one object per line, both byte-for-byte reproducible for a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use obs::{Recorder, Counter, Hist, EventKind};
+//!
+//! let rec = Recorder::full();
+//! rec.inc(Counter::MsgsSent);
+//! rec.observe(Hist::HopLatencyUs, 120);
+//! rec.span(1_000, 120, 3, EventKind::MsgSend, 5, 0);
+//! let doc = obs::export::to_chrome_trace(&rec.events());
+//! assert!(doc.starts_with("{\"traceEvents\":["));
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod metric;
+pub mod recorder;
+
+pub use event::{EventKind, TraceEvent};
+pub use metric::{Counter, Gauge, Hist, HistSnapshot, Histogram};
+pub use recorder::{MetricsSummary, Recorder};

@@ -1,0 +1,356 @@
+//! Static metric ids and the fixed-bucket histogram.
+//!
+//! Every metric the reproduction records is named here, once, as an enum
+//! variant with a compile-time index — recording a counter is an array
+//! index plus a relaxed atomic add, never a hash lookup. Histograms use
+//! fixed bucket bounds chosen per metric so that two runs (or two nodes)
+//! can be merged and compared bucket-by-bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone event counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Messages handed to the transport.
+    MsgsSent,
+    /// Messages dropped because the destination was down at delivery.
+    MsgsDropped,
+    /// Node outages that began (fault-plan ground truth).
+    NodeDowns,
+    /// Node outages that ended.
+    NodeUps,
+    /// Jobs submitted to a master.
+    JobsSubmitted,
+    /// Jobs that completed their terminate broadcast.
+    JobsCompleted,
+    /// Broadcast tasks assigned to satellites.
+    TasksAssigned,
+    /// Broadcast tasks re-assigned after a satellite failure.
+    TaskRetries,
+    /// Broadcast tasks the master relayed itself.
+    Takeovers,
+    /// Satellite FSM state changes observed by the master.
+    FsmTransitions,
+    /// Heartbeat sweeps completed.
+    SweepsDone,
+    /// Job-control messages executed on compute nodes.
+    CtlExecuted,
+    /// Jobs started from the queue head (FIFO order).
+    BackfillHeadStarts,
+    /// Jobs started out of order by backfill.
+    BackfillFills,
+    /// Jobs killed at their walltime limit.
+    JobsKilled,
+    /// Killed jobs resubmitted with a doubled limit.
+    JobsResubmitted,
+    /// User status queries answered.
+    QueriesServed,
+}
+
+/// Number of counter ids (array size for the recorder).
+pub const N_COUNTERS: usize = Counter::QueriesServed as usize + 1;
+
+impl Counter {
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MsgsSent => "msgs_sent",
+            Counter::MsgsDropped => "msgs_dropped",
+            Counter::NodeDowns => "node_downs",
+            Counter::NodeUps => "node_ups",
+            Counter::JobsSubmitted => "jobs_submitted",
+            Counter::JobsCompleted => "jobs_completed",
+            Counter::TasksAssigned => "tasks_assigned",
+            Counter::TaskRetries => "task_retries",
+            Counter::Takeovers => "takeovers",
+            Counter::FsmTransitions => "fsm_transitions",
+            Counter::SweepsDone => "sweeps_done",
+            Counter::CtlExecuted => "ctl_executed",
+            Counter::BackfillHeadStarts => "backfill_head_starts",
+            Counter::BackfillFills => "backfill_fills",
+            Counter::JobsKilled => "jobs_killed",
+            Counter::JobsResubmitted => "jobs_resubmitted",
+            Counter::QueriesServed => "queries_served",
+        }
+    }
+
+    /// All counters, in index order.
+    pub fn all() -> [Counter; N_COUNTERS] {
+        [
+            Counter::MsgsSent,
+            Counter::MsgsDropped,
+            Counter::NodeDowns,
+            Counter::NodeUps,
+            Counter::JobsSubmitted,
+            Counter::JobsCompleted,
+            Counter::TasksAssigned,
+            Counter::TaskRetries,
+            Counter::Takeovers,
+            Counter::FsmTransitions,
+            Counter::SweepsDone,
+            Counter::CtlExecuted,
+            Counter::BackfillHeadStarts,
+            Counter::BackfillFills,
+            Counter::JobsKilled,
+            Counter::JobsResubmitted,
+            Counter::QueriesServed,
+        ]
+    }
+}
+
+/// Last-write-wins instantaneous values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Broadcast tasks currently outstanding at the ESlurm master.
+    TasksInFlight,
+    /// Jobs waiting in the scheduler queue.
+    QueueDepth,
+    /// Jobs currently holding nodes in the scheduler.
+    JobsRunning,
+}
+
+/// Number of gauge ids.
+pub const N_GAUGES: usize = Gauge::JobsRunning as usize + 1;
+
+impl Gauge {
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::TasksInFlight => "tasks_in_flight",
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::JobsRunning => "jobs_running",
+        }
+    }
+
+    /// All gauges, in index order.
+    pub fn all() -> [Gauge; N_GAUGES] {
+        [Gauge::TasksInFlight, Gauge::QueueDepth, Gauge::JobsRunning]
+    }
+}
+
+/// Fixed-bucket histograms. Each id carries its own bucket bounds so the
+/// shape is identical across runs and nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// One-way flight time of a message, µs (transmit-gap queueing plus
+    /// link latency).
+    HopLatencyUs,
+    /// Daemon CPU charged while handling one delivered message, µs.
+    MsgProcessUs,
+    /// Heartbeat sweep completion (submission → last report), µs.
+    SweepCompletionUs,
+    /// Satellite task service time (receipt → done report), µs.
+    TaskServiceUs,
+    /// User status-query response latency, µs.
+    QueryLatencyUs,
+    /// Scheduler wait time (submission → final start), seconds.
+    JobWaitS,
+}
+
+/// Number of histogram ids.
+pub const N_HISTS: usize = Hist::JobWaitS as usize + 1;
+
+/// Shared bucket ladder for microsecond-scale latencies.
+const US_BOUNDS: &[u64] = &[
+    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
+    500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+/// Bucket ladder for second-scale waits.
+const S_BOUNDS: &[u64] = &[
+    1, 5, 15, 60, 300, 900, 1_800, 3_600, 7_200, 14_400, 43_200, 86_400,
+];
+
+impl Hist {
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::HopLatencyUs => "hop_latency_us",
+            Hist::MsgProcessUs => "msg_process_us",
+            Hist::SweepCompletionUs => "sweep_completion_us",
+            Hist::TaskServiceUs => "task_service_us",
+            Hist::QueryLatencyUs => "query_latency_us",
+            Hist::JobWaitS => "job_wait_s",
+        }
+    }
+
+    /// Upper-inclusive bucket bounds; values above the last bound land in
+    /// an implicit overflow bucket.
+    pub fn bounds(self) -> &'static [u64] {
+        match self {
+            Hist::HopLatencyUs
+            | Hist::MsgProcessUs
+            | Hist::SweepCompletionUs
+            | Hist::TaskServiceUs
+            | Hist::QueryLatencyUs => US_BOUNDS,
+            Hist::JobWaitS => S_BOUNDS,
+        }
+    }
+
+    /// All histograms, in index order.
+    pub fn all() -> [Hist; N_HISTS] {
+        [
+            Hist::HopLatencyUs,
+            Hist::MsgProcessUs,
+            Hist::SweepCompletionUs,
+            Hist::TaskServiceUs,
+            Hist::QueryLatencyUs,
+            Hist::JobWaitS,
+        ]
+    }
+}
+
+/// A fixed-bucket histogram with exact sum/count (lock-free recording).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// One slot per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given upper-inclusive bounds.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must rise");
+        Histogram {
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Immutable snapshot of the current contents.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            bounds: self.bounds,
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram's contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Upper-inclusive bucket bounds (the last slot of `counts` is the
+    /// overflow bucket).
+    pub bounds: &'static [u64],
+    /// Per-bucket observation counts, `bounds.len() + 1` long.
+    pub counts: Vec<u64>,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistSnapshot {
+    /// Exact mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the smallest bucket whose cumulative count covers
+    /// quantile `q` (`0.0..=1.0`); `None` when empty. Values in the
+    /// overflow bucket report the last finite bound.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return Some(*self.bounds.get(i).unwrap_or(self.bounds.last()?));
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_upper_inclusive_with_overflow() {
+        const BOUNDS: &[u64] = &[10, 100, 1000];
+        let h = Histogram::new(BOUNDS);
+        h.observe(1); // <= 10
+        h.observe(10); // <= 10 (inclusive)
+        h.observe(11); // <= 100
+        h.observe(1000); // <= 1000
+        h.observe(5000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1 + 10 + 11 + 1000 + 5000);
+        assert!((s.mean() - 6022.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_bound_walks_buckets() {
+        const BOUNDS: &[u64] = &[10, 100, 1000];
+        let h = Histogram::new(BOUNDS);
+        for _ in 0..9 {
+            h.observe(5);
+        }
+        h.observe(500);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound(0.5), Some(10));
+        assert_eq!(s.quantile_bound(0.95), Some(1000));
+        assert_eq!(s.quantile_bound(1.0), Some(1000));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new(Hist::HopLatencyUs.bounds());
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_named() {
+        for (i, c) in Counter::all().iter().enumerate() {
+            assert_eq!(*c as usize, i);
+            assert!(!c.name().is_empty());
+        }
+        for (i, g) in Gauge::all().iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+        for (i, h) in Hist::all().iter().enumerate() {
+            assert_eq!(*h as usize, i);
+            assert!(!h.bounds().is_empty());
+        }
+    }
+}

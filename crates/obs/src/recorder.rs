@@ -1,0 +1,301 @@
+//! The `Recorder`: a cheaply-cloneable handle every daemon holds.
+//!
+//! A disabled recorder is a `None` — every recording call is an inlined
+//! branch on an `Option` discriminant, so the instrumented hot paths cost
+//! nothing when observability is off. An enabled recorder points at one
+//! shared arena of relaxed atomics (counters/gauges/histograms) plus, in
+//! full-trace mode, a mutex-guarded event vector.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::SimTime;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::metric::{Counter, Gauge, Hist, HistSnapshot, Histogram, N_COUNTERS, N_GAUGES};
+
+struct Shared {
+    /// Whether `event`/`span` record anything (metrics always do).
+    record_events: bool,
+    counters: [AtomicU64; N_COUNTERS],
+    gauges: [AtomicI64; N_GAUGES],
+    hists: Vec<Histogram>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Shared {
+    fn new(record_events: bool) -> Self {
+        Shared {
+            record_events,
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicI64::new(0)),
+            hists: Hist::all()
+                .iter()
+                .map(|h| Histogram::new(h.bounds()))
+                .collect(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Handle to a (possibly disabled) metrics + trace sink. Clones share the
+/// same sink; the default is disabled.
+#[derive(Clone, Default)]
+pub struct Recorder(Option<Arc<Shared>>);
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("Recorder(disabled)"),
+            Some(s) if s.record_events => f.write_str("Recorder(full)"),
+            Some(_) => f.write_str("Recorder(metrics)"),
+        }
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: every call is an inlined early return.
+    pub fn disabled() -> Self {
+        Recorder(None)
+    }
+
+    /// Counters/gauges/histograms only — event calls are dropped. Use
+    /// when only the summary numbers are wanted (e.g. bench bins).
+    pub fn metrics_only() -> Self {
+        Recorder(Some(Arc::new(Shared::new(false))))
+    }
+
+    /// Metrics plus the full event trace.
+    pub fn full() -> Self {
+        Recorder(Some(Arc::new(Shared::new(true))))
+    }
+
+    /// Whether any recording happens at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Whether `event`/`span` calls are kept. Check before doing non-trivial
+    /// work (formatting, extra clock reads) just to build an event.
+    #[inline]
+    pub fn events_enabled(&self) -> bool {
+        matches!(&self.0, Some(s) if s.record_events)
+    }
+
+    /// Increment a counter by 1.
+    #[inline]
+    pub fn inc(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if let Some(s) = &self.0 {
+            s.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Set a gauge to an absolute value (last write wins).
+    #[inline]
+    pub fn gauge_set(&self, g: Gauge, v: i64) {
+        if let Some(s) = &self.0 {
+            s.gauges[g as usize].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&self, h: Hist, value: u64) {
+        if let Some(s) = &self.0 {
+            s.hists[h as usize].observe(value);
+        }
+    }
+
+    /// Record an instant event.
+    #[inline]
+    pub fn event(&self, ts_us: u64, node: u32, kind: EventKind, a: u64, b: u64) {
+        if let Some(s) = &self.0 {
+            if s.record_events {
+                s.events
+                    .lock()
+                    .push(TraceEvent::instant(ts_us, node, kind, a, b));
+            }
+        }
+    }
+
+    /// Record a complete span.
+    #[inline]
+    pub fn span(&self, ts_us: u64, dur_us: u64, node: u32, kind: EventKind, a: u64, b: u64) {
+        if let Some(s) = &self.0 {
+            if s.record_events {
+                s.events
+                    .lock()
+                    .push(TraceEvent::span(ts_us, dur_us, node, kind, a, b));
+            }
+        }
+    }
+
+    /// Record an instant event at a virtual-clock timestamp.
+    #[inline]
+    pub fn event_at(&self, t: SimTime, node: u32, kind: EventKind, a: u64, b: u64) {
+        self.event(t.as_micros(), node, kind, a, b);
+    }
+
+    /// Record a span between two virtual-clock timestamps (`end >= start`).
+    #[inline]
+    pub fn span_from(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        node: u32,
+        kind: EventKind,
+        a: u64,
+        b: u64,
+    ) {
+        self.span(
+            start.as_micros(),
+            end.as_micros().saturating_sub(start.as_micros()),
+            node,
+            kind,
+            a,
+            b,
+        );
+    }
+
+    /// Snapshot the recorded events in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            Some(s) => s.events.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        match &self.0 {
+            Some(s) => s.counters[c as usize].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, g: Gauge) -> i64 {
+        match &self.0 {
+            Some(s) => s.gauges[g as usize].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Snapshot of one histogram.
+    pub fn hist(&self, h: Hist) -> HistSnapshot {
+        match &self.0 {
+            Some(s) => s.hists[h as usize].snapshot(),
+            None => Histogram::new(h.bounds()).snapshot(),
+        }
+    }
+
+    /// Snapshot every metric into a summary.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            counters: Counter::all()
+                .iter()
+                .map(|&c| (c, self.counter(c)))
+                .collect(),
+            gauges: Gauge::all().iter().map(|&g| (g, self.gauge(g))).collect(),
+            hists: Hist::all().iter().map(|&h| (h, self.hist(h))).collect(),
+            n_events: match &self.0 {
+                Some(s) => s.events.lock().len(),
+                None => 0,
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of every metric a recorder holds.
+#[derive(Clone, Debug)]
+pub struct MetricsSummary {
+    /// Counter values in id order.
+    pub counters: Vec<(Counter, u64)>,
+    /// Gauge values in id order.
+    pub gauges: Vec<(Gauge, i64)>,
+    /// Histogram snapshots in id order.
+    pub hists: Vec<(Hist, HistSnapshot)>,
+    /// Number of trace events collected alongside the metrics.
+    pub n_events: usize,
+}
+
+impl std::fmt::Display for MetricsSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== metrics ({} trace events)", self.n_events)?;
+        for (c, v) in &self.counters {
+            if *v != 0 {
+                writeln!(f, "  {:<24} {v}", c.name())?;
+            }
+        }
+        for (g, v) in &self.gauges {
+            if *v != 0 {
+                writeln!(f, "  {:<24} {v}", g.name())?;
+            }
+        }
+        for (h, s) in &self.hists {
+            if s.count != 0 {
+                writeln!(
+                    f,
+                    "  {:<24} n={} mean={:.1} p50<={} p99<={}",
+                    h.name(),
+                    s.count,
+                    s.mean(),
+                    s.quantile_bound(0.50).unwrap_or(0),
+                    s.quantile_bound(0.99).unwrap_or(0),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        r.inc(Counter::MsgsSent);
+        r.observe(Hist::HopLatencyUs, 42);
+        r.event(1, 0, EventKind::NodeDown, 0, 0);
+        assert!(!r.enabled());
+        assert_eq!(r.counter(Counter::MsgsSent), 0);
+        assert_eq!(r.hist(Hist::HopLatencyUs).count, 0);
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn metrics_only_drops_events_but_keeps_metrics() {
+        let r = Recorder::metrics_only();
+        r.inc(Counter::MsgsSent);
+        r.gauge_set(Gauge::QueueDepth, 7);
+        r.event(1, 0, EventKind::NodeDown, 0, 0);
+        assert!(r.enabled());
+        assert!(!r.events_enabled());
+        assert_eq!(r.counter(Counter::MsgsSent), 1);
+        assert_eq!(r.gauge(Gauge::QueueDepth), 7);
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let r = Recorder::full();
+        let r2 = r.clone();
+        r2.add(Counter::JobsSubmitted, 3);
+        r2.span(10, 5, 2, EventKind::MsgSend, 1, 0);
+        assert_eq!(r.counter(Counter::JobsSubmitted), 3);
+        let ev = r.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0], TraceEvent::span(10, 5, 2, EventKind::MsgSend, 1, 0));
+        assert_eq!(r.summary().n_events, 1);
+    }
+}

@@ -6,7 +6,8 @@ use crate::master::CentralizedMaster;
 use crate::profile::{HeartbeatMode, RmProfile};
 use crate::proto::{NodeSlice, RmMsg};
 use crate::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
-use emu::{Actor, Context, NodeId, Sampling, SimCluster, SimConfig};
+use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
+use obs::Recorder;
 use rand::RngExt;
 use simclock::rng::stream_rng;
 use simclock::{SimSpan, SimTime};
@@ -56,49 +57,117 @@ impl ClusterHarness {
     }
 }
 
+/// Builder for centralized-RM clusters, mirroring `EslurmSystemBuilder`
+/// so both stacks are constructed — and instrumented — the same way.
+pub struct RmClusterBuilder {
+    profile: RmProfile,
+    n: usize,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    sample_until: Option<SimTime>,
+    obs: Recorder,
+}
+
+impl RmClusterBuilder {
+    /// Start building a cluster of `n` nodes (node 0 = master, 1..n =
+    /// slaves) running `profile`.
+    pub fn new(profile: RmProfile, n: usize) -> Self {
+        RmClusterBuilder {
+            profile,
+            n,
+            seed: 0,
+            faults: None,
+            sample_until: None,
+            obs: Recorder::disabled(),
+        }
+    }
+
+    /// Master seed for the simulation's RNG streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inject the given outage schedule (node 0 = master, 1..n = slaves).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Record 1 Hz meter samples for the master until `until`.
+    pub fn sample_until(mut self, until: SimTime) -> Self {
+        self.sample_until = Some(until);
+        self
+    }
+
+    /// Record transport and daemon telemetry into `recorder`, exactly as
+    /// `EslurmSystemBuilder::obs` does for the distributed stack.
+    pub fn obs(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
+    }
+
+    /// Materialize the cluster.
+    pub fn build(self) -> ClusterHarness {
+        let n = self.n;
+        assert!(n >= 2, "need a master and at least one slave");
+        let slaves: Vec<u32> = (1..n as u32).collect();
+        let heartbeat = match self.profile.heartbeat {
+            HeartbeatMode::MasterPolls { .. } => SlaveHeartbeat::None,
+            HeartbeatMode::SlavePush {
+                interval,
+                synchronized,
+            } => SlaveHeartbeat::Push {
+                interval,
+                synchronized,
+            },
+        };
+        let slave_cfg = SlaveConfig {
+            master: NodeId::MASTER,
+            heartbeat,
+            conn_lifetime: self.profile.conn_lifetime,
+            obs: self.obs.clone(),
+            ..SlaveConfig::default()
+        };
+        let mut actors = Vec::with_capacity(n);
+        actors.push(RmNode::Master(
+            CentralizedMaster::new(self.profile, slaves).with_obs(self.obs.clone()),
+        ));
+        for _ in 1..n {
+            actors.push(RmNode::Slave(SlaveDaemon::new(slave_cfg.clone())));
+        }
+        let mut config = SimConfig::new(n, self.seed);
+        config.obs = self.obs;
+        if let Some(f) = self.faults {
+            config.faults = f;
+        }
+        if let Some(until) = self.sample_until {
+            config.sampling = Some(Sampling {
+                interval: SimSpan::from_secs(1),
+                tracked: vec![NodeId::MASTER],
+                until,
+            });
+        }
+        ClusterHarness {
+            sim: SimCluster::new(actors, config),
+        }
+    }
+}
+
 /// Build a cluster of `n` nodes (node 0 = master, 1..n = slaves) running
-/// `profile`. `sampling` turns on 1 Hz master metering until the given
-/// time.
+/// `profile`. `sample_until` turns on 1 Hz master metering until the given
+/// time. Thin wrapper over [`RmClusterBuilder`].
 pub fn build_cluster(
     profile: RmProfile,
     n: usize,
     seed: u64,
     sample_until: Option<SimTime>,
 ) -> ClusterHarness {
-    assert!(n >= 2, "need a master and at least one slave");
-    let slaves: Vec<u32> = (1..n as u32).collect();
-    let heartbeat = match profile.heartbeat {
-        HeartbeatMode::MasterPolls { .. } => SlaveHeartbeat::None,
-        HeartbeatMode::SlavePush {
-            interval,
-            synchronized,
-        } => SlaveHeartbeat::Push {
-            interval,
-            synchronized,
-        },
-    };
-    let slave_cfg = SlaveConfig {
-        master: NodeId::MASTER,
-        heartbeat,
-        conn_lifetime: profile.conn_lifetime,
-        ..SlaveConfig::default()
-    };
-    let mut actors = Vec::with_capacity(n);
-    actors.push(RmNode::Master(CentralizedMaster::new(profile, slaves)));
-    for _ in 1..n {
-        actors.push(RmNode::Slave(SlaveDaemon::new(slave_cfg.clone())));
-    }
-    let mut config = SimConfig::new(n, seed);
+    let mut b = RmClusterBuilder::new(profile, n).seed(seed);
     if let Some(until) = sample_until {
-        config.sampling = Some(Sampling {
-            interval: SimSpan::from_secs(1),
-            tracked: vec![NodeId::MASTER],
-            until,
-        });
+        b = b.sample_until(until);
     }
-    ClusterHarness {
-        sim: SimCluster::new(actors, config),
-    }
+    b.build()
 }
 
 /// Submit a job to the master at `at`.

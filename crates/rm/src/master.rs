@@ -9,6 +9,7 @@
 use crate::profile::{Fanout, HeartbeatMode, RmProfile};
 use crate::proto::{CtlKind, NodeSlice, RmMsg};
 use emu::{Actor, Context, NodeId};
+use obs::{Counter, EventKind, Hist, Recorder};
 use simclock::{SimSpan, SimTime};
 use std::collections::BTreeMap;
 use topology::split_balanced;
@@ -74,6 +75,7 @@ pub struct CentralizedMaster {
     /// `(request id, response latency)` for served user requests.
     pub query_log: Vec<(u64, SimSpan)>,
     query_arrival: BTreeMap<u64, SimTime>,
+    obs: Recorder,
 }
 
 impl CentralizedMaster {
@@ -88,7 +90,14 @@ impl CentralizedMaster {
             pending_queries: BTreeMap::new(),
             query_log: Vec::new(),
             query_arrival: BTreeMap::new(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Record job and query telemetry into `recorder`.
+    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
     }
 
     /// The profile in force.
@@ -200,6 +209,15 @@ impl CentralizedMaster {
             Phase::Terminating => {
                 let state = self.jobs.remove(&job).expect("job vanished");
                 Self::track_work(&mut self.busy_until, ctx, self.profile.sched_cpu);
+                self.obs.inc(Counter::JobsCompleted);
+                self.obs.span_from(
+                    state.submitted,
+                    ctx.now(),
+                    ctx.me().0,
+                    EventKind::JobComplete,
+                    job,
+                    0,
+                );
                 // Release per-job memory, keep the leaked history bytes.
                 let keep = self.profile.job_record_leak as i64;
                 ctx.alloc_virt(-(self.profile.per_job_virt as i64) + keep);
@@ -245,6 +263,14 @@ impl Actor<RmMsg> for CentralizedMaster {
                 Self::track_work(&mut self.busy_until, ctx, self.profile.sched_cpu);
                 ctx.alloc_virt(self.profile.per_job_virt as i64);
                 ctx.alloc_real(self.profile.per_job_real as i64);
+                self.obs.inc(Counter::JobsSubmitted);
+                self.obs.event_at(
+                    ctx.now(),
+                    ctx.me().0,
+                    EventKind::JobSubmit,
+                    job,
+                    nodes.len() as u64,
+                );
                 self.jobs.insert(
                     job,
                     JobState {
@@ -369,7 +395,17 @@ impl Actor<RmMsg> for CentralizedMaster {
                 let id = job; // token layout shares the id slot
                 if let Some(asker) = self.pending_queries.remove(&id) {
                     if let Some(arrived) = self.query_arrival.remove(&id) {
-                        self.query_log.push((id, ctx.now() - arrived));
+                        let latency = ctx.now() - arrived;
+                        self.obs.inc(Counter::QueriesServed);
+                        self.obs.observe(Hist::QueryLatencyUs, latency.as_micros());
+                        self.obs.event_at(
+                            ctx.now(),
+                            ctx.me().0,
+                            EventKind::QueryServed,
+                            asker.0 as u64,
+                            0,
+                        );
+                        self.query_log.push((id, latency));
                     }
                     ctx.send(asker, RmMsg::StatusReply { id });
                 }

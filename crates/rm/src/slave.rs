@@ -6,6 +6,7 @@
 
 use crate::proto::{CtlKind, NodeSlice, RmMsg};
 use emu::{Actor, Context, NodeId};
+use obs::{Counter, Recorder};
 use rand::RngExt;
 use simclock::SimSpan;
 use std::collections::BTreeMap;
@@ -55,6 +56,8 @@ pub struct SlaveConfig {
     pub ack_timeout: SimSpan,
     /// Lifetime of the ephemeral heartbeat connection.
     pub conn_lifetime: SimSpan,
+    /// Telemetry sink (disabled by default).
+    pub obs: Recorder,
 }
 
 impl Default for SlaveConfig {
@@ -69,6 +72,7 @@ impl Default for SlaveConfig {
             term_cpu: SimSpan::from_millis(1),
             ack_timeout: SimSpan::from_secs(6),
             conn_lifetime: SimSpan::from_millis(500),
+            obs: Recorder::disabled(),
         }
     }
 }
@@ -107,6 +111,7 @@ impl SlaveDaemon {
     ) {
         // Execute locally (spawn or kill the job step).
         self.ctl_handled += 1;
+        self.cfg.obs.inc(Counter::CtlExecuted);
         ctx.charge_cpu(match kind {
             CtlKind::Launch => self.cfg.launch_cpu,
             CtlKind::Terminate => self.cfg.term_cpu,

@@ -13,6 +13,7 @@
 use crate::metrics::{bounded_slowdown, ScheduleReport};
 use crate::policy::LimitPolicy;
 use crate::profile_resv::AvailabilityProfile;
+use obs::{Counter, EventKind, Gauge, Hist, Recorder};
 use simclock::{EventQueue, SimSpan, SimTime};
 use std::collections::VecDeque;
 use workload::Job;
@@ -89,6 +90,8 @@ pub struct BackfillConfig {
     /// Windows during which the RM is down and cannot schedule
     /// (running jobs continue; queued work accumulates).
     pub rm_outages: Vec<(SimTime, SimSpan)>,
+    /// Telemetry sink for scheduling decisions (disabled by default).
+    pub obs: Recorder,
 }
 
 impl BackfillConfig {
@@ -101,6 +104,7 @@ impl BackfillConfig {
             kill_at_limit: true,
             max_resubmits: 3,
             rm_outages: Vec::new(),
+            obs: Recorder::disabled(),
         }
     }
 }
@@ -196,7 +200,17 @@ pub fn simulate(
                 let job = &jobs[queued.job];
                 if killed {
                     report.killed += 1;
+                    cfg.obs.inc(Counter::JobsKilled);
+                    cfg.obs.event_at(now, 0, EventKind::JobKill, job.id.0, 0);
                     if queued.resubmits < cfg.max_resubmits {
+                        cfg.obs.inc(Counter::JobsResubmitted);
+                        cfg.obs.event_at(
+                            now,
+                            0,
+                            EventKind::JobResubmit,
+                            job.id.0,
+                            queued.resubmits as u64 + 1,
+                        );
                         queue.push_back(Queued {
                             limit: queued.limit * 2,
                             resubmits: queued.resubmits + 1,
@@ -208,6 +222,8 @@ pub fn simulate(
                 } else {
                     report.completed += 1;
                     let wait = started - queued.original_submit;
+                    cfg.obs
+                        .observe(Hist::JobWaitS, wait.as_micros() / 1_000_000);
                     report.total_wait += wait;
                     let e = report.per_user.entry(job.user.0).or_default();
                     e.0 += 1;
@@ -254,20 +270,35 @@ fn schedule(
         let nodes = jobs[head.job].nodes.min(cfg.nodes);
         if nodes <= *free {
             queue.pop_front();
+            cfg.obs.inc(Counter::BackfillHeadStarts);
+            cfg.obs.event_at(
+                now,
+                0,
+                EventKind::BackfillHeadStart,
+                jobs[head.job].id.0,
+                nodes as u64,
+            );
             start(now, head, free, running, events, jobs, cfg, report);
         } else {
             break;
         }
     }
     match cfg.algo {
-        SchedAlgo::Fcfs => return,
+        SchedAlgo::Fcfs => {
+            sched_gauges(cfg, queue, running);
+            return;
+        }
         SchedAlgo::Conservative => {
             conservative_pass(now, free, queue, running, events, jobs, cfg, report);
+            sched_gauges(cfg, queue, running);
             return;
         }
         SchedAlgo::Easy => {}
     }
-    let Some(&head) = queue.front() else { return };
+    let Some(&head) = queue.front() else {
+        sched_gauges(cfg, queue, running);
+        return;
+    };
     let head_nodes = jobs[head.job].nodes.min(cfg.nodes);
 
     // EASY reservation for the head: walk planned ends until enough nodes
@@ -301,6 +332,14 @@ fn schedule(
             let fits_in_extra = nodes <= extra;
             if fits_before_shadow || fits_in_extra {
                 queue.remove(i);
+                cfg.obs.inc(Counter::BackfillFills);
+                cfg.obs.event_at(
+                    now,
+                    0,
+                    EventKind::BackfillFill,
+                    jobs[cand.job].id.0,
+                    nodes as u64,
+                );
                 start(now, cand, free, running, events, jobs, cfg, report);
                 if !fits_before_shadow {
                     extra -= nodes;
@@ -309,6 +348,16 @@ fn schedule(
             }
         }
         i += 1;
+    }
+    sched_gauges(cfg, queue, running);
+}
+
+/// Publish queue/occupancy gauges after a scheduling pass.
+fn sched_gauges(cfg: &BackfillConfig, queue: &VecDeque<Queued>, running: &[Option<Running>]) {
+    if cfg.obs.enabled() {
+        cfg.obs.gauge_set(Gauge::QueueDepth, queue.len() as i64);
+        cfg.obs
+            .gauge_set(Gauge::JobsRunning, running.iter().flatten().count() as i64);
     }
 }
 
@@ -345,6 +394,14 @@ fn conservative_pass(
         profile.reserve(start_at, start_at + occupied, nodes);
         if start_at == now {
             queue.remove(i);
+            let (counter, kind) = if i == 0 {
+                (Counter::BackfillHeadStarts, EventKind::BackfillHeadStart)
+            } else {
+                (Counter::BackfillFills, EventKind::BackfillFill)
+            };
+            cfg.obs.inc(counter);
+            cfg.obs
+                .event_at(now, 0, kind, jobs[q.job].id.0, nodes as u64);
             start(now, q, free, running, events, jobs, cfg, report);
             continue;
         }

@@ -11,9 +11,8 @@
 //! cargo run --example failure_storm
 //! ```
 
-use eslurm_suite::emu::{FaultPlanBuilder, NodeId};
+use eslurm_suite::eslurm::prelude::*;
 use eslurm_suite::monitoring::{score, FailurePredictor, OraclePredictor};
-use eslurm_suite::simclock::{SimSpan, SimTime};
 use eslurm_suite::topology::{broadcast, BcastParams, Structure};
 use std::collections::HashSet;
 
@@ -68,7 +67,6 @@ fn main() {
     // The same storm through a full ESlurm deployment: satellites build
     // FP-Trees from the live predictor and the master reassigns tasks if
     // a satellite dies mid-broadcast.
-    use eslurm_suite::eslurm::{EslurmConfig, EslurmSystemBuilder};
     use std::sync::{Arc, Mutex};
 
     let cfg = EslurmConfig {
@@ -82,13 +80,13 @@ fn main() {
         let outages: Vec<_> = plan
             .outages()
             .iter()
-            .map(|o| eslurm_suite::emu::Outage {
+            .map(|o| Outage {
                 node: NodeId(o.node.0 + 5),
                 down_at: o.down_at,
                 up_at: o.up_at,
             })
             .collect();
-        eslurm_suite::emu::FaultPlan::from_outages(n as usize + 5, outages)
+        FaultPlan::from_outages(n as usize + 5, outages)
     };
     let shared = Arc::new(Mutex::new(
         OraclePredictor::new(sys_plan.clone(), SimSpan::from_secs(300), 2).with_recall(0.9),
@@ -99,7 +97,7 @@ fn main() {
         .build();
     sys.sim.run_until(SimTime::from_secs(7200));
     let master = sys.master();
-    let mut stats = eslurm_suite::eslurm::FpPlacementStats::default();
+    let mut stats = FpPlacementStats::default();
     for i in 0..4 {
         let s = sys.satellite(i).fp_stats;
         stats.trees += s.trees;

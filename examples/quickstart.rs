@@ -5,8 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use eslurm_suite::eslurm::{EslurmConfig, EslurmSystemBuilder};
-use eslurm_suite::simclock::{SimSpan, SimTime};
+use eslurm_suite::eslurm::prelude::*;
 
 fn main() {
     // A 256-node cluster managed by one master and two satellite nodes.

@@ -20,8 +20,14 @@ pub use eslurm;
 pub use estimate;
 pub use ml;
 pub use monitoring;
+pub use obs;
 pub use rm;
 pub use sched;
 pub use simclock;
 pub use topology;
 pub use workload;
+
+/// The observability handles most callers need, at the root: a
+/// [`Recorder`] to pass into a builder's `.obs(..)`, and the id types it
+/// is queried with.
+pub use obs::{Counter, EventKind, Gauge, Hist, MetricsSummary, Recorder, TraceEvent};

@@ -5,10 +5,10 @@
 
 use eslurm_suite::emu::{NodeId, ThreadCluster};
 use eslurm_suite::eslurm::{EslurmConfig, EslurmNode, EslurmSystemBuilder, SatelliteDaemon};
-use eslurm_suite::rm::master::CentralizedMaster;
-use eslurm_suite::rm::proto::{CtlKind, NodeSlice, RmMsg};
-use eslurm_suite::rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
-use eslurm_suite::rm::{RmNode, RmProfile};
+use eslurm_suite::rm::{
+    CentralizedMaster, CtlKind, NodeSlice, RmMsg, RmNode, RmProfile, SlaveConfig, SlaveDaemon,
+    SlaveHeartbeat,
+};
 use eslurm_suite::simclock::{SimSpan, SimTime};
 use std::time::Duration;
 
