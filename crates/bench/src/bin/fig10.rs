@@ -13,8 +13,9 @@
 //! 75.8 %.
 
 use eslurm::PredictiveLimit;
-use eslurm_bench::{f, print_table, write_csv, ExpArgs};
+use eslurm_bench::{f, print_table, results_dir, write_csv, ExpArgs};
 use estimate::EstimatorConfig;
+use obs::Sampler;
 use sched::{simulate, BackfillConfig, DispatchModel, LimitPolicy, UserLimit};
 use simclock::{SimSpan, SimTime};
 use workload::{Job, TraceConfig};
@@ -151,11 +152,19 @@ fn main() {
         println!("trace: {} jobs", jobs.len());
         let mut rows = Vec::new();
         let mut slurm_ref: Option<(f64, f64, f64)> = None;
+        // One shared store for the whole roster: each RM's run tags its
+        // `sched_busy_nodes` series with `run=<rm>`, sampled hourly.
+        let sampler = Sampler::every_until(
+            SimSpan::from_hours(1),
+            SimTime::ZERO + SimSpan::from_hours(days * 24 + 48),
+        );
         for rm in rms {
             let mut policy = policy_for(rm);
             let cfg = BackfillConfig {
                 dispatch: dispatch_for(rm, nodes),
                 rm_outages: outages_for(rm, nodes, SimSpan::from_hours(days * 24 + 48)),
+                sampler: sampler.clone(),
+                run_label: Some(rm.to_string()),
                 ..BackfillConfig::new(nodes)
             };
             let r = simulate(&jobs, policy.as_mut(), &cfg);
@@ -215,6 +224,11 @@ fn main() {
                 println!("  [paper at 20K+: utilization +47.2%, wait -60.5%, slowdown -75.8%]");
             }
         }
+        // Hourly busy-node series per RM, in the sampler CSV format that
+        // `eslurm diff` consumes.
+        let path = results_dir().join(format!("fig10_series_{nodes}.csv"));
+        std::fs::write(&path, sampler.to_csv()).expect("write series csv");
+        println!("  [csv] {}", path.display());
     }
     write_csv(
         "fig10.csv",

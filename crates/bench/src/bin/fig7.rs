@@ -14,8 +14,9 @@
 use emu::NodeId;
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, fmt_bytes, print_table, write_csv, ExpArgs};
+use obs::{MetricId, Sampler, SeriesPoint, SeriesStore, SeriesSummary};
 use rand::RngExt;
-use rm::{build_cluster, inject_job, inject_job_stream, RmProfile};
+use rm::{build_cluster, inject_job, inject_job_stream, RmClusterBuilder, RmProfile};
 use simclock::rng::stream_rng;
 use simclock::{SimSpan, SimTime};
 
@@ -29,32 +30,43 @@ struct Usage {
     sockets_peak: u32,
 }
 
-fn summarize(name: &str, series: &emu::SampleSeries, peak_sockets: u32) -> Usage {
+/// The `family{node=<node>}` series from the sampler's store.
+fn node_series<'a>(store: &'a SeriesStore, family: &'static str, node: &str) -> &'a [SeriesPoint] {
+    store
+        .get(&MetricId::new(family).with("node", node))
+        .unwrap_or(&[])
+}
+
+fn summarize(name: &str, store: &SeriesStore, node: &str, peak_sockets: u32) -> Usage {
+    let stat = |family| SeriesSummary::of(node_series(store, family, node).iter().map(|p| p.value));
     Usage {
         name: name.to_string(),
-        cpu_util_mean: series.mean(|s| s.cpu_util),
-        cpu_time: series.final_cpu_time(),
-        virt_mean: series.mean(|s| s.virt_mem as f64) as u64,
-        real_mean: series.mean(|s| s.real_mem as f64) as u64,
-        sockets_mean: series.mean(|s| s.sockets as f64),
+        cpu_util_mean: stat("footprint_cpu_util").mean,
+        cpu_time: SimSpan::from_secs_f64(stat("footprint_cpu_time_s").last),
+        virt_mean: stat("footprint_virt_bytes").mean as u64,
+        real_mean: stat("footprint_real_bytes").mean as u64,
+        sockets_mean: stat("footprint_sockets").mean,
         sockets_peak: peak_sockets,
     }
 }
 
-fn dump_series(name: &str, series: &emu::SampleSeries) {
+fn dump_series(name: &str, store: &SeriesStore, node: &str) {
+    let util = node_series(store, "footprint_cpu_util", node);
+    let cpu = node_series(store, "footprint_cpu_time_s", node);
+    let virt = node_series(store, "footprint_virt_bytes", node);
+    let real = node_series(store, "footprint_real_bytes", node);
+    let socks = node_series(store, "footprint_sockets", node);
     // Downsample to one row per minute to keep CSVs manageable.
-    let rows: Vec<Vec<String>> = series
-        .samples
-        .iter()
+    let rows: Vec<Vec<String>> = (0..util.len())
         .step_by(60)
-        .map(|s| {
+        .map(|i| {
             vec![
-                s.at.as_secs().to_string(),
-                f(s.cpu_util, 4),
-                s.cpu_time.as_secs().to_string(),
-                s.virt_mem.to_string(),
-                s.real_mem.to_string(),
-                s.sockets.to_string(),
+                (util[i].t_us / 1_000_000).to_string(),
+                f(util[i].value, 4),
+                (cpu[i].value as u64).to_string(),
+                (virt[i].value as u64).to_string(),
+                (real[i].value as u64).to_string(),
+                (socks[i].value as u64).to_string(),
             ]
         })
         .collect();
@@ -122,7 +134,11 @@ fn main() {
     for profile in RmProfile::baselines() {
         let name = profile.name;
         print!("running {name} ... ");
-        let mut h = build_cluster(profile, n + 1, args.seed, Some(horizon_t));
+        let sampler = Sampler::every_until(SimSpan::from_secs(1), horizon_t);
+        let mut h = RmClusterBuilder::new(profile, n + 1)
+            .seed(args.seed)
+            .sampler(sampler.clone())
+            .build();
         inject_job_stream(
             &mut h,
             n as u32,
@@ -133,14 +149,15 @@ fn main() {
             args.seed + 1,
         );
         h.sim.run_until(horizon_t);
-        let series = h.sim.series(NodeId::MASTER).expect("master tracked");
         println!("{} events", h.sim.events_processed());
+        let store = sampler.store();
         usages.push(summarize(
             name,
-            series,
+            &store,
+            "master",
             h.sim.meter(NodeId::MASTER).peak_sockets(),
         ));
-        dump_series(name, series);
+        dump_series(name, &store, "master");
     }
 
     // ---- ESlurm with two satellites (as deployed on Tianhe-2A).
@@ -150,19 +167,21 @@ fn main() {
             n_satellites: 2,
             ..Default::default()
         };
+        let sampler = Sampler::every_until(SimSpan::from_secs(1), horizon_t);
         let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed)
-            .sample_until(horizon_t, false)
+            .sampler(sampler.clone())
             .build();
         eslurm_job_stream(&mut sys, horizon, rate, mean_rt, args.seed + 1);
         sys.sim.run_until(horizon_t);
         println!("{} events", sys.sim.events_processed());
-        let series = sys.sim.series(NodeId::MASTER).expect("master tracked");
+        let store = sampler.store();
         usages.push(summarize(
             "ESlurm",
-            series,
+            &store,
+            "master",
             sys.sim.meter(NodeId::MASTER).peak_sockets(),
         ));
-        dump_series("ESlurm", series);
+        dump_series("ESlurm", &store, "master");
 
         // Satellite demands (paper §VII-A: ~6 min CPU, 1.2 GB virt,
         // ~42 MB real per satellite over 24 h).

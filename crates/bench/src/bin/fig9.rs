@@ -8,8 +8,49 @@
 use emu::NodeId;
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, fmt_bytes, print_table, write_csv, ExpArgs};
-use rm::{build_cluster, inject_job_stream, RmProfile};
+use obs::{MetricId, Sampler, SeriesStore, SeriesSummary};
+use rm::{inject_job_stream, RmClusterBuilder, RmProfile};
 use simclock::{SimSpan, SimTime};
+
+/// Mean/last statistics of `family{node=<node>}` in the sampler's store.
+fn node_stat(store: &SeriesStore, family: &'static str, node: &str) -> SeriesSummary {
+    let pts = store
+        .get(&MetricId::new(family).with("node", node))
+        .unwrap_or(&[]);
+    SeriesSummary::of(pts.iter().map(|p| p.value))
+}
+
+/// One table row + one CSV row for a sampled node.
+fn usage_rows(
+    store: &SeriesStore,
+    node: &str,
+    label: &str,
+    csv_label: &str,
+    peak: u32,
+) -> (Vec<String>, Vec<String>) {
+    let cpu_s = node_stat(store, "footprint_cpu_time_s", node).last;
+    let virt = node_stat(store, "footprint_virt_bytes", node).mean as u64;
+    let real = node_stat(store, "footprint_real_bytes", node).mean as u64;
+    let socks = node_stat(store, "footprint_sockets", node).mean;
+    (
+        vec![
+            label.to_string(),
+            format!("{:.1}", cpu_s / 60.0),
+            fmt_bytes(virt),
+            fmt_bytes(real),
+            f(socks, 1),
+            peak.to_string(),
+        ],
+        vec![
+            csv_label.to_string(),
+            f(cpu_s, 1),
+            virt.to_string(),
+            real.to_string(),
+            f(socks, 2),
+            peak.to_string(),
+        ],
+    )
+}
 
 fn main() {
     let args = ExpArgs::parse();
@@ -27,7 +68,11 @@ fn main() {
     // ---- Slurm.
     {
         print!("running Slurm ... ");
-        let mut h = build_cluster(RmProfile::slurm(), n + 1, args.seed, Some(horizon_t));
+        let sampler = Sampler::every_until(SimSpan::from_secs(1), horizon_t);
+        let mut h = RmClusterBuilder::new(RmProfile::slurm(), n + 1)
+            .seed(args.seed)
+            .sampler(sampler.clone())
+            .build();
         inject_job_stream(
             &mut h,
             n as u32,
@@ -39,24 +84,11 @@ fn main() {
         );
         h.sim.run_until(horizon_t);
         println!("{} events", h.sim.events_processed());
-        let s = h.sim.series(NodeId::MASTER).expect("tracked");
+        let store = sampler.store();
         let peak = h.sim.meter(NodeId::MASTER).peak_sockets();
-        rows.push(vec![
-            "Slurm master".into(),
-            format!("{:.1}", s.final_cpu_time().as_secs_f64() / 60.0),
-            fmt_bytes(s.mean(|x| x.virt_mem as f64) as u64),
-            fmt_bytes(s.mean(|x| x.real_mem as f64) as u64),
-            f(s.mean(|x| x.sockets as f64), 1),
-            peak.to_string(),
-        ]);
-        csv.push(vec![
-            "slurm_master".to_string(),
-            f(s.final_cpu_time().as_secs_f64(), 1),
-            (s.mean(|x| x.virt_mem as f64) as u64).to_string(),
-            (s.mean(|x| x.real_mem as f64) as u64).to_string(),
-            f(s.mean(|x| x.sockets as f64), 2),
-            peak.to_string(),
-        ]);
+        let (row, line) = usage_rows(&store, "master", "Slurm master", "slurm_master", peak);
+        rows.push(row);
+        csv.push(line);
     }
 
     // ---- ESlurm with two satellites.
@@ -66,8 +98,9 @@ fn main() {
             n_satellites: 2,
             ..Default::default()
         };
+        let sampler = Sampler::every_until(SimSpan::from_secs(1), horizon_t);
         let mut sys = EslurmSystemBuilder::new(cfg, n, args.seed)
-            .sample_until(horizon_t, true)
+            .sampler(sampler.clone())
             .build();
         // Same stream shape as the Slurm run.
         let n_u32 = n as u32;
@@ -95,45 +128,23 @@ fn main() {
         sys.sim.run_until(horizon_t);
         println!("{} events", sys.sim.events_processed());
 
-        let s = sys.sim.series(NodeId::MASTER).expect("tracked");
+        let store = sampler.store();
         let peak = sys.sim.meter(NodeId::MASTER).peak_sockets();
-        rows.push(vec![
-            "ESlurm master".into(),
-            format!("{:.1}", s.final_cpu_time().as_secs_f64() / 60.0),
-            fmt_bytes(s.mean(|x| x.virt_mem as f64) as u64),
-            fmt_bytes(s.mean(|x| x.real_mem as f64) as u64),
-            f(s.mean(|x| x.sockets as f64), 1),
-            peak.to_string(),
-        ]);
-        csv.push(vec![
-            "eslurm_master".to_string(),
-            f(s.final_cpu_time().as_secs_f64(), 1),
-            (s.mean(|x| x.virt_mem as f64) as u64).to_string(),
-            (s.mean(|x| x.real_mem as f64) as u64).to_string(),
-            f(s.mean(|x| x.sockets as f64), 2),
-            peak.to_string(),
-        ]);
+        let (row, line) = usage_rows(&store, "master", "ESlurm master", "eslurm_master", peak);
+        rows.push(row);
+        csv.push(line);
 
         for i in 0..2usize {
-            let node = NodeId(1 + i as u32);
-            let s = sys.sim.series(node).expect("satellite tracked");
-            let peak = sys.sim.meter(node).peak_sockets();
-            rows.push(vec![
-                format!("ESlurm satellite {}", i + 1),
-                format!("{:.1}", s.final_cpu_time().as_secs_f64() / 60.0),
-                fmt_bytes(s.mean(|x| x.virt_mem as f64) as u64),
-                fmt_bytes(s.mean(|x| x.real_mem as f64) as u64),
-                f(s.mean(|x| x.sockets as f64), 1),
-                peak.to_string(),
-            ]);
-            csv.push(vec![
-                format!("eslurm_satellite_{}", i + 1),
-                f(s.final_cpu_time().as_secs_f64(), 1),
-                (s.mean(|x| x.virt_mem as f64) as u64).to_string(),
-                (s.mean(|x| x.real_mem as f64) as u64).to_string(),
-                f(s.mean(|x| x.sockets as f64), 2),
-                peak.to_string(),
-            ]);
+            let peak = sys.sim.meter(NodeId(1 + i as u32)).peak_sockets();
+            let (row, line) = usage_rows(
+                &store,
+                &format!("sat{}", i + 1),
+                &format!("ESlurm satellite {}", i + 1),
+                &format!("eslurm_satellite_{}", i + 1),
+                peak,
+            );
+            rows.push(row);
+            csv.push(line);
         }
     }
 

@@ -8,7 +8,7 @@ use estimate::{
     evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2, Prep,
     RuntimePredictor, Trip, UserEstimate,
 };
-use obs::Recorder;
+use obs::{compare_csv, DiffOptions, FlightConfig, Recorder, Sampler};
 use sched::{
     simulate as run_schedule, BackfillConfig, LimitPolicy, OracleLimit, SchedAlgo, UserLimit,
 };
@@ -74,6 +74,27 @@ pub const COMMANDS: &[CmdSpec] = &[
             "out",
             "format",
         ],
+    },
+    CmdSpec {
+        name: "metrics",
+        summary: "sample an emulated run's resource footprint",
+        flags: &[
+            "nodes",
+            "satellites",
+            "minutes",
+            "jobs",
+            "seed",
+            "faults",
+            "interval",
+            "csv",
+            "prom",
+            "flight",
+        ],
+    },
+    CmdSpec {
+        name: "diff",
+        summary: "compare two metrics CSVs and gate footprint regressions",
+        flags: &["threshold-pct", "thresholds", "all"],
     },
     CmdSpec {
         name: "convert",
@@ -385,6 +406,7 @@ fn run_emulation(
     seed: u64,
     fault_events: usize,
     rec: Recorder,
+    sampler: Sampler,
 ) -> EslurmSystem {
     let cfg = EslurmConfig {
         n_satellites: satellites,
@@ -392,7 +414,9 @@ fn run_emulation(
         relay_width: 32,
         ..Default::default()
     };
-    let mut builder = EslurmSystemBuilder::new(cfg, nodes, seed).obs(rec);
+    let mut builder = EslurmSystemBuilder::new(cfg, nodes, seed)
+        .obs(rec)
+        .sampler(sampler);
     if fault_events > 0 {
         builder = builder.faults(compute_fault_plan(
             nodes,
@@ -474,6 +498,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
         seed,
         fault_events,
         rec.clone(),
+        Sampler::disabled(),
     );
 
     let master = sys.master();
@@ -533,6 +558,7 @@ pub fn trace_cmd(args: &[String]) -> Result<(), CliError> {
         seed,
         fault_events,
         rec.clone(),
+        Sampler::disabled(),
     );
     let n = write_obs(&rec, out, format)?;
     println!(
@@ -541,6 +567,173 @@ pub fn trace_cmd(args: &[String]) -> Result<(), CliError> {
     );
     println!("jobs completed:    {}/{n_jobs}", sys.master().records.len());
     print!("{}", rec.summary());
+    Ok(())
+}
+
+/// `eslurm metrics --nodes N --satellites M --minutes T --jobs J --seed S
+/// [--faults K] [--interval SECS] [--csv FILE] [--prom FILE]
+/// [--flight FILE]`
+///
+/// Runs the same emulation as `simulate` with the footprint sampler on,
+/// prints per-series summaries (mean and percentiles), and optionally
+/// exports the time series as CSV (the `diff` input format), the final
+/// metric values in Prometheus text format, and — when `--flight` names a
+/// file — arms the bounded flight ring, dumping it there at the end of the
+/// run (faulted runs also auto-dump on the first `node_down`).
+pub fn metrics(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "metrics";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let nodes = flag_or(CMD, &o, "nodes", 128usize)?;
+    let satellites = flag_or(CMD, &o, "satellites", 2usize)?;
+    let minutes = flag_or(CMD, &o, "minutes", 5u64)?;
+    let n_jobs = flag_or(CMD, &o, "jobs", 10u64)?;
+    let seed = flag_or(CMD, &o, "seed", 42u64)?;
+    let fault_events = flag_or(CMD, &o, "faults", 0usize)?;
+    let interval_s = flag_or(CMD, &o, "interval", 1u64)?;
+    if interval_s == 0 {
+        return Err(CliError::usage(CMD, "--interval must be at least 1"));
+    }
+
+    let rec = match o.get("flight") {
+        Some(path) => Recorder::with_flight(FlightConfig::dumping_to(path)),
+        None => Recorder::metrics_only(),
+    };
+    let horizon = SimTime::ZERO + SimSpan::from_secs(minutes * 60);
+    let sampler = Sampler::every_until(SimSpan::from_secs(interval_s), horizon);
+    let sys = run_emulation(
+        nodes,
+        satellites,
+        minutes,
+        n_jobs,
+        seed,
+        fault_events,
+        rec.clone(),
+        sampler.clone(),
+    );
+
+    let store = sampler.store();
+    println!(
+        "sampled {} series ({} points) every {interval_s}s over {minutes} \
+         virtual minutes; {}/{n_jobs} jobs completed",
+        store.len(),
+        store.n_points(),
+        sys.master().records.len()
+    );
+    println!(
+        "{:<44} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "series", "n", "mean", "p50", "p99", "max"
+    );
+    for (id, s) in sampler.summaries() {
+        println!(
+            "{:<44} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            id.to_string(),
+            s.count,
+            s.mean,
+            s.p50,
+            s.p99,
+            s.max
+        );
+    }
+    if let Some(path) = o.get("csv") {
+        std::fs::write(path, sampler.to_csv())
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("csv:    {} series -> {path}", store.len());
+    }
+    if let Some(path) = o.get("prom") {
+        std::fs::write(path, obs::export::to_prometheus(&rec))
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("prom:   final exposition -> {path}");
+    }
+    if let Some(path) = o.get("flight") {
+        match rec.flight_dump() {
+            Some(Ok(n)) => println!("flight: {n} events -> {path}"),
+            Some(Err(e)) => {
+                return Err(CliError::io(format!("writing {path}"), e));
+            }
+            None => {}
+        }
+    }
+    Ok(())
+}
+
+/// `eslurm diff BASE.csv NEW.csv [--threshold-pct P]
+/// [--thresholds metric=P,metric=P] [--all true]`
+///
+/// Compares two sampler CSVs and exits 3 when any gated metric's mean or
+/// max grew past its threshold. `footprint_*` metrics are gated by
+/// default; `--thresholds` gates the listed metrics with their own
+/// limits, and `--all true` gates every shared metric.
+pub fn diff(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "diff";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let base_path = o
+        .positional(0, "baseline csv")
+        .map_err(|e| CliError::usage(CMD, e))?;
+    let new_path = o
+        .positional(1, "candidate csv")
+        .map_err(|e| CliError::usage(CMD, e))?;
+    let mut opts = DiffOptions {
+        default_threshold_pct: flag_or(CMD, &o, "threshold-pct", 5.0f64)?,
+        gate_all: flag_or(CMD, &o, "all", false)?,
+        ..DiffOptions::default()
+    };
+    if let Some(list) = o.get("thresholds") {
+        for part in list.split(',').filter(|p| !p.is_empty()) {
+            // Split at the LAST `=`: rendered metric names may carry label
+            // sets with their own `=` (`footprint_sockets{node="master"}`).
+            let (metric, pct) = part.rsplit_once('=').ok_or_else(|| {
+                CliError::usage(
+                    CMD,
+                    format!("--thresholds entry `{part}` is not metric=pct"),
+                )
+            })?;
+            let pct: f64 = pct
+                .parse()
+                .map_err(|e| CliError::usage(CMD, format!("--thresholds {metric}: {e}")))?;
+            opts.per_metric.insert(metric.to_string(), pct);
+        }
+    }
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| CliError::io(format!("reading {path}"), e))
+    };
+    let report = compare_csv(&read(base_path)?, &read(new_path)?, &opts)
+        .map_err(|e| CliError::parse(format!("{base_path} vs {new_path}"), e))?;
+
+    println!(
+        "{:<44} {:>5} {:>14} {:>14} {:>9}  gate",
+        "metric", "stat", "base", "new", "delta%"
+    );
+    for d in &report.deltas {
+        let gate = match (d.regressed, d.threshold_pct) {
+            (true, Some(t)) => format!("FAIL >{t}%"),
+            (false, Some(t)) => format!("ok <={t}%"),
+            (_, None) => "-".to_string(),
+        };
+        println!(
+            "{:<44} {:>5} {:>14.4} {:>14.4} {:>9.2}  {gate}",
+            d.metric, d.stat, d.base, d.new, d.pct
+        );
+    }
+    for m in &report.only_in_base {
+        println!("only in baseline:  {m}");
+    }
+    for m in &report.only_in_new {
+        println!("only in candidate: {m}");
+    }
+    let count = report.regressions().len();
+    if count > 0 {
+        return Err(CliError::Regression { count });
+    }
+    println!("no regressions");
     Ok(())
 }
 

@@ -31,6 +31,12 @@ pub enum CliError {
         /// What is wrong.
         message: String,
     },
+    /// The footprint-regression gate tripped: gated metrics in the
+    /// candidate run grew past their thresholds (`eslurm diff`).
+    Regression {
+        /// How many metric statistics exceeded their thresholds.
+        count: usize,
+    },
 }
 
 impl CliError {
@@ -62,6 +68,7 @@ impl CliError {
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage { .. } => 2,
+            CliError::Regression { .. } => 3,
             _ => 1,
         }
     }
@@ -77,6 +84,9 @@ impl fmt::Display for CliError {
                 message,
             } => write!(f, "{message}"),
             CliError::Usage { command, message } => write!(f, "{command}: {message}"),
+            CliError::Regression { count } => {
+                write!(f, "{count} metric statistic(s) regressed past threshold")
+            }
         }
     }
 }
@@ -98,6 +108,7 @@ mod tests {
     fn usage_errors_exit_2_others_1() {
         assert_eq!(CliError::usage("replay", "bad flag").exit_code(), 2);
         assert_eq!(CliError::parse("t.jsonl", "empty").exit_code(), 1);
+        assert_eq!(CliError::Regression { count: 2 }.exit_code(), 3);
         let io = CliError::io(
             "loading x",
             std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),

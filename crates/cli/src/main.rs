@@ -8,11 +8,13 @@
 //! eslurm simulate --nodes 512 --satellites 4 --minutes 30 --jobs 50
 //! eslurm simulate --nodes 256 --faults 3 --obs trace.json
 //! eslurm trace --nodes 64 --faults 2 --out trace.json
+//! eslurm metrics --nodes 128 --minutes 5 --csv run.csv --prom run.prom
+//! eslurm diff base.csv new.csv --threshold-pct 5
 //! eslurm convert trace.jsonl trace.swf
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure (I/O, malformed input),
-//! 2 command-line usage error.
+//! 2 command-line usage error, 3 footprint-regression gate tripped.
 
 mod cmds;
 mod error;
@@ -34,6 +36,8 @@ COMMANDS:
     predict     Compare runtime-prediction models on a trace
     simulate    Run an emulated ESlurm cluster and report RM metrics
     trace       Record a Perfetto-loadable trace of a faulted emulated run
+    metrics     Sample an emulated run's resource footprint (CSV/Prometheus)
+    diff        Compare two metrics CSVs and gate footprint regressions
     convert     Convert between .jsonl and .swf trace formats
     help        Show this message
 
@@ -52,6 +56,8 @@ fn main() -> ExitCode {
         "predict" => cmds::predict(rest),
         "simulate" => cmds::simulate(rest),
         "trace" => cmds::trace_cmd(rest),
+        "metrics" => cmds::metrics(rest),
+        "diff" => cmds::diff(rest),
         "convert" => cmds::convert(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -6,7 +6,7 @@ use crate::fault::FaultPlan;
 use crate::meter::{Meter, SampleSeries};
 use crate::network::LatencyModel;
 use crate::node::NodeId;
-use obs::{Counter, EventKind, Hist, Recorder};
+use obs::{Counter, EventKind, Hist, Recorder, Sampler};
 use rand::rngs::StdRng;
 use simclock::rng::stream_rng;
 use simclock::{EventQueue, SimSpan, SimTime};
@@ -28,6 +28,13 @@ pub struct SimConfig {
     /// records message counters/latency histograms (and, in full-trace
     /// mode, send/recv/process spans plus fault-plan node up/down marks).
     pub obs: Recorder,
+    /// Time-series sink. Disabled by default; when enabled, each meter
+    /// sampling tick also records per-node `footprint_*{node=...}` series
+    /// and snapshots the recorder's metrics into the sampler's store. When
+    /// no explicit [`Sampling`] is configured, one is synthesized from the
+    /// sampler's cadence over its named nodes (the sampler must then have
+    /// an end time, or no ticks are scheduled).
+    pub sampler: Sampler,
 }
 
 /// Periodic meter sampling configuration.
@@ -50,6 +57,7 @@ impl SimConfig {
             faults: FaultPlan::none(n),
             sampling: None,
             obs: Recorder::disabled(),
+            sampler: Sampler::disabled(),
         }
     }
 }
@@ -89,6 +97,7 @@ struct Inner<M> {
     faults: FaultPlan,
     msg_drops: u64,
     obs: Recorder,
+    sampler: Sampler,
 }
 
 impl<M: Payload> Inner<M> {
@@ -102,6 +111,7 @@ impl<M: Payload> Inner<M> {
         if self.obs.enabled() {
             let flight = arrive.as_micros() - now.as_micros();
             self.obs.inc(Counter::MsgsSent);
+            self.obs.add(Counter::BytesSent, size as u64);
             self.obs.observe(Hist::HopLatencyUs, flight);
             self.obs.span(
                 now.as_micros(),
@@ -118,11 +128,13 @@ impl<M: Payload> Inner<M> {
     fn open_socket(&mut self, a: NodeId, b: NodeId) {
         self.meters[a.index()].open_socket();
         self.meters[b.index()].open_socket();
+        self.obs.inc(Counter::SocketsOpened);
     }
 
     fn close_socket(&mut self, a: NodeId, b: NodeId) {
         self.meters[a.index()].close_socket();
         self.meters[b.index()].close_socket();
+        self.obs.inc(Counter::SocketsClosed);
     }
 }
 
@@ -237,12 +249,31 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
             "fault plan covers fewer nodes than the cluster"
         );
         let mut queue = EventQueue::with_capacity(n * 4);
-        let series = config
-            .sampling
+        let mut sampling = config.sampling;
+        if sampling.is_none() && config.sampler.enabled() {
+            // The sampler alone can drive the sampling cadence, tracking
+            // the nodes it was given names for. An end time is required —
+            // an open-ended tick would keep the queue alive forever.
+            if let (Some(interval), Some(until)) =
+                (config.sampler.interval(), config.sampler.until())
+            {
+                sampling = Some(Sampling {
+                    interval,
+                    tracked: config
+                        .sampler
+                        .named_nodes()
+                        .into_iter()
+                        .map(NodeId)
+                        .collect(),
+                    until,
+                });
+            }
+        }
+        let series = sampling
             .as_ref()
             .map(|s| vec![SampleSeries::default(); s.tracked.len()])
             .unwrap_or_default();
-        if let Some(s) = &config.sampling {
+        if let Some(s) = &sampling {
             queue.push(SimTime::ZERO + s.interval, Ev::Sample);
         }
         if config.obs.enabled() {
@@ -277,8 +308,9 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 faults: config.faults,
                 msg_drops: 0,
                 obs: config.obs,
+                sampler: config.sampler,
             },
-            sampling: config.sampling,
+            sampling,
             series,
             started: false,
             events_processed: 0,
@@ -360,6 +392,12 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
     /// unless one was supplied via [`SimConfig`]).
     pub fn obs(&self) -> &Recorder {
         &self.inner.obs
+    }
+
+    /// The time-series sampler this cluster feeds (disabled unless one
+    /// was supplied via [`SimConfig`]).
+    pub fn sampler(&self) -> &Sampler {
+        &self.inner.sampler
     }
 
     /// Total events processed so far.
@@ -450,8 +488,37 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 if now > s.until {
                     return;
                 }
+                let sampler = &self.inner.sampler;
+                let feed_series = sampler.due(now);
                 for (series, &node) in self.series.iter_mut().zip(&s.tracked) {
-                    series.push(self.inner.meters[node.index()].sample(now));
+                    let sample = self.inner.meters[node.index()].sample(now);
+                    if feed_series {
+                        let id = node.0;
+                        sampler.record_node(now, id, "footprint_cpu_util", sample.cpu_util);
+                        sampler.record_node(
+                            now,
+                            id,
+                            "footprint_cpu_time_s",
+                            sample.cpu_time.as_secs_f64(),
+                        );
+                        sampler.record_node(
+                            now,
+                            id,
+                            "footprint_virt_bytes",
+                            sample.virt_mem as f64,
+                        );
+                        sampler.record_node(
+                            now,
+                            id,
+                            "footprint_real_bytes",
+                            sample.real_mem as f64,
+                        );
+                        sampler.record_node(now, id, "footprint_sockets", sample.sockets as f64);
+                    }
+                    series.push(sample);
+                }
+                if feed_series {
+                    sampler.snapshot(now, &self.inner.obs);
                 }
                 self.inner.queue.push(now + s.interval, Ev::Sample);
             }
@@ -656,6 +723,39 @@ mod tests {
         let series = c.series(NodeId(0)).unwrap();
         assert_eq!(series.samples.len(), 5);
         assert!(c.series(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn sampler_rides_the_sampling_cadence() {
+        let mut cfg = SimConfig::new(2, 5);
+        let sampler = Sampler::every_until(SimSpan::from_secs(1), SimTime::from_secs(5));
+        sampler.name_node(0, "master");
+        cfg.sampler = sampler.clone();
+        cfg.obs = Recorder::metrics_only();
+        // No explicit Sampling: one is synthesized from the sampler.
+        let actors = vec![
+            Ticker {
+                period: SimSpan::from_secs(1),
+                fires: 0,
+            },
+            Ticker {
+                period: SimSpan::from_secs(1),
+                fires: 0,
+            },
+        ];
+        let mut c = SimCluster::new(actors, cfg);
+        c.run_until(SimTime::from_secs(10));
+        let store = sampler.store();
+        let pts = store
+            .get(&obs::MetricId::new("footprint_sockets").with("node", "master"))
+            .expect("footprint series for the named node");
+        assert_eq!(pts.len(), 5);
+        assert!(
+            store.get(&obs::MetricId::new("msgs_sent")).is_some(),
+            "recorder snapshot series missing"
+        );
+        // The synthesized sampling also feeds the classic meter series.
+        assert_eq!(c.series(NodeId(0)).expect("meter series").samples.len(), 5);
     }
 
     #[test]

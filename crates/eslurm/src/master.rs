@@ -7,7 +7,7 @@
 use crate::config::{partition, satellites_needed, EslurmConfig};
 use crate::fsm::{SatEvent, SatFsm, SatState};
 use emu::{Actor, Context, NodeId};
-use obs::{Counter, EventKind, Gauge, Hist, Recorder};
+use obs::{Counter, EventKind, Gauge, Hist, LabeledCounter, MetricId, Recorder};
 use rm::master::JobRecord;
 use rm::proto::{CtlKind, NodeSlice, RmMsg};
 use simclock::{SimSpan, SimTime};
@@ -93,6 +93,10 @@ pub struct EslurmMaster {
     /// `(request id, response latency)` for served user requests.
     pub query_log: Vec<(u64, SimSpan)>,
     obs: Recorder,
+    /// Per-satellite task-assignment counters (`tasks_assigned{sat=..}`),
+    /// the tree-level footprint breakdown behind the aggregate
+    /// [`Counter::TasksAssigned`]. Empty when `obs` is disabled.
+    sat_tasks: Vec<LabeledCounter>,
 }
 
 impl EslurmMaster {
@@ -122,11 +126,21 @@ impl EslurmMaster {
             query_arrival: BTreeMap::new(),
             query_log: Vec::new(),
             obs: Recorder::disabled(),
+            sat_tasks: Vec::new(),
         }
     }
 
     /// Record job/task/FSM telemetry into `obs` (builder-style).
     pub fn with_obs(mut self, obs: Recorder) -> Self {
+        if obs.enabled() {
+            self.sat_tasks = (1..=self.satellites.len())
+                .map(|i| {
+                    obs.labeled_counter(
+                        MetricId::new("tasks_assigned").with("sat", format!("sat{i}")),
+                    )
+                })
+                .collect();
+        }
         self.obs = obs;
         self
     }
@@ -215,6 +229,9 @@ impl EslurmMaster {
             Some(idx) => {
                 self.apply_fsm(idx, SatEvent::TaskAssigned, ctx.now());
                 self.obs.inc(Counter::TasksAssigned);
+                if let Some(c) = self.sat_tasks.get(idx) {
+                    c.inc();
+                }
                 let sat_node = self.satellites[idx] as u64;
                 let task = self
                     .tasks

@@ -10,7 +10,7 @@ use crate::master::EslurmMaster;
 use crate::satellite::SatelliteDaemon;
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
 use monitoring::FailurePredictor;
-use obs::Recorder;
+use obs::{Recorder, Sampler};
 use rm::proto::{NodeSlice, RmMsg};
 use rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use simclock::{SimSpan, SimTime};
@@ -71,6 +71,7 @@ pub struct EslurmSystemBuilder {
     sample_until: Option<SimTime>,
     track_satellites: bool,
     obs: Recorder,
+    sampler: Sampler,
 }
 
 impl EslurmSystemBuilder {
@@ -85,6 +86,7 @@ impl EslurmSystemBuilder {
             sample_until: None,
             track_satellites: false,
             obs: Recorder::disabled(),
+            sampler: Sampler::disabled(),
         }
     }
 
@@ -114,6 +116,16 @@ impl EslurmSystemBuilder {
     pub fn sample_until(mut self, until: SimTime, satellites_too: bool) -> Self {
         self.sample_until = Some(until);
         self.track_satellites = satellites_too;
+        self
+    }
+
+    /// Feed labeled footprint time series into `sampler` on the metering
+    /// cadence. Tracked nodes get stable labels: the master is
+    /// `node=master`, satellites `node=sat<i>`. Combine with
+    /// [`Self::sample_until`] to set cadence and tracking, or let the
+    /// sampler's own `every_until` configuration drive both.
+    pub fn sampler(mut self, sampler: Sampler) -> Self {
+        self.sampler = sampler;
         self
     }
 
@@ -148,6 +160,13 @@ impl EslurmSystemBuilder {
 
         let mut config = SimConfig::new(total, self.seed);
         config.obs = self.obs;
+        if self.sampler.enabled() {
+            self.sampler.name_node(NodeId::MASTER.0, "master");
+            for (i, &s) in sat_ids.iter().enumerate() {
+                self.sampler.name_node(s, &format!("sat{}", i + 1));
+            }
+            config.sampler = self.sampler;
+        }
         if let Some(f) = self.faults {
             config.faults = f;
         }

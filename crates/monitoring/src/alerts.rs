@@ -3,6 +3,7 @@
 use crate::sensors::{SensorKind, SensorReading};
 use crate::units::{BmuId, CmuId, UnitHierarchy};
 use emu::NodeId;
+use obs::{Counter, Recorder};
 use simclock::SimTime;
 
 /// An alert raised by the diagnostic subsystem for one node.
@@ -30,6 +31,7 @@ pub struct AlertBus {
     hierarchy: UnitHierarchy,
     ttl: simclock::SimSpan,
     alerts: Vec<Alert>,
+    obs: Recorder,
 }
 
 impl AlertBus {
@@ -39,7 +41,15 @@ impl AlertBus {
             hierarchy,
             ttl,
             alerts: Vec::new(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Mirror raised-alert counts onto `recorder` (`Counter::AlertsRaised`),
+    /// replacing the bus's own tally as the canonical count.
+    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
     }
 
     /// Ingest a batch of sensor readings, raising alerts for any that
@@ -57,7 +67,9 @@ impl AlertBus {
                 });
             }
         }
-        self.alerts.len() - before
+        let raised = self.alerts.len() - before;
+        self.obs.add(Counter::AlertsRaised, raised as u64);
+        raised
     }
 
     /// Drop alerts older than the TTL relative to `now`.

@@ -14,6 +14,7 @@
 //! false-alarm rate — as controlled experiment parameters.
 
 pub mod alerts;
+pub mod metrics;
 pub mod predictor;
 pub mod sensors;
 pub mod trend;

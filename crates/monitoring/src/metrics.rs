@@ -1,0 +1,86 @@
+//! Deprecated hand-rolled monitoring tallies, folded onto [`obs::Recorder`].
+//!
+//! Before the metrics pipeline existed, callers counted diagnostic activity
+//! by hand: summing [`AlertBus::ingest`](crate::AlertBus::ingest) return
+//! values, measuring `alerts().len()` deltas, or wrapping the predictor to
+//! count scans. Those tallies are now first-class recorder counters —
+//! [`Counter::SensorScans`] and [`Counter::AlertsRaised`] — maintained
+//! automatically once a bus or predictor is built `.with_obs(recorder)`.
+//!
+//! This module keeps the old aggregate-view API alive for one deprecation
+//! cycle. Everything here is a thin read of the recorder's counter file and
+//! carries `#[deprecated]`; new code should read
+//! [`Recorder::counter`](obs::Recorder::counter) directly or export the
+//! whole registry via [`obs::export`].
+
+use obs::{Counter, Recorder};
+
+/// Aggregate diagnostic-activity tally, as the legacy ad-hoc counters
+/// exposed it.
+#[deprecated(
+    since = "0.3.0",
+    note = "read `obs::Counter::{SensorScans, AlertsRaised}` from the shared `Recorder` instead"
+)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonitorCounters {
+    /// Full sensor sweeps executed (`Counter::SensorScans`).
+    pub scans: u64,
+    /// Alerts raised by threshold breaches (`Counter::AlertsRaised`).
+    pub alerts_raised: u64,
+}
+
+#[allow(deprecated)]
+impl MonitorCounters {
+    /// Snapshot the monitoring counters from a recorder.
+    #[deprecated(
+        since = "0.3.0",
+        note = "call `recorder.counter(..)` on the two counters directly"
+    )]
+    pub fn snapshot(recorder: &Recorder) -> Self {
+        MonitorCounters {
+            scans: recorder.counter(Counter::SensorScans),
+            alerts_raised: recorder.counter(Counter::AlertsRaised),
+        }
+    }
+}
+
+/// Count of alerts a bus would raise for `readings`, without mutating any
+/// bus state — the legacy "dry-run tally" helper.
+#[deprecated(
+    since = "0.3.0",
+    note = "`AlertBus::ingest` records `Counter::AlertsRaised` on its recorder; read that instead"
+)]
+pub fn count_alarming(readings: &[crate::SensorReading]) -> usize {
+    readings.iter().filter(|r| r.is_alarming()).count()
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::{AlertBus, SensorKind, SensorReading, UnitHierarchy};
+    use emu::NodeId;
+    use simclock::{SimSpan, SimTime};
+
+    fn reading(node: u32, value: f64) -> SensorReading {
+        SensorReading {
+            node: NodeId(node),
+            kind: SensorKind::Temperature,
+            at: SimTime::from_secs(1),
+            value,
+        }
+    }
+
+    #[test]
+    fn snapshot_mirrors_recorder_counters() {
+        let rec = Recorder::metrics_only();
+        let mut bus =
+            AlertBus::new(UnitHierarchy::tianhe(64), SimSpan::from_secs(300)).with_obs(rec.clone());
+        let batch = [reading(3, 100.0), reading(4, 120.0), reading(5, 55.0)];
+        assert_eq!(bus.ingest(&batch), 2);
+        let snap = MonitorCounters::snapshot(&rec);
+        assert_eq!(snap.alerts_raised, 2);
+        assert_eq!(snap.scans, 0);
+        assert_eq!(count_alarming(&batch), 2);
+    }
+}

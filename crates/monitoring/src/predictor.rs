@@ -16,6 +16,7 @@ use crate::alerts::AlertBus;
 use crate::sensors::SensorModel;
 use crate::units::UnitHierarchy;
 use emu::FaultPlan;
+use obs::{Counter, Recorder};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use simclock::rng::stream_rng;
@@ -127,6 +128,7 @@ pub struct MonitorPredictor {
     scan_interval: SimSpan,
     last_scan: Option<SimTime>,
     rng: StdRng,
+    obs: Recorder,
 }
 
 impl MonitorPredictor {
@@ -148,7 +150,17 @@ impl MonitorPredictor {
             scan_interval,
             last_scan: None,
             rng: stream_rng(seed, 0x5E05),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Mirror scan activity onto `recorder`: `Counter::SensorScans` per
+    /// sweep in [`catch_up`](Self::suspects) and `Counter::AlertsRaised`
+    /// through the underlying [`AlertBus`].
+    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+        self.bus = self.bus.with_obs(recorder.clone());
+        self.obs = recorder;
+        self
     }
 
     /// Run any scans that are due up to `now`.
@@ -171,6 +183,7 @@ impl MonitorPredictor {
             let readings = self
                 .sensors
                 .scan(self.n_nodes, next, &self.faults, &mut self.rng);
+            self.obs.inc(Counter::SensorScans);
             self.bus.ingest(&readings);
             self.last_scan = Some(next);
             next += self.scan_interval;

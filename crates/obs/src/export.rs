@@ -1,14 +1,17 @@
 //! Exporters: Chrome-trace JSON (for `chrome://tracing` / Perfetto),
-//! JSONL, and the JSON metrics summary.
+//! JSONL, the JSON metrics summary, and the Prometheus text exposition.
 //!
 //! Every exported field is numeric or a static string from the event
 //! taxonomy, so the JSON is assembled by hand — no escaping, no serde
-//! dependency, and the output is byte-for-byte deterministic.
+//! dependency, and the output is byte-for-byte deterministic. The
+//! Prometheus rendering walks metrics in id order (static ids first,
+//! labeled families alphabetically), so it too is reproducible.
 
 use std::fmt::Write as _;
 
 use crate::event::TraceEvent;
-use crate::recorder::MetricsSummary;
+use crate::metric::{Counter, Gauge, Hist, HistSnapshot};
+use crate::recorder::{LabeledValue, MetricsSummary, Recorder};
 
 /// Append one event as a Chrome-trace JSON object. Spans use ph "X"
 /// (complete), instants ph "i" with process scope.
@@ -127,10 +130,134 @@ pub fn summary_to_json(s: &MetricsSummary) -> String {
     out
 }
 
+/// Prefix for every exposed metric family, namespacing the reproduction's
+/// metrics when scraped alongside other exporters.
+pub const PROM_PREFIX: &str = "eslurm_";
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn push_hist_lines(out: &mut String, family: &str, label_prefix: &str, snap: &HistSnapshot) {
+    let mut cum = 0u64;
+    for (i, b) in snap.bounds.iter().enumerate() {
+        cum += snap.counts[i];
+        let _ = if label_prefix.is_empty() {
+            writeln!(out, "{family}_bucket{{le=\"{b}\"}} {cum}")
+        } else {
+            writeln!(out, "{family}_bucket{{{label_prefix},le=\"{b}\"}} {cum}")
+        };
+    }
+    let _ = if label_prefix.is_empty() {
+        writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", snap.count)
+    } else {
+        writeln!(
+            out,
+            "{family}_bucket{{{label_prefix},le=\"+Inf\"}} {}",
+            snap.count
+        )
+    };
+    if label_prefix.is_empty() {
+        let _ = writeln!(out, "{family}_sum {}", snap.sum);
+        let _ = writeln!(out, "{family}_count {}", snap.count);
+    } else {
+        let _ = writeln!(out, "{family}_sum{{{label_prefix}}} {}", snap.sum);
+        let _ = writeln!(out, "{family}_count{{{label_prefix}}} {}", snap.count);
+    }
+}
+
+/// Render a label set (already sorted) as `k1="v1",k2="v2"` with values
+/// escaped — no surrounding braces, so histogram lines can append `le`.
+fn label_body(labels: &[(&'static str, String)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", crate::label::escape_label_value(v));
+    }
+    out
+}
+
+/// Render every metric the recorder holds in the Prometheus text
+/// exposition format: `# HELP` / `# TYPE` per family, cumulative `le`
+/// buckets plus `_sum`/`_count` for histograms, label values escaped.
+/// A disabled recorder renders to an empty document.
+pub fn to_prometheus(rec: &Recorder) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    if !rec.enabled() {
+        return out;
+    }
+    for c in Counter::all() {
+        let fam = format!("{PROM_PREFIX}{}", c.name());
+        let _ = writeln!(out, "# HELP {fam} {}", escape_help(c.help()));
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam} {}", rec.counter(c));
+    }
+    for g in Gauge::all() {
+        let fam = format!("{PROM_PREFIX}{}", g.name());
+        let _ = writeln!(out, "# HELP {fam} {}", escape_help(g.help()));
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {}", rec.gauge(g));
+    }
+    for h in Hist::all() {
+        let fam = format!("{PROM_PREFIX}{}", h.name());
+        let _ = writeln!(out, "# HELP {fam} {}", escape_help(h.help()));
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        push_hist_lines(&mut out, &fam, "", &rec.hist(h));
+    }
+    // Labeled metrics arrive sorted by id (name first), so one pass can
+    // emit each family header exactly once. A labeled family may share its
+    // name with a fixed counter/gauge (e.g. `tasks_assigned{sat=..}` beside
+    // the total) — the format allows one TYPE line per name, so those reuse
+    // the header already written above.
+    let already_typed: std::collections::HashSet<&'static str> = Counter::all()
+        .iter()
+        .map(|c| c.name())
+        .chain(Gauge::all().iter().map(|g| g.name()))
+        .chain(Hist::all().iter().map(|h| h.name()))
+        .collect();
+    let mut last_family: Option<&'static str> = None;
+    for (id, value) in rec.labeled_snapshot() {
+        let fam = format!("{PROM_PREFIX}{}", id.name());
+        if last_family != Some(id.name()) {
+            if !already_typed.contains(id.name()) {
+                let kind = match &value {
+                    LabeledValue::Counter(_) => "counter",
+                    LabeledValue::Gauge(_) => "gauge",
+                    LabeledValue::Hist(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {fam} {kind}");
+            }
+            last_family = Some(id.name());
+        }
+        let body = label_body(id.labels());
+        match value {
+            LabeledValue::Counter(v) => {
+                let _ = if body.is_empty() {
+                    writeln!(out, "{fam} {v}")
+                } else {
+                    writeln!(out, "{fam}{{{body}}} {v}")
+                };
+            }
+            LabeledValue::Gauge(v) => {
+                let _ = if body.is_empty() {
+                    writeln!(out, "{fam} {v}")
+                } else {
+                    writeln!(out, "{fam}{{{body}}} {v}")
+                };
+            }
+            LabeledValue::Hist(snap) => push_hist_lines(&mut out, &fam, &body, &snap),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::EventKind;
+    use crate::label::MetricId;
     use crate::recorder::Recorder;
     use serde::Value;
 
@@ -231,5 +358,56 @@ mod tests {
             .expect("hist entry");
         assert_eq!(hist.get("count").and_then(as_u64), Some(1));
         assert_eq!(hist.get("sum").and_then(as_u64), Some(150));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_help_type_and_cumulative_buckets() {
+        use crate::metric::{Counter, Gauge, Hist};
+        let r = Recorder::metrics_only();
+        r.add(Counter::MsgsSent, 3);
+        r.gauge_set(Gauge::QueueDepth, 4);
+        r.observe(Hist::HopLatencyUs, 15); // <= 20 bucket
+        r.observe(Hist::HopLatencyUs, 15);
+        let text = to_prometheus(&r);
+        assert!(text.contains("# HELP eslurm_msgs_sent Messages handed to the transport.\n"));
+        assert!(text.contains("# TYPE eslurm_msgs_sent counter\neslurm_msgs_sent 3\n"));
+        assert!(text.contains("# TYPE eslurm_queue_depth gauge\neslurm_queue_depth 4\n"));
+        assert!(text.contains("# TYPE eslurm_hop_latency_us histogram\n"));
+        // Buckets are cumulative: le="10" holds 0, le="20" holds both.
+        assert!(text.contains("eslurm_hop_latency_us_bucket{le=\"10\"} 0\n"));
+        assert!(text.contains("eslurm_hop_latency_us_bucket{le=\"20\"} 2\n"));
+        assert!(text.contains("eslurm_hop_latency_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("eslurm_hop_latency_us_sum 30\n"));
+        assert!(text.contains("eslurm_hop_latency_us_count 2\n"));
+    }
+
+    #[test]
+    fn prometheus_renders_labeled_families_once() {
+        let r = Recorder::metrics_only();
+        r.labeled_counter(MetricId::new("footprint_rpcs").with("node", "master"))
+            .add(7);
+        r.labeled_counter(MetricId::new("footprint_rpcs").with("node", "sat1"))
+            .inc();
+        let text = to_prometheus(&r);
+        assert_eq!(
+            text.matches("# TYPE eslurm_footprint_rpcs counter").count(),
+            1
+        );
+        assert!(text.contains("eslurm_footprint_rpcs{node=\"master\"} 7\n"));
+        assert!(text.contains("eslurm_footprint_rpcs{node=\"sat1\"} 1\n"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let r = Recorder::metrics_only();
+        r.labeled_gauge(MetricId::new("g").with("k", "a\"b\\c\nd"))
+            .set(1);
+        let text = to_prometheus(&r);
+        assert!(text.contains("eslurm_g{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn disabled_recorder_renders_empty() {
+        assert!(to_prometheus(&Recorder::disabled()).is_empty());
     }
 }

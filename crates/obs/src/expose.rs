@@ -1,0 +1,125 @@
+//! Thread-mode metrics exposition: a periodic `/metrics`-style file dump.
+//!
+//! The container has no signal-handling dependency, so the conventional
+//! SIGUSR1 "dump your stats" trigger is replaced by its documented
+//! alternative: a background timer thread that renders the recorder in
+//! Prometheus text format to a file on a fixed wall-clock cadence. A
+//! scraper (or a human with `cat`) reads the file exactly as it would an
+//! HTTP `/metrics` endpoint. Writes go to a temp file and rename into
+//! place so readers never observe a half-written exposition.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::export::to_prometheus;
+use crate::recorder::Recorder;
+
+/// Render `rec` in Prometheus text format to `path` (atomic
+/// write-then-rename).
+pub fn dump_prometheus(rec: &Recorder, path: &Path) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, to_prometheus(rec))?;
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// A background thread refreshing a Prometheus text file every `every`.
+/// Stops (after at most one more tick) on [`MetricsDumper::stop`] or drop.
+pub struct MetricsDumper {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsDumper {
+    /// Spawn the dumper. The first dump happens immediately, then every
+    /// `every` until stopped.
+    pub fn spawn(rec: Recorder, path: PathBuf, every: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || loop {
+            let _ = dump_prometheus(&rec, &path);
+            if stop2.load(Ordering::Relaxed) {
+                break;
+            }
+            std::thread::park_timeout(every);
+            if stop2.load(Ordering::Relaxed) {
+                break;
+            }
+        });
+        MetricsDumper {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Request a final dump and wait for the thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsDumper {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Counter;
+
+    #[test]
+    fn dumper_writes_and_refreshes_the_file() {
+        let dir = std::env::temp_dir().join("obs-expose-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("metrics.prom");
+        let _ = std::fs::remove_file(&path);
+
+        let rec = Recorder::metrics_only();
+        rec.add(Counter::MsgsSent, 1);
+        let dumper = MetricsDumper::spawn(rec.clone(), path.clone(), Duration::from_millis(5));
+        // The first dump is immediate; poll briefly for it.
+        let mut text = String::new();
+        for _ in 0..200 {
+            if let Ok(t) = std::fs::read_to_string(&path) {
+                text = t;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(text.contains("eslurm_msgs_sent 1"), "first dump missing");
+
+        rec.add(Counter::MsgsSent, 9);
+        for _ in 0..200 {
+            text = std::fs::read_to_string(&path).unwrap_or_default();
+            if text.contains("eslurm_msgs_sent 10") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        dumper.stop();
+        assert!(
+            std::fs::read_to_string(&path)
+                .expect("file persists")
+                .contains("eslurm_msgs_sent 10"),
+            "refresh missing"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

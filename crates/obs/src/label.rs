@@ -1,0 +1,158 @@
+//! Labeled metric identities.
+//!
+//! A [`MetricId`] is a metric family name plus a small, sorted label set
+//! (`node=master`, `component=rm.slurm`, `kind=socket`). Label sets stay
+//! tiny — a handful of pairs keyed by `&'static str` — so an id is cheap
+//! to clone and has a total order, which keeps every export (CSV, series
+//! summaries, Prometheus families) deterministic without extra sorting at
+//! exposition time.
+
+use std::fmt;
+
+/// A metric family name plus its label set, ordered by label key.
+///
+/// The family name and label keys are `&'static str` (metric vocabularies
+/// are compile-time decisions); label values are owned strings because they
+/// name entities created at run time (`node=satellite3`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+}
+
+impl MetricId {
+    /// An id for family `name` with no labels.
+    ///
+    /// `name` must be a valid Prometheus metric name fragment:
+    /// `[a-z_][a-z0-9_]*` (checked in debug builds).
+    pub fn new(name: &'static str) -> Self {
+        debug_assert!(is_valid_name(name), "invalid metric name {name:?}");
+        MetricId {
+            name,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Return a copy with label `key=value` added. Labels are kept sorted
+    /// by key; setting an existing key replaces its value.
+    pub fn with(mut self, key: &'static str, value: impl Into<String>) -> Self {
+        debug_assert!(is_valid_name(key), "invalid label key {key:?}");
+        let value = value.into();
+        match self.labels.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => self.labels[i].1 = value,
+            Err(i) => self.labels.insert(i, (key, value)),
+        }
+        self
+    }
+
+    /// The metric family name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The label pairs, sorted by key.
+    pub fn labels(&self) -> &[(&'static str, String)] {
+        &self.labels
+    }
+
+    /// Render in Prometheus exposition style: `name` when unlabeled,
+    /// otherwise `name{k="v",...}` with label values escaped.
+    pub fn prom(&self) -> String {
+        let mut out = String::with_capacity(self.name.len() + self.labels.len() * 16);
+        out.push_str(self.name);
+        if !self.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_label_value_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.prom())
+    }
+}
+
+fn is_valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+}
+
+/// Escape a label value per the Prometheus text format: backslash, double
+/// quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    escape_label_value_into(&mut out, v);
+    out
+}
+
+fn escape_label_value_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_by_key_and_replace() {
+        let id = MetricId::new("footprint_sockets")
+            .with("node", "master")
+            .with("component", "rm.slurm")
+            .with("node", "sat1");
+        assert_eq!(
+            id.labels(),
+            &[
+                ("component", "rm.slurm".to_string()),
+                ("node", "sat1".to_string())
+            ]
+        );
+        assert_eq!(
+            id.prom(),
+            "footprint_sockets{component=\"rm.slurm\",node=\"sat1\"}"
+        );
+    }
+
+    #[test]
+    fn unlabeled_renders_bare() {
+        assert_eq!(MetricId::new("queue_depth").prom(), "queue_depth");
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter_for_identity() {
+        let a = MetricId::new("m").with("a", "1").with("b", "2");
+        let b = MetricId::new("m").with("b", "2").with("a", "1");
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn label_values_escape_prom_specials() {
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        let id = MetricId::new("m").with("k", "v\"q\"");
+        assert_eq!(id.prom(), "m{k=\"v\\\"q\\\"\"}");
+    }
+}

@@ -46,10 +46,20 @@ pub enum Counter {
     JobsResubmitted,
     /// User status queries answered.
     QueriesServed,
+    /// TCP-modelled sockets opened (both endpoints counted once).
+    SocketsOpened,
+    /// TCP-modelled sockets closed.
+    SocketsClosed,
+    /// Payload bytes handed to the transport.
+    BytesSent,
+    /// Monitoring alerts raised by the alert bus.
+    AlertsRaised,
+    /// Monitoring sensor scans executed by a predictor.
+    SensorScans,
 }
 
 /// Number of counter ids (array size for the recorder).
-pub const N_COUNTERS: usize = Counter::QueriesServed as usize + 1;
+pub const N_COUNTERS: usize = Counter::SensorScans as usize + 1;
 
 impl Counter {
     /// Stable snake_case name used in exports.
@@ -72,6 +82,39 @@ impl Counter {
             Counter::JobsKilled => "jobs_killed",
             Counter::JobsResubmitted => "jobs_resubmitted",
             Counter::QueriesServed => "queries_served",
+            Counter::SocketsOpened => "sockets_opened",
+            Counter::SocketsClosed => "sockets_closed",
+            Counter::BytesSent => "bytes_sent",
+            Counter::AlertsRaised => "alerts_raised",
+            Counter::SensorScans => "sensor_scans",
+        }
+    }
+
+    /// One-line description used as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::MsgsSent => "Messages handed to the transport.",
+            Counter::MsgsDropped => "Messages dropped because the destination was down.",
+            Counter::NodeDowns => "Node outages that began (fault-plan ground truth).",
+            Counter::NodeUps => "Node outages that ended.",
+            Counter::JobsSubmitted => "Jobs submitted to a master.",
+            Counter::JobsCompleted => "Jobs that completed their terminate broadcast.",
+            Counter::TasksAssigned => "Broadcast tasks assigned to satellites.",
+            Counter::TaskRetries => "Broadcast tasks re-assigned after a satellite failure.",
+            Counter::Takeovers => "Broadcast tasks the master relayed itself.",
+            Counter::FsmTransitions => "Satellite FSM state changes observed by the master.",
+            Counter::SweepsDone => "Heartbeat sweeps completed.",
+            Counter::CtlExecuted => "Job-control messages executed on compute nodes.",
+            Counter::BackfillHeadStarts => "Jobs started from the queue head in FIFO order.",
+            Counter::BackfillFills => "Jobs started out of order by backfill.",
+            Counter::JobsKilled => "Jobs killed at their walltime limit.",
+            Counter::JobsResubmitted => "Killed jobs resubmitted with a doubled limit.",
+            Counter::QueriesServed => "User status queries answered.",
+            Counter::SocketsOpened => "TCP-modelled sockets opened.",
+            Counter::SocketsClosed => "TCP-modelled sockets closed.",
+            Counter::BytesSent => "Payload bytes handed to the transport.",
+            Counter::AlertsRaised => "Monitoring alerts raised by the alert bus.",
+            Counter::SensorScans => "Monitoring sensor scans executed by a predictor.",
         }
     }
 
@@ -95,6 +138,11 @@ impl Counter {
             Counter::JobsKilled,
             Counter::JobsResubmitted,
             Counter::QueriesServed,
+            Counter::SocketsOpened,
+            Counter::SocketsClosed,
+            Counter::BytesSent,
+            Counter::AlertsRaised,
+            Counter::SensorScans,
         ]
     }
 }
@@ -109,10 +157,12 @@ pub enum Gauge {
     QueueDepth,
     /// Jobs currently holding nodes in the scheduler.
     JobsRunning,
+    /// Backfill reservations currently held for waiting jobs.
+    Reservations,
 }
 
 /// Number of gauge ids.
-pub const N_GAUGES: usize = Gauge::JobsRunning as usize + 1;
+pub const N_GAUGES: usize = Gauge::Reservations as usize + 1;
 
 impl Gauge {
     /// Stable snake_case name used in exports.
@@ -121,12 +171,28 @@ impl Gauge {
             Gauge::TasksInFlight => "tasks_in_flight",
             Gauge::QueueDepth => "queue_depth",
             Gauge::JobsRunning => "jobs_running",
+            Gauge::Reservations => "reservations",
+        }
+    }
+
+    /// One-line description used as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Gauge::TasksInFlight => "Broadcast tasks outstanding at the ESlurm master.",
+            Gauge::QueueDepth => "Jobs waiting in the scheduler queue.",
+            Gauge::JobsRunning => "Jobs currently holding nodes in the scheduler.",
+            Gauge::Reservations => "Backfill reservations held for waiting jobs.",
         }
     }
 
     /// All gauges, in index order.
     pub fn all() -> [Gauge; N_GAUGES] {
-        [Gauge::TasksInFlight, Gauge::QueueDepth, Gauge::JobsRunning]
+        [
+            Gauge::TasksInFlight,
+            Gauge::QueueDepth,
+            Gauge::JobsRunning,
+            Gauge::Reservations,
+        ]
     }
 }
 
@@ -177,6 +243,18 @@ impl Hist {
         }
     }
 
+    /// One-line description used as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Hist::HopLatencyUs => "One-way message flight time, microseconds.",
+            Hist::MsgProcessUs => "Daemon CPU charged per delivered message, microseconds.",
+            Hist::SweepCompletionUs => "Heartbeat sweep completion time, microseconds.",
+            Hist::TaskServiceUs => "Satellite task service time, microseconds.",
+            Hist::QueryLatencyUs => "User status-query response latency, microseconds.",
+            Hist::JobWaitS => "Scheduler job wait time, seconds.",
+        }
+    }
+
     /// Upper-inclusive bucket bounds; values above the last bound land in
     /// an implicit overflow bucket.
     pub fn bounds(self) -> &'static [u64] {
@@ -204,6 +282,21 @@ impl Hist {
 }
 
 /// A fixed-bucket histogram with exact sum/count (lock-free recording).
+///
+/// # Bucketing convention
+///
+/// Bounds are **upper-inclusive** and strictly increasing. A value `v`
+/// lands in the first bucket whose bound `b` satisfies `v <= b`; in
+/// particular a value exactly on a boundary lands in the bucket that
+/// boundary names, never the next one. Values above the last bound land
+/// in the implicit **overflow bucket** at index `bounds.len()` (so
+/// `counts` is always `bounds.len() + 1` long). This matches the
+/// Prometheus `le` (less-or-equal) semantics and is deterministic: the
+/// same value always lands in the same bucket — see [`bucket_index`].
+///
+/// `sum` uses wrapping `u64` arithmetic; with the microsecond/second
+/// scales recorded here, overflow would take >500 000 years of virtual
+/// time, so no saturation logic is spent on it.
 #[derive(Debug)]
 pub struct Histogram {
     bounds: &'static [u64],
@@ -211,6 +304,14 @@ pub struct Histogram {
     counts: Vec<AtomicU64>,
     sum: AtomicU64,
     count: AtomicU64,
+}
+
+/// The bucket index `value` lands in for upper-inclusive `bounds`:
+/// the first index with `value <= bounds[i]`, or `bounds.len()` (the
+/// overflow bucket) when the value exceeds every bound.
+#[inline]
+pub fn bucket_index(bounds: &[u64], value: u64) -> usize {
+    bounds.partition_point(|&b| b < value)
 }
 
 impl Histogram {
@@ -225,9 +326,10 @@ impl Histogram {
         }
     }
 
-    /// Record one observation.
+    /// Record one observation (see the type docs for the bucket
+    /// convention).
     pub fn observe(&self, value: u64) {
-        let idx = self.bounds.partition_point(|&b| b < value);
+        let idx = bucket_index(self.bounds, value);
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -314,6 +416,47 @@ mod tests {
         assert_eq!(s.count, 5);
         assert_eq!(s.sum, 1 + 10 + 11 + 1000 + 5000);
         assert!((s.mean() - 6022.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_boundary_value_lands_in_its_own_bucket() {
+        // The convention: v == bound lands in the bucket that bound names.
+        const BOUNDS: &[u64] = &[10, 100, 1000];
+        for (i, &b) in BOUNDS.iter().enumerate() {
+            assert_eq!(bucket_index(BOUNDS, b), i, "boundary {b} drifted");
+            assert_eq!(bucket_index(BOUNDS, b + 1), i + 1, "boundary {b}+1 drifted");
+        }
+        // And the same holds on the real ladders.
+        for h in Hist::all() {
+            let bounds = h.bounds();
+            for (i, &b) in bounds.iter().enumerate() {
+                assert_eq!(bucket_index(bounds, b), i);
+            }
+        }
+    }
+
+    #[test]
+    fn over_max_values_land_in_overflow_deterministically() {
+        const BOUNDS: &[u64] = &[10, 100];
+        let h = Histogram::new(BOUNDS);
+        h.observe(101); // one past the last bound
+        h.observe(u64::MAX); // as far over as possible
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 0, 2]);
+        assert_eq!(bucket_index(BOUNDS, 101), BOUNDS.len());
+        assert_eq!(bucket_index(BOUNDS, u64::MAX), BOUNDS.len());
+        // Overflow observations still count toward quantiles, reported at
+        // the last finite bound.
+        assert_eq!(s.quantile_bound(0.99), Some(100));
+    }
+
+    #[test]
+    fn zero_lands_in_the_first_bucket() {
+        const BOUNDS: &[u64] = &[10, 100];
+        assert_eq!(bucket_index(BOUNDS, 0), 0);
+        let h = Histogram::new(BOUNDS);
+        h.observe(0);
+        assert_eq!(h.snapshot().counts, vec![1, 0, 0]);
     }
 
     #[test]

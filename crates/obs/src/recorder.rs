@@ -4,8 +4,14 @@
 //! branch on an `Option` discriminant, so the instrumented hot paths cost
 //! nothing when observability is off. An enabled recorder points at one
 //! shared arena of relaxed atomics (counters/gauges/histograms) plus, in
-//! full-trace mode, a mutex-guarded event vector.
+//! full-trace mode, a mutex-guarded event vector. Beyond the static metric
+//! ids, a labeled registry maps [`MetricId`]s to per-entity cells:
+//! registering returns a handle whose recording path is a single relaxed
+//! atomic, so the registry lock is paid once per entity, not per sample.
+//! An optional flight ring (see [`crate::flight`]) retains the most recent
+//! events per node and dumps them when a node goes down.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -13,19 +19,45 @@ use parking_lot::Mutex;
 use simclock::SimTime;
 
 use crate::event::{EventKind, TraceEvent};
+use crate::flight::{FlightConfig, FlightRecorder};
+use crate::label::MetricId;
 use crate::metric::{Counter, Gauge, Hist, HistSnapshot, Histogram, N_COUNTERS, N_GAUGES};
 
+enum LabeledCell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Hist(Arc<Histogram>),
+}
+
+impl LabeledCell {
+    fn kind(&self) -> &'static str {
+        match self {
+            LabeledCell::Counter(_) => "counter",
+            LabeledCell::Gauge(_) => "gauge",
+            LabeledCell::Hist(_) => "histogram",
+        }
+    }
+}
+
+struct FlightState {
+    ring: Mutex<FlightRecorder>,
+    dump_path: Option<PathBuf>,
+}
+
 struct Shared {
-    /// Whether `event`/`span` record anything (metrics always do).
+    /// Whether `event`/`span` keep an unbounded trace (the flight ring,
+    /// when configured, retains events regardless).
     record_events: bool,
     counters: [AtomicU64; N_COUNTERS],
     gauges: [AtomicI64; N_GAUGES],
     hists: Vec<Histogram>,
+    labeled: Mutex<std::collections::BTreeMap<MetricId, LabeledCell>>,
     events: Mutex<Vec<TraceEvent>>,
+    flight: Option<FlightState>,
 }
 
 impl Shared {
-    fn new(record_events: bool) -> Self {
+    fn new(record_events: bool, flight: Option<FlightConfig>) -> Self {
         Shared {
             record_events,
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -34,7 +66,28 @@ impl Shared {
                 .iter()
                 .map(|h| Histogram::new(h.bounds()))
                 .collect(),
+            labeled: Mutex::new(std::collections::BTreeMap::new()),
             events: Mutex::new(Vec::new()),
+            flight: flight.map(|cfg| FlightState {
+                ring: Mutex::new(FlightRecorder::new(&cfg)),
+                dump_path: cfg.dump_path,
+            }),
+        }
+    }
+
+    fn push_event(&self, e: TraceEvent) {
+        if self.record_events {
+            self.events.lock().push(e);
+        }
+        if let Some(fl) = &self.flight {
+            fl.ring.lock().record(e);
+            if e.kind == EventKind::NodeDown {
+                if let Some(path) = &fl.dump_path {
+                    // Post-mortem context beats hot-path purity here: a
+                    // node just died, write what we have.
+                    let _ = fl.ring.lock().dump_to(path);
+                }
+            }
         }
     }
 }
@@ -49,6 +102,7 @@ impl std::fmt::Debug for Recorder {
         match &self.0 {
             None => f.write_str("Recorder(disabled)"),
             Some(s) if s.record_events => f.write_str("Recorder(full)"),
+            Some(s) if s.flight.is_some() => f.write_str("Recorder(metrics+flight)"),
             Some(_) => f.write_str("Recorder(metrics)"),
         }
     }
@@ -63,12 +117,24 @@ impl Recorder {
     /// Counters/gauges/histograms only — event calls are dropped. Use
     /// when only the summary numbers are wanted (e.g. bench bins).
     pub fn metrics_only() -> Self {
-        Recorder(Some(Arc::new(Shared::new(false))))
+        Recorder(Some(Arc::new(Shared::new(false, None))))
     }
 
     /// Metrics plus the full event trace.
     pub fn full() -> Self {
-        Recorder(Some(Arc::new(Shared::new(true))))
+        Recorder(Some(Arc::new(Shared::new(true, None))))
+    }
+
+    /// Metrics plus a bounded flight ring of recent events — the
+    /// production shape: counters stay cheap, the trace cannot grow
+    /// without bound, and a `node_down` auto-dumps the ring.
+    pub fn with_flight(cfg: FlightConfig) -> Self {
+        Recorder(Some(Arc::new(Shared::new(false, Some(cfg)))))
+    }
+
+    /// Full trace plus a flight ring (for tests comparing the two).
+    pub fn full_with_flight(cfg: FlightConfig) -> Self {
+        Recorder(Some(Arc::new(Shared::new(true, Some(cfg)))))
     }
 
     /// Whether any recording happens at all.
@@ -77,11 +143,12 @@ impl Recorder {
         self.0.is_some()
     }
 
-    /// Whether `event`/`span` calls are kept. Check before doing non-trivial
-    /// work (formatting, extra clock reads) just to build an event.
+    /// Whether `event`/`span` calls are kept — by the unbounded trace, the
+    /// flight ring, or both. Check before doing non-trivial work
+    /// (formatting, extra clock reads) just to build an event.
     #[inline]
     pub fn events_enabled(&self) -> bool {
-        matches!(&self.0, Some(s) if s.record_events)
+        matches!(&self.0, Some(s) if s.record_events || s.flight.is_some())
     }
 
     /// Increment a counter by 1.
@@ -114,14 +181,85 @@ impl Recorder {
         }
     }
 
+    /// Register (or fetch) the labeled counter `id` and return its handle.
+    /// Handles from a disabled recorder are inert.
+    ///
+    /// # Panics
+    /// If `id` is already registered as a different metric kind.
+    pub fn labeled_counter(&self, id: MetricId) -> LabeledCounter {
+        LabeledCounter(self.0.as_ref().map(|s| {
+            let mut reg = s.labeled.lock();
+            let cell = reg
+                .entry(id.clone())
+                .or_insert_with(|| LabeledCell::Counter(Arc::new(AtomicU64::new(0))));
+            match cell {
+                LabeledCell::Counter(c) => c.clone(),
+                other => panic!("{id} already registered as a {}", other.kind()),
+            }
+        }))
+    }
+
+    /// Register (or fetch) the labeled gauge `id` and return its handle.
+    ///
+    /// # Panics
+    /// If `id` is already registered as a different metric kind.
+    pub fn labeled_gauge(&self, id: MetricId) -> LabeledGauge {
+        LabeledGauge(self.0.as_ref().map(|s| {
+            let mut reg = s.labeled.lock();
+            let cell = reg
+                .entry(id.clone())
+                .or_insert_with(|| LabeledCell::Gauge(Arc::new(AtomicI64::new(0))));
+            match cell {
+                LabeledCell::Gauge(g) => g.clone(),
+                other => panic!("{id} already registered as a {}", other.kind()),
+            }
+        }))
+    }
+
+    /// Register (or fetch) the labeled histogram `id` over `bounds` and
+    /// return its handle. Re-registration keeps the original bounds.
+    ///
+    /// # Panics
+    /// If `id` is already registered as a different metric kind.
+    pub fn labeled_hist(&self, id: MetricId, bounds: &'static [u64]) -> LabeledHist {
+        LabeledHist(self.0.as_ref().map(|s| {
+            let mut reg = s.labeled.lock();
+            let cell = reg
+                .entry(id.clone())
+                .or_insert_with(|| LabeledCell::Hist(Arc::new(Histogram::new(bounds))));
+            match cell {
+                LabeledCell::Hist(h) => h.clone(),
+                other => panic!("{id} already registered as a {}", other.kind()),
+            }
+        }))
+    }
+
+    /// Snapshot every labeled metric, in id order.
+    pub fn labeled_snapshot(&self) -> Vec<(MetricId, LabeledValue)> {
+        match &self.0 {
+            Some(s) => s
+                .labeled
+                .lock()
+                .iter()
+                .map(|(id, cell)| {
+                    let v = match cell {
+                        LabeledCell::Counter(c) => LabeledValue::Counter(c.load(Ordering::Relaxed)),
+                        LabeledCell::Gauge(g) => LabeledValue::Gauge(g.load(Ordering::Relaxed)),
+                        LabeledCell::Hist(h) => LabeledValue::Hist(h.snapshot()),
+                    };
+                    (id.clone(), v)
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Record an instant event.
     #[inline]
     pub fn event(&self, ts_us: u64, node: u32, kind: EventKind, a: u64, b: u64) {
         if let Some(s) = &self.0 {
-            if s.record_events {
-                s.events
-                    .lock()
-                    .push(TraceEvent::instant(ts_us, node, kind, a, b));
+            if s.record_events || s.flight.is_some() {
+                s.push_event(TraceEvent::instant(ts_us, node, kind, a, b));
             }
         }
     }
@@ -130,10 +268,8 @@ impl Recorder {
     #[inline]
     pub fn span(&self, ts_us: u64, dur_us: u64, node: u32, kind: EventKind, a: u64, b: u64) {
         if let Some(s) = &self.0 {
-            if s.record_events {
-                s.events
-                    .lock()
-                    .push(TraceEvent::span(ts_us, dur_us, node, kind, a, b));
+            if s.record_events || s.flight.is_some() {
+                s.push_event(TraceEvent::span(ts_us, dur_us, node, kind, a, b));
             }
         }
     }
@@ -171,6 +307,28 @@ impl Recorder {
             Some(s) => s.events.lock().clone(),
             None => Vec::new(),
         }
+    }
+
+    /// Snapshot the flight ring's retained events in recording order
+    /// (empty when no flight ring is configured).
+    pub fn flight_events(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            Some(s) => s
+                .flight
+                .as_ref()
+                .map(|fl| fl.ring.lock().events())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Dump the flight ring to its configured path now. Returns the event
+    /// count written, or `None` when there is no ring or no dump path.
+    pub fn flight_dump(&self) -> Option<std::io::Result<usize>> {
+        let s = self.0.as_ref()?;
+        let fl = s.flight.as_ref()?;
+        let path = fl.dump_path.as_ref()?;
+        Some(fl.ring.lock().dump_to(path))
     }
 
     /// Current value of a counter.
@@ -212,6 +370,89 @@ impl Recorder {
             },
         }
     }
+}
+
+/// A registered per-entity counter; incrementing is one relaxed atomic.
+/// Handles from a disabled recorder do nothing.
+#[derive(Clone, Debug, Default)]
+pub struct LabeledCounter(Option<Arc<AtomicU64>>);
+
+impl LabeledCounter {
+    /// Increment by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when inert).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A registered per-entity gauge; setting is one relaxed atomic store.
+#[derive(Clone, Debug, Default)]
+pub struct LabeledGauge(Option<Arc<AtomicI64>>);
+
+impl LabeledGauge {
+    /// Set to an absolute value (last write wins).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjust by a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when inert).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// A registered per-entity histogram; observing is lock-free.
+#[derive(Clone, Debug, Default)]
+pub struct LabeledHist(Option<Arc<Histogram>>);
+
+impl LabeledHist {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.observe(value);
+        }
+    }
+
+    /// Snapshot the current contents (`None` when inert).
+    pub fn snapshot(&self) -> Option<HistSnapshot> {
+        self.0.as_ref().map(|h| h.snapshot())
+    }
+}
+
+/// A point-in-time value of one labeled metric.
+#[derive(Clone, Debug)]
+pub enum LabeledValue {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's snapshot.
+    Hist(HistSnapshot),
 }
 
 /// A point-in-time copy of every metric a recorder holds.
@@ -267,10 +508,14 @@ mod tests {
         r.inc(Counter::MsgsSent);
         r.observe(Hist::HopLatencyUs, 42);
         r.event(1, 0, EventKind::NodeDown, 0, 0);
+        let lc = r.labeled_counter(MetricId::new("x"));
+        lc.inc();
         assert!(!r.enabled());
         assert_eq!(r.counter(Counter::MsgsSent), 0);
         assert_eq!(r.hist(Hist::HopLatencyUs).count, 0);
+        assert_eq!(lc.get(), 0);
         assert!(r.events().is_empty());
+        assert!(r.labeled_snapshot().is_empty());
     }
 
     #[test]
@@ -297,5 +542,75 @@ mod tests {
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0], TraceEvent::span(10, 5, 2, EventKind::MsgSend, 1, 0));
         assert_eq!(r.summary().n_events, 1);
+    }
+
+    #[test]
+    fn labeled_handles_share_cells_by_id() {
+        let r = Recorder::metrics_only();
+        let a = r.labeled_counter(MetricId::new("sent").with("node", "m"));
+        let b = r.labeled_counter(MetricId::new("sent").with("node", "m"));
+        let other = r.labeled_counter(MetricId::new("sent").with("node", "s1"));
+        a.add(2);
+        b.inc();
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+        let snap = r.labeled_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(matches!(snap[0].1, LabeledValue::Counter(3)));
+    }
+
+    #[test]
+    fn labeled_gauge_and_hist_record() {
+        let r = Recorder::metrics_only();
+        let g = r.labeled_gauge(MetricId::new("depth").with("rm", "eslurm"));
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        let h = r.labeled_hist(MetricId::new("lat").with("rm", "eslurm"), &[10, 100]);
+        h.observe(7);
+        h.observe(700);
+        let snap = h.snapshot().expect("enabled hist snapshots");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.counts, vec![1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn labeled_kind_mismatch_panics() {
+        let r = Recorder::metrics_only();
+        let _ = r.labeled_counter(MetricId::new("x"));
+        let _ = r.labeled_gauge(MetricId::new("x"));
+    }
+
+    #[test]
+    fn flight_mode_keeps_ring_but_not_unbounded_trace() {
+        let r = Recorder::with_flight(FlightConfig {
+            per_node: 2,
+            max_bytes: usize::MAX,
+            dump_path: None,
+        });
+        assert!(r.events_enabled());
+        for i in 0..5 {
+            r.event(i, 0, EventKind::MsgRecv, 0, 0);
+        }
+        assert!(r.events().is_empty(), "no unbounded trace in flight mode");
+        let kept: Vec<u64> = r.flight_events().iter().map(|e| e.ts_us).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn node_down_auto_dumps_the_ring() {
+        let dir = std::env::temp_dir().join("obs-recorder-flight");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("auto.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let r = Recorder::with_flight(FlightConfig::dumping_to(&path));
+        r.event(5, 1, EventKind::MsgRecv, 0, 0);
+        r.event(9, 1, EventKind::NodeDown, 0, 0);
+        let text = std::fs::read_to_string(&path).expect("auto-dump written");
+        assert!(text.contains("node_down"));
+        assert!(text.contains("msg_recv"));
+        let _ = std::fs::remove_file(&path);
     }
 }

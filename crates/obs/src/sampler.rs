@@ -1,0 +1,286 @@
+//! The virtual-time metrics sampler.
+//!
+//! A [`Sampler`] is a cheap-clone handle (same shape as [`Recorder`]:
+//! disabled is a `None`) that transports and schedulers call on a
+//! configurable `SimTime` cadence. Each tick appends labeled points to an
+//! in-memory [`SeriesStore`]: per-node resource footprints recorded by the
+//! driver (`footprint_*{node=...}`) plus a snapshot of every static
+//! counter/gauge/histogram and every labeled metric the paired
+//! [`Recorder`] holds. The store then feeds the CSV/Prometheus expositions
+//! and the `eslurm-cli diff` regression gate.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::{SimSpan, SimTime};
+
+use crate::label::MetricId;
+use crate::recorder::{LabeledValue, Recorder};
+use crate::series::{SeriesStore, SeriesSummary};
+
+struct SamplerShared {
+    interval: SimSpan,
+    until: Option<SimTime>,
+    inner: Mutex<SamplerInner>,
+}
+
+#[derive(Default)]
+struct SamplerInner {
+    store: SeriesStore,
+    node_names: BTreeMap<u32, String>,
+}
+
+/// Handle to a (possibly disabled) time-series sampling sink. Clones share
+/// the same store; the default is disabled, making every call a no-op.
+#[derive(Clone, Default)]
+pub struct Sampler(Option<Arc<SamplerShared>>);
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("Sampler(disabled)"),
+            Some(s) => write!(f, "Sampler(every {:?})", s.interval),
+        }
+    }
+}
+
+impl Sampler {
+    /// The no-op sampler: never due, records nothing.
+    pub fn disabled() -> Self {
+        Sampler(None)
+    }
+
+    /// A sampler ticking every `interval` with no end time.
+    pub fn every(interval: SimSpan) -> Self {
+        Sampler(Some(Arc::new(SamplerShared {
+            interval,
+            until: None,
+            inner: Mutex::new(SamplerInner::default()),
+        })))
+    }
+
+    /// A sampler ticking every `interval` until `until` (inclusive).
+    pub fn every_until(interval: SimSpan, until: SimTime) -> Self {
+        Sampler(Some(Arc::new(SamplerShared {
+            interval,
+            until: Some(until),
+            inner: Mutex::new(SamplerInner::default()),
+        })))
+    }
+
+    /// Whether any sampling happens at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The configured cadence, when enabled.
+    pub fn interval(&self) -> Option<SimSpan> {
+        self.0.as_ref().map(|s| s.interval)
+    }
+
+    /// The configured end time, when one was set.
+    pub fn until(&self) -> Option<SimTime> {
+        self.0.as_ref().and_then(|s| s.until)
+    }
+
+    /// Whether a tick at time `t` should record (enabled and not past the
+    /// end time).
+    #[inline]
+    pub fn due(&self, t: SimTime) -> bool {
+        match &self.0 {
+            None => false,
+            Some(s) => s.until.is_none_or(|u| t <= u),
+        }
+    }
+
+    /// Give node `id` a stable series label (`node=master` instead of
+    /// `node=node0`). Drivers call this once at cluster build time.
+    pub fn name_node(&self, id: u32, name: &str) {
+        if let Some(s) = &self.0 {
+            s.inner.lock().node_names.insert(id, name.to_string());
+        }
+    }
+
+    /// The label value for node `id`: its given name, or `node<id>`.
+    pub fn node_name(&self, id: u32) -> String {
+        match &self.0 {
+            Some(s) => s
+                .inner
+                .lock()
+                .node_names
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("node{id}")),
+            None => format!("node{id}"),
+        }
+    }
+
+    /// The node ids that were given names, in id order.
+    pub fn named_nodes(&self) -> Vec<u32> {
+        match &self.0 {
+            Some(s) => s.inner.lock().node_names.keys().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Append one point to an arbitrary series.
+    pub fn record(&self, t: SimTime, id: MetricId, value: f64) {
+        if let Some(s) = &self.0 {
+            s.inner.lock().store.record(id, t, value);
+        }
+    }
+
+    /// Append one point to `family{node=<name>}` for node `id`.
+    pub fn record_node(&self, t: SimTime, id: u32, family: &'static str, value: f64) {
+        if let Some(s) = &self.0 {
+            let mut inner = s.inner.lock();
+            let name = inner
+                .node_names
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("node{id}"));
+            inner
+                .store
+                .record(MetricId::new(family).with("node", name), t, value);
+        }
+    }
+
+    /// Snapshot every metric of `rec` into the store at time `t`: static
+    /// counters and gauges by name, histograms as `name{stat=count|sum}`,
+    /// and each labeled metric under its own id (labeled histograms add a
+    /// `stat` label too).
+    pub fn snapshot(&self, t: SimTime, rec: &Recorder) {
+        let Some(s) = &self.0 else { return };
+        if !rec.enabled() {
+            return;
+        }
+        let mut inner = s.inner.lock();
+        let store = &mut inner.store;
+        for c in crate::metric::Counter::all() {
+            store.record(MetricId::new(c.name()), t, rec.counter(c) as f64);
+        }
+        for g in crate::metric::Gauge::all() {
+            store.record(MetricId::new(g.name()), t, rec.gauge(g) as f64);
+        }
+        for h in crate::metric::Hist::all() {
+            let snap = rec.hist(h);
+            store.record(
+                MetricId::new(h.name()).with("stat", "count"),
+                t,
+                snap.count as f64,
+            );
+            store.record(
+                MetricId::new(h.name()).with("stat", "sum"),
+                t,
+                snap.sum as f64,
+            );
+        }
+        for (id, value) in rec.labeled_snapshot() {
+            match value {
+                LabeledValue::Counter(v) => store.record(id, t, v as f64),
+                LabeledValue::Gauge(v) => store.record(id, t, v as f64),
+                LabeledValue::Hist(snap) => {
+                    store.record(id.clone().with("stat", "count"), t, snap.count as f64);
+                    store.record(id.with("stat", "sum"), t, snap.sum as f64);
+                }
+            }
+        }
+    }
+
+    /// A copy of the collected series.
+    pub fn store(&self) -> SeriesStore {
+        match &self.0 {
+            Some(s) => s.inner.lock().store.clone(),
+            None => SeriesStore::new(),
+        }
+    }
+
+    /// Render the collected series as CSV (see [`SeriesStore::to_csv`]).
+    pub fn to_csv(&self) -> String {
+        match &self.0 {
+            Some(s) => s.inner.lock().store.to_csv(),
+            None => SeriesStore::new().to_csv(),
+        }
+    }
+
+    /// Per-series order statistics, in id order.
+    pub fn summaries(&self) -> Vec<(MetricId, SeriesSummary)> {
+        match &self.0 {
+            Some(s) => s.inner.lock().store.summaries(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{Counter, Gauge};
+
+    #[test]
+    fn disabled_sampler_is_inert() {
+        let s = Sampler::disabled();
+        assert!(!s.enabled());
+        assert!(!s.due(SimTime::ZERO));
+        s.record(SimTime::ZERO, MetricId::new("x"), 1.0);
+        s.record_node(SimTime::ZERO, 0, "footprint_sockets", 1.0);
+        assert!(s.store().is_empty());
+    }
+
+    #[test]
+    fn due_respects_until() {
+        let s = Sampler::every_until(SimSpan::from_secs(1), SimTime::from_secs(5));
+        assert!(s.due(SimTime::from_secs(5)));
+        assert!(!s.due(SimTime::from_secs(6)));
+        let open = Sampler::every(SimSpan::from_secs(1));
+        assert!(open.due(SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn node_names_label_footprint_series() {
+        let s = Sampler::every(SimSpan::from_secs(1));
+        s.name_node(0, "master");
+        s.record_node(SimTime::from_secs(1), 0, "footprint_sockets", 3.0);
+        s.record_node(SimTime::from_secs(1), 7, "footprint_sockets", 1.0);
+        let store = s.store();
+        assert!(store
+            .get(&MetricId::new("footprint_sockets").with("node", "master"))
+            .is_some());
+        assert!(store
+            .get(&MetricId::new("footprint_sockets").with("node", "node7"))
+            .is_some());
+        assert_eq!(s.named_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn snapshot_captures_recorder_metrics() {
+        let rec = Recorder::metrics_only();
+        rec.add(Counter::MsgsSent, 5);
+        rec.gauge_set(Gauge::QueueDepth, 2);
+        let s = Sampler::every(SimSpan::from_secs(1));
+        s.snapshot(SimTime::from_secs(1), &rec);
+        rec.add(Counter::MsgsSent, 5);
+        s.snapshot(SimTime::from_secs(2), &rec);
+        let store = s.store();
+        let pts = store
+            .get(&MetricId::new("msgs_sent"))
+            .expect("series exists");
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].value, 5.0);
+        assert_eq!(pts[1].value, 10.0);
+        let q = store
+            .get(&MetricId::new("queue_depth"))
+            .expect("gauge series");
+        assert_eq!(q[0].value, 2.0);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let s = Sampler::every(SimSpan::from_secs(1));
+        let s2 = s.clone();
+        s2.record(SimTime::ZERO, MetricId::new("x"), 9.0);
+        assert_eq!(s.store().n_points(), 1);
+    }
+}

@@ -7,7 +7,7 @@ use crate::profile::{HeartbeatMode, RmProfile};
 use crate::proto::{NodeSlice, RmMsg};
 use crate::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
-use obs::Recorder;
+use obs::{Recorder, Sampler};
 use rand::RngExt;
 use simclock::rng::stream_rng;
 use simclock::{SimSpan, SimTime};
@@ -66,6 +66,7 @@ pub struct RmClusterBuilder {
     faults: Option<FaultPlan>,
     sample_until: Option<SimTime>,
     obs: Recorder,
+    sampler: Sampler,
 }
 
 impl RmClusterBuilder {
@@ -79,6 +80,7 @@ impl RmClusterBuilder {
             faults: None,
             sample_until: None,
             obs: Recorder::disabled(),
+            sampler: Sampler::disabled(),
         }
     }
 
@@ -104,6 +106,14 @@ impl RmClusterBuilder {
     /// `EslurmSystemBuilder::obs` does for the distributed stack.
     pub fn obs(mut self, recorder: Recorder) -> Self {
         self.obs = recorder;
+        self
+    }
+
+    /// Feed footprint time series into `sampler` on the metering cadence
+    /// (node 0 is named `master`), exactly as `EslurmSystemBuilder::sampler`
+    /// does for the distributed stack.
+    pub fn sampler(mut self, sampler: Sampler) -> Self {
+        self.sampler = sampler;
         self
     }
 
@@ -138,6 +148,10 @@ impl RmClusterBuilder {
         }
         let mut config = SimConfig::new(n, self.seed);
         config.obs = self.obs;
+        if self.sampler.enabled() {
+            self.sampler.name_node(NodeId::MASTER.0, "master");
+            config.sampler = self.sampler;
+        }
         if let Some(f) = self.faults {
             config.faults = f;
         }

@@ -9,7 +9,7 @@
 use crate::profile::{Fanout, HeartbeatMode, RmProfile};
 use crate::proto::{CtlKind, NodeSlice, RmMsg};
 use emu::{Actor, Context, NodeId};
-use obs::{Counter, EventKind, Hist, Recorder};
+use obs::{Counter, EventKind, Hist, LabeledGauge, MetricId, Recorder};
 use simclock::{SimSpan, SimTime};
 use std::collections::BTreeMap;
 use topology::split_balanced;
@@ -76,6 +76,11 @@ pub struct CentralizedMaster {
     pub query_log: Vec<(u64, SimSpan)>,
     query_arrival: BTreeMap<u64, SimTime>,
     obs: Recorder,
+    /// Bookkeeping bytes (`rm_bookkeeping_bytes{component=rm.master}`):
+    /// the virtual memory the daemon's job/node records account for,
+    /// mirrored into the labeled registry so footprint exports can break
+    /// it out from transport buffers. No-op when `obs` is disabled.
+    book_mem: LabeledGauge,
 }
 
 impl CentralizedMaster {
@@ -91,11 +96,17 @@ impl CentralizedMaster {
             query_log: Vec::new(),
             query_arrival: BTreeMap::new(),
             obs: Recorder::disabled(),
+            book_mem: LabeledGauge::default(),
         }
     }
 
     /// Record job and query telemetry into `recorder`.
     pub fn with_obs(mut self, recorder: Recorder) -> Self {
+        if recorder.enabled() {
+            self.book_mem = recorder.labeled_gauge(
+                MetricId::new("rm_bookkeeping_bytes").with("component", "rm.master"),
+            );
+        }
         self.obs = recorder;
         self
     }
@@ -222,6 +233,8 @@ impl CentralizedMaster {
                 let keep = self.profile.job_record_leak as i64;
                 ctx.alloc_virt(-(self.profile.per_job_virt as i64) + keep);
                 ctx.alloc_real(-(self.profile.per_job_real as i64) + keep / 4);
+                self.book_mem
+                    .add(-(self.profile.per_job_virt as i64) + keep);
                 self.records.push(JobRecord {
                     job,
                     submitted: state.submitted,
@@ -238,6 +251,9 @@ impl CentralizedMaster {
 impl Actor<RmMsg> for CentralizedMaster {
     fn on_start(&mut self, ctx: &mut dyn Context<RmMsg>) {
         ctx.alloc_virt(
+            (self.profile.base_virt + self.slaves.len() as u64 * self.profile.per_node_virt) as i64,
+        );
+        self.book_mem.add(
             (self.profile.base_virt + self.slaves.len() as u64 * self.profile.per_node_virt) as i64,
         );
         ctx.alloc_real(
@@ -263,6 +279,7 @@ impl Actor<RmMsg> for CentralizedMaster {
                 Self::track_work(&mut self.busy_until, ctx, self.profile.sched_cpu);
                 ctx.alloc_virt(self.profile.per_job_virt as i64);
                 ctx.alloc_real(self.profile.per_job_real as i64);
+                self.book_mem.add(self.profile.per_job_virt as i64);
                 self.obs.inc(Counter::JobsSubmitted);
                 self.obs.event_at(
                     ctx.now(),

@@ -13,7 +13,7 @@
 use crate::metrics::{bounded_slowdown, ScheduleReport};
 use crate::policy::LimitPolicy;
 use crate::profile_resv::AvailabilityProfile;
-use obs::{Counter, EventKind, Gauge, Hist, Recorder};
+use obs::{Counter, EventKind, Gauge, Hist, MetricId, Recorder, Sampler};
 use simclock::{EventQueue, SimSpan, SimTime};
 use std::collections::VecDeque;
 use workload::Job;
@@ -92,6 +92,13 @@ pub struct BackfillConfig {
     pub rm_outages: Vec<(SimTime, SimSpan)>,
     /// Telemetry sink for scheduling decisions (disabled by default).
     pub obs: Recorder,
+    /// Virtual-time series sink: on the sampler's cadence the simulator
+    /// records `sched_busy_nodes` and snapshots `obs` (queue depth, jobs
+    /// running, reservations). Disabled by default.
+    pub sampler: Sampler,
+    /// Optional `run=<label>` attached to sampled series, so several
+    /// simulations (e.g. the Fig. 10 RM sweep) can share one store.
+    pub run_label: Option<String>,
 }
 
 impl BackfillConfig {
@@ -105,6 +112,8 @@ impl BackfillConfig {
             max_resubmits: 3,
             rm_outages: Vec::new(),
             obs: Recorder::disabled(),
+            sampler: Sampler::disabled(),
+            run_label: None,
         }
     }
 }
@@ -178,7 +187,18 @@ pub fn simulate(
             .any(|&(at, dur)| t >= at && t < at + dur)
     };
 
+    let tick = cfg.sampler.interval();
+    let mut next_due = tick.map(|i| SimTime::ZERO + i);
+
     while let Some((now, ev)) = events.pop() {
+        // Catch the sampling cadence up to `now`: each tick records the
+        // state as of the last event processed before it.
+        if let (Some(i), Some(due)) = (tick, next_due.as_mut()) {
+            while *due <= now && cfg.sampler.due(*due) {
+                sample_tick(cfg, *due, free);
+                *due += i;
+            }
+        }
         match ev {
             Ev::Arrive(i) => {
                 let limit = policy.limit(&jobs[i]);
@@ -285,18 +305,20 @@ fn schedule(
     }
     match cfg.algo {
         SchedAlgo::Fcfs => {
-            sched_gauges(cfg, queue, running);
+            // FIFO plans no reservations at all.
+            sched_gauges(cfg, queue, running, 0);
             return;
         }
         SchedAlgo::Conservative => {
             conservative_pass(now, free, queue, running, events, jobs, cfg, report);
-            sched_gauges(cfg, queue, running);
+            // Every job still queued holds a profile reservation.
+            sched_gauges(cfg, queue, running, queue.len() as i64);
             return;
         }
         SchedAlgo::Easy => {}
     }
     let Some(&head) = queue.front() else {
-        sched_gauges(cfg, queue, running);
+        sched_gauges(cfg, queue, running, 0);
         return;
     };
     let head_nodes = jobs[head.job].nodes.min(cfg.nodes);
@@ -349,15 +371,33 @@ fn schedule(
         }
         i += 1;
     }
-    sched_gauges(cfg, queue, running);
+    // EASY holds exactly one reservation: the blocked head's.
+    sched_gauges(cfg, queue, running, 1);
 }
 
-/// Publish queue/occupancy gauges after a scheduling pass.
-fn sched_gauges(cfg: &BackfillConfig, queue: &VecDeque<Queued>, running: &[Option<Running>]) {
+/// One sampling-cadence tick: the busy-node series plus a snapshot of the
+/// scheduling gauges/counters living in `cfg.obs`.
+fn sample_tick(cfg: &BackfillConfig, t: SimTime, free: u32) {
+    let mut id = MetricId::new("sched_busy_nodes");
+    if let Some(run) = &cfg.run_label {
+        id = id.with("run", run.clone());
+    }
+    cfg.sampler.record(t, id, (cfg.nodes - free) as f64);
+    cfg.sampler.snapshot(t, &cfg.obs);
+}
+
+/// Publish queue/occupancy/reservation gauges after a scheduling pass.
+fn sched_gauges(
+    cfg: &BackfillConfig,
+    queue: &VecDeque<Queued>,
+    running: &[Option<Running>],
+    reservations: i64,
+) {
     if cfg.obs.enabled() {
         cfg.obs.gauge_set(Gauge::QueueDepth, queue.len() as i64);
         cfg.obs
             .gauge_set(Gauge::JobsRunning, running.iter().flatten().count() as i64);
+        cfg.obs.gauge_set(Gauge::Reservations, reservations);
     }
 }
 
