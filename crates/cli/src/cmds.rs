@@ -8,7 +8,11 @@ use estimate::{
     evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2, Prep,
     RuntimePredictor, Trip, UserEstimate,
 };
-use obs::{compare_csv, DiffOptions, FlightConfig, Recorder, Sampler};
+use obs::causal::{render_critical_path, render_flow_summaries, render_tree};
+use obs::{
+    build_traces, compare_csv, flow_summaries, DiffOptions, FlightConfig, FlowKind, Recorder,
+    Sampler, TraceTree,
+};
 use sched::{
     simulate as run_schedule, BackfillConfig, LimitPolicy, OracleLimit, SchedAlgo, UserLimit,
 };
@@ -92,6 +96,24 @@ pub const COMMANDS: &[CmdSpec] = &[
         ],
     },
     CmdSpec {
+        name: "explain",
+        summary: "reconstruct one trace's causal tree and critical path",
+        flags: &["nodes", "satellites", "minutes", "jobs", "seed", "faults"],
+    },
+    CmdSpec {
+        name: "critical-path",
+        summary: "slowest causal chain with per-hop latency breakdown",
+        flags: &[
+            "nodes",
+            "satellites",
+            "minutes",
+            "jobs",
+            "seed",
+            "faults",
+            "flow",
+        ],
+    },
+    CmdSpec {
         name: "diff",
         summary: "compare two metrics CSVs and gate footprint regressions",
         flags: &["threshold-pct", "thresholds", "all"],
@@ -165,7 +187,9 @@ fn save_trace(jobs: &[Job], path: &str) -> Result<(), CliError> {
 fn write_obs(rec: &Recorder, path: &str, format: &str) -> Result<usize, CliError> {
     let events = rec.events();
     let body = match format {
-        "chrome" => obs::export::to_chrome_trace(&events),
+        // Chrome traces get flow events too, so Perfetto draws the
+        // cross-node causal arrows between the span slices.
+        "chrome" => obs::export::to_chrome_trace_with_flows(&events, &rec.causal_records()),
         "jsonl" => obs::export::to_jsonl(&events),
         other => {
             return Err(CliError::usage(
@@ -657,6 +681,111 @@ pub fn metrics(args: &[String]) -> Result<(), CliError> {
             None => {}
         }
     }
+    Ok(())
+}
+
+/// Run the reference fault scenario (the same defaults as `eslurm trace`)
+/// with full causal tracing on and rebuild the per-trace causal trees.
+fn causal_run(cmd: &'static str, o: &Opts) -> Result<Vec<TraceTree>, CliError> {
+    let nodes = flag_or(cmd, o, "nodes", 64usize)?;
+    let satellites = flag_or(cmd, o, "satellites", 2usize)?;
+    let minutes = flag_or(cmd, o, "minutes", 5u64)?;
+    let n_jobs = flag_or(cmd, o, "jobs", 10u64)?;
+    let seed = flag_or(cmd, o, "seed", 42u64)?;
+    let fault_events = flag_or(cmd, o, "faults", 2usize)?;
+    let rec = Recorder::full();
+    run_emulation(
+        nodes,
+        satellites,
+        minutes,
+        n_jobs,
+        seed,
+        fault_events,
+        rec.clone(),
+        Sampler::disabled(),
+    );
+    Ok(build_traces(&rec.causal_records()))
+}
+
+/// `eslurm explain TRACE-ID [--nodes N --satellites M --minutes T
+/// --jobs J --seed S --faults K]`
+///
+/// Re-runs the (deterministic) scenario with causal tracing on, then
+/// prints the full causal tree of the requested trace followed by its
+/// critical path with the per-hop latency breakdown.
+pub fn explain(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "explain";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let id_str = o
+        .positional(0, "trace id")
+        .map_err(|e| CliError::usage(CMD, e))?;
+    let id: u64 = id_str
+        .parse()
+        .map_err(|_| CliError::usage(CMD, format!("trace id `{id_str}` is not an integer")))?;
+    let trees = causal_run(CMD, &o)?;
+    let Some(tree) = trees.iter().find(|t| t.trace == id) else {
+        let last = trees.last().map(|t| t.trace).unwrap_or(0);
+        return Err(CliError::parse(
+            CMD,
+            format!(
+                "trace {id} was not recorded ({} traces, ids 1..={last})",
+                trees.len()
+            ),
+        ));
+    };
+    print!("{}", render_tree(tree));
+    print!("{}", render_critical_path(&tree.critical_path()));
+    Ok(())
+}
+
+/// `eslurm critical-path [--flow dispatch|sweep|recovery] [--nodes N
+/// --satellites M --minutes T --jobs J --seed S --faults K]`
+///
+/// Re-runs the (deterministic) scenario with causal tracing on, prints the
+/// slowest chain across all traces (optionally restricted to one flow
+/// kind) with its per-hop breakdown, then latency percentiles per flow.
+pub fn critical_path(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "critical-path";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let flow = match o.get("flow") {
+        Some(s) => Some(FlowKind::parse(s).ok_or_else(|| {
+            CliError::usage(
+                CMD,
+                format!("unknown --flow {s} (dispatch | sweep | recovery)"),
+            )
+        })?),
+        None => None,
+    };
+    let trees = causal_run(CMD, &o)?;
+    let selected: Vec<TraceTree> = trees
+        .into_iter()
+        .filter(|t| flow.is_none_or(|f| t.flow == f))
+        .collect();
+    if selected.is_empty() {
+        return Err(CliError::parse(
+            CMD,
+            "no traces recorded for the requested flow",
+        ));
+    }
+    let slowest = selected
+        .iter()
+        .map(|t| t.critical_path())
+        .max_by_key(|p| (p.end_to_end_us, std::cmp::Reverse(p.trace)))
+        .expect("selected is non-empty");
+    match flow {
+        Some(f) => println!("slowest of {} {} trace(s):", selected.len(), f.name()),
+        None => println!("slowest of {} trace(s):", selected.len()),
+    }
+    print!("{}", render_critical_path(&slowest));
+    print!("{}", render_flow_summaries(&flow_summaries(&selected)));
     Ok(())
 }
 

@@ -9,6 +9,8 @@
 //! eslurm simulate --nodes 256 --faults 3 --obs trace.json
 //! eslurm trace --nodes 64 --faults 2 --out trace.json
 //! eslurm metrics --nodes 128 --minutes 5 --csv run.csv --prom run.prom
+//! eslurm explain 3 --faults 2
+//! eslurm critical-path --flow sweep
 //! eslurm diff base.csv new.csv --threshold-pct 5
 //! eslurm convert trace.jsonl trace.swf
 //! ```
@@ -37,6 +39,8 @@ COMMANDS:
     simulate    Run an emulated ESlurm cluster and report RM metrics
     trace       Record a Perfetto-loadable trace of a faulted emulated run
     metrics     Sample an emulated run's resource footprint (CSV/Prometheus)
+    explain     Reconstruct one trace's causal tree and critical path
+    critical-path  Slowest causal chain with per-hop latency breakdown
     diff        Compare two metrics CSVs and gate footprint regressions
     convert     Convert between .jsonl and .swf trace formats
     help        Show this message
@@ -57,6 +61,8 @@ fn main() -> ExitCode {
         "simulate" => cmds::simulate(rest),
         "trace" => cmds::trace_cmd(rest),
         "metrics" => cmds::metrics(rest),
+        "explain" => cmds::explain(rest),
+        "critical-path" => cmds::critical_path(rest),
         "diff" => cmds::diff(rest),
         "convert" => cmds::convert(rest),
         "help" | "--help" | "-h" => {

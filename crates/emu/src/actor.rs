@@ -9,6 +9,7 @@
 //! end-to-end at small scale).
 
 use crate::node::NodeId;
+use obs::{FlowKind, TraceContext};
 use rand::rngs::StdRng;
 use simclock::{SimSpan, SimTime};
 
@@ -66,6 +67,38 @@ pub trait Context<M: Payload> {
     /// consult this (it stands in for the hardware diagnostic network);
     /// RM protocol logic must rely on timeouts instead.
     fn is_up(&self, node: NodeId) -> bool;
+
+    /// Start a causal trace of `flow` rooted here and make it current:
+    /// every `send` until the end of this handler (or until
+    /// [`Context::trace_adopt`]) carries a child context of it. Returns
+    /// `None` — and records nothing — unless the transport's recorder has
+    /// causal tracing on, so un-traced runs stay bit-identical.
+    fn trace_begin(&mut self, flow: FlowKind) -> Option<TraceContext> {
+        let _ = flow;
+        None
+    }
+
+    /// The trace context current for this handler, if any: the context the
+    /// delivered message carried, or the one a `trace_begin`/`trace_adopt`
+    /// installed. Actors stash this in their state to resume the trace
+    /// from a later timer handler.
+    fn trace_current(&self) -> Option<TraceContext> {
+        None
+    }
+
+    /// Make `ctx` current (or clear it with `None`): subsequent sends link
+    /// as children of `ctx.span`. Used by timer handlers continuing a flow
+    /// whose context was stashed when the state was created.
+    fn trace_adopt(&mut self, ctx: Option<TraceContext>) {
+        let _ = ctx;
+    }
+
+    /// Record that the current flow sat waiting on a timeout/retry from
+    /// `start` until now under `ctx`'s span — the critical path relabels
+    /// the gap as backoff instead of unexplained idle time.
+    fn trace_backoff(&mut self, ctx: &TraceContext, start: SimTime) {
+        let _ = (ctx, start);
+    }
 }
 
 /// A state machine running on one emulated node.

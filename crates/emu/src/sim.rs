@@ -6,7 +6,9 @@ use crate::fault::FaultPlan;
 use crate::meter::{Meter, SampleSeries};
 use crate::network::LatencyModel;
 use crate::node::NodeId;
-use obs::{Counter, EventKind, Hist, Recorder, Sampler};
+use obs::{
+    CausalRecord, Counter, EventKind, FlowKind, Hist, HopSend, Recorder, Sampler, TraceContext,
+};
 use rand::rngs::StdRng;
 use simclock::rng::stream_rng;
 use simclock::{EventQueue, SimSpan, SimTime};
@@ -67,6 +69,11 @@ enum Ev<M> {
         from: NodeId,
         to: NodeId,
         msg: M,
+        /// Causal-trace envelope: `Some` only while a trace is current on
+        /// the sender *and* the recorder keeps causal records. Riding the
+        /// envelope (not the payload) keeps modelled wire sizes — and so
+        /// every latency draw and event time — identical with tracing on.
+        hop: Option<HopSend>,
     },
     Timer {
         node: NodeId,
@@ -98,6 +105,11 @@ struct Inner<M> {
     msg_drops: u64,
     obs: Recorder,
     sampler: Sampler,
+    /// The causal context current for the actor handler running right now
+    /// (set from the delivered envelope or by `trace_begin`/`trace_adopt`,
+    /// cleared when the handler returns). Always `None` when the recorder
+    /// keeps no causal records.
+    cur_ctx: Option<TraceContext>,
 }
 
 impl<M: Payload> Inner<M> {
@@ -107,6 +119,17 @@ impl<M: Payload> Inner<M> {
         let depart = self.tx_free[me.index()].max(now) + self.latency.tx_gap(size);
         self.tx_free[me.index()] = depart;
         let arrive = depart + self.latency.latency(size, &mut self.rngs[me.index()]);
+        // Allocate the hop's child span while the sender's context is
+        // current; the queue/link split falls out of the DES send math
+        // (backlog + transmit gap until departure, wire latency after).
+        let hop = self.cur_ctx.and_then(|ctx| {
+            self.obs.causal_child(ctx).map(|child| HopSend {
+                ctx: child,
+                parent: ctx.span,
+                send_us: now.as_micros(),
+                queue_us: depart.as_micros() - now.as_micros(),
+            })
+        });
         self.meters[me.index()].count_sent();
         if self.obs.enabled() {
             let flight = arrive.as_micros() - now.as_micros();
@@ -122,7 +145,15 @@ impl<M: Payload> Inner<M> {
                 size as u64,
             );
         }
-        self.queue.push(arrive, Ev::Deliver { from: me, to, msg });
+        self.queue.push(
+            arrive,
+            Ev::Deliver {
+                from: me,
+                to,
+                msg,
+                hop,
+            },
+        );
     }
 
     fn open_socket(&mut self, a: NodeId, b: NodeId) {
@@ -205,6 +236,36 @@ impl<M: Payload> Context<M> for DesCtx<'_, M> {
 
     fn is_up(&self, node: NodeId) -> bool {
         self.inner.faults.is_up(node, self.inner.queue.now())
+    }
+
+    fn trace_begin(&mut self, flow: FlowKind) -> Option<TraceContext> {
+        let ctx = self
+            .inner
+            .obs
+            .causal_begin(flow, self.me.0, self.inner.queue.now().as_micros());
+        if ctx.is_some() {
+            self.inner.cur_ctx = ctx;
+        }
+        ctx
+    }
+
+    fn trace_current(&self) -> Option<TraceContext> {
+        self.inner.cur_ctx
+    }
+
+    fn trace_adopt(&mut self, ctx: Option<TraceContext>) {
+        if self.inner.obs.causal_enabled() {
+            self.inner.cur_ctx = ctx;
+        }
+    }
+
+    fn trace_backoff(&mut self, ctx: &TraceContext, start: SimTime) {
+        self.inner.obs.causal_backoff(
+            ctx,
+            self.me.0,
+            start.as_micros(),
+            self.inner.queue.now().as_micros(),
+        );
     }
 }
 
@@ -309,6 +370,7 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 msg_drops: 0,
                 obs: config.obs,
                 sampler: config.sampler,
+                cur_ctx: None,
             },
             sampling,
             series,
@@ -335,7 +397,15 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
     /// Inject an external message (e.g. a user's job submission arriving at
     /// the master) at absolute time `at`, appearing to come from `from`.
     pub fn inject(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
-        self.inner.queue.push(at, Ev::Deliver { from, to, msg });
+        self.inner.queue.push(
+            at,
+            Ev::Deliver {
+                from,
+                to,
+                msg,
+                hop: None,
+            },
+        );
     }
 
     /// Run until the queue is exhausted or `horizon` is reached, whichever
@@ -417,12 +487,13 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 me,
             };
             self.actors[i].on_start(&mut ctx);
+            self.inner.cur_ctx = None;
         }
     }
 
     fn dispatch(&mut self, ev: Ev<M>) {
         match ev {
-            Ev::Deliver { from, to, msg } => {
+            Ev::Deliver { from, to, msg, hop } => {
                 let now = self.inner.queue.now();
                 if !self.inner.faults.is_up(to, now) {
                     self.inner.msg_drops += 1;
@@ -444,11 +515,15 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 } else {
                     (0, 0)
                 };
+                // The delivered context becomes current for the handler, so
+                // any sends it makes chain as children of this hop.
+                self.inner.cur_ctx = hop.map(|h| h.ctx);
                 let mut ctx = DesCtx {
                     inner: &mut self.inner,
                     me: to,
                 };
                 self.actors[to.index()].on_message(&mut ctx, from, msg);
+                self.inner.cur_ctx = None;
                 if tracing {
                     let cpu = self.inner.meters[to.index()].cpu_time().as_micros() - cpu_before;
                     self.inner.obs.observe(Hist::MsgProcessUs, cpu);
@@ -460,6 +535,25 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                         from.0 as u64,
                         size,
                     );
+                    if let Some(h) = hop {
+                        // Close the hop: queue/link were fixed at send time,
+                        // processing is the CPU the handler just charged.
+                        let recv_us = now.as_micros();
+                        self.inner.obs.causal_record(CausalRecord::Hop {
+                            trace: h.ctx.trace,
+                            span: h.ctx.span,
+                            parent: h.parent,
+                            flow: h.ctx.flow,
+                            depth: h.ctx.depth,
+                            from: from.0,
+                            to: to.0,
+                            send_us: h.send_us,
+                            queue_us: h.queue_us,
+                            link_us: recv_us.saturating_sub(h.send_us + h.queue_us),
+                            recv_us,
+                            process_us: cpu,
+                        });
+                    }
                 }
             }
             Ev::Timer { node, token } => {
@@ -478,6 +572,8 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                     me: node,
                 };
                 self.actors[node.index()].on_timer(&mut ctx, token);
+                // Timer handlers may begin/adopt a trace; it ends with them.
+                self.inner.cur_ctx = None;
             }
             Ev::SocketClose { a, b } => {
                 self.inner.close_socket(a, b);

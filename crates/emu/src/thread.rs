@@ -13,7 +13,7 @@ use crate::fault::FaultPlan;
 use crate::meter::Meter;
 use crate::node::NodeId;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use obs::{Counter, EventKind, Hist, Recorder};
+use obs::{CausalRecord, Counter, EventKind, FlowKind, Hist, HopSend, Recorder, TraceContext};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use simclock::rng::stream_rng;
@@ -25,7 +25,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 enum Ctl<M> {
-    Msg { from: NodeId, msg: M },
+    Msg {
+        from: NodeId,
+        msg: M,
+        /// Causal-trace envelope (see the DES transport): present only
+        /// when the sender had a current trace and causal tracing is on.
+        /// The thread transport cannot split sender queueing from wire
+        /// time, so `queue_us` is 0 and the whole gap lands in `link_us`.
+        hop: Option<HopSend>,
+    },
     Stop,
 }
 
@@ -74,6 +82,9 @@ struct ThreadCtx<'a, M> {
     timers: &'a mut BinaryHeap<TimerEntry>,
     socket_closes: &'a mut Vec<(Instant, NodeId)>,
     rng: &'a mut StdRng,
+    /// The causal context current for the running handler (owned by the
+    /// node loop so timer handlers see what message handlers installed).
+    cur_ctx: &'a mut Option<TraceContext>,
 }
 
 impl<M: Payload> Context<M> for ThreadCtx<'_, M> {
@@ -97,9 +108,21 @@ impl<M: Payload> Context<M> for ThreadCtx<'_, M> {
                 msg.size_bytes() as u64,
             );
         }
+        let hop = self.cur_ctx.and_then(|ctx| {
+            self.shared.obs.causal_child(ctx).map(|child| HopSend {
+                ctx: child,
+                parent: ctx.span,
+                send_us: self.shared.now().as_micros(),
+                queue_us: 0,
+            })
+        });
         // A send to a stopped node's closed channel is a drop, like a send
         // to a failed node.
-        let _ = self.senders[to.index()].send(Ctl::Msg { from: self.me, msg });
+        let _ = self.senders[to.index()].send(Ctl::Msg {
+            from: self.me,
+            msg,
+            hop,
+        });
     }
 
     fn set_timer(&mut self, after: SimSpan, token: u64) {
@@ -145,6 +168,36 @@ impl<M: Payload> Context<M> for ThreadCtx<'_, M> {
 
     fn is_up(&self, node: NodeId) -> bool {
         self.shared.up[node.index()].load(Ordering::Acquire)
+    }
+
+    fn trace_begin(&mut self, flow: FlowKind) -> Option<TraceContext> {
+        let ctx = self
+            .shared
+            .obs
+            .causal_begin(flow, self.me.0, self.shared.now().as_micros());
+        if ctx.is_some() {
+            *self.cur_ctx = ctx;
+        }
+        ctx
+    }
+
+    fn trace_current(&self) -> Option<TraceContext> {
+        *self.cur_ctx
+    }
+
+    fn trace_adopt(&mut self, ctx: Option<TraceContext>) {
+        if self.shared.obs.causal_enabled() {
+            *self.cur_ctx = ctx;
+        }
+    }
+
+    fn trace_backoff(&mut self, ctx: &TraceContext, start: SimTime) {
+        self.shared.obs.causal_backoff(
+            ctx,
+            self.me.0,
+            start.as_micros(),
+            self.shared.now().as_micros(),
+        );
     }
 }
 
@@ -252,7 +305,11 @@ impl<M: Payload, A: Actor<M> + 'static> ThreadCluster<M, A> {
 
     /// Send a message into the cluster from outside (e.g. a simulated user).
     pub fn inject(&self, from: NodeId, to: NodeId, msg: M) {
-        let _ = self.senders[to.index()].send(Ctl::Msg { from, msg });
+        let _ = self.senders[to.index()].send(Ctl::Msg {
+            from,
+            msg,
+            hop: None,
+        });
     }
 
     /// Mark a node up or down. Down nodes drop incoming messages and defer
@@ -310,6 +367,7 @@ fn node_loop<M: Payload, A: Actor<M>>(
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let mut socket_closes: Vec<(Instant, NodeId)> = Vec::new();
     let mut rng = stream_rng(seed, me.0 as u64);
+    let mut cur_ctx: Option<TraceContext> = None;
 
     {
         let mut ctx = ThreadCtx {
@@ -319,9 +377,11 @@ fn node_loop<M: Payload, A: Actor<M>>(
             timers: &mut timers,
             socket_closes: &mut socket_closes,
             rng: &mut rng,
+            cur_ctx: &mut cur_ctx,
         };
         actor.on_start(&mut ctx);
     }
+    cur_ctx = None;
 
     loop {
         // Auto-close expired ephemeral sockets.
@@ -353,8 +413,10 @@ fn node_loop<M: Payload, A: Actor<M>>(
                     timers: &mut timers,
                     socket_closes: &mut socket_closes,
                     rng: &mut rng,
+                    cur_ctx: &mut cur_ctx,
                 };
                 actor.on_timer(&mut ctx, t.token);
+                cur_ctx = None;
             }
         }
 
@@ -366,7 +428,7 @@ fn node_loop<M: Payload, A: Actor<M>>(
             .min(Duration::from_millis(5));
         match rx.recv_timeout(wait) {
             Ok(Ctl::Stop) => return actor,
-            Ok(Ctl::Msg { from, msg }) => {
+            Ok(Ctl::Msg { from, msg, hop }) => {
                 if !shared.up[me.index()].load(Ordering::Acquire) {
                     shared.obs.inc(Counter::MsgsDropped);
                     shared
@@ -386,6 +448,7 @@ fn node_loop<M: Payload, A: Actor<M>>(
                 } else {
                     (0, SimTime::ZERO)
                 };
+                cur_ctx = hop.map(|h| h.ctx);
                 let mut ctx = ThreadCtx {
                     shared: &shared,
                     senders: &senders,
@@ -393,8 +456,10 @@ fn node_loop<M: Payload, A: Actor<M>>(
                     timers: &mut timers,
                     socket_closes: &mut socket_closes,
                     rng: &mut rng,
+                    cur_ctx: &mut cur_ctx,
                 };
                 actor.on_message(&mut ctx, from, msg);
+                cur_ctx = None;
                 if tracing {
                     let dur = shared.now().as_micros().saturating_sub(t0.as_micros());
                     shared.obs.observe(Hist::MsgProcessUs, dur);
@@ -406,6 +471,23 @@ fn node_loop<M: Payload, A: Actor<M>>(
                         from.0 as u64,
                         size,
                     );
+                    if let Some(h) = hop {
+                        let recv_us = t0.as_micros();
+                        shared.obs.causal_record(CausalRecord::Hop {
+                            trace: h.ctx.trace,
+                            span: h.ctx.span,
+                            parent: h.parent,
+                            flow: h.ctx.flow,
+                            depth: h.ctx.depth,
+                            from: from.0,
+                            to: me.0,
+                            send_us: h.send_us,
+                            queue_us: h.queue_us,
+                            link_us: recv_us.saturating_sub(h.send_us + h.queue_us),
+                            recv_us,
+                            process_us: dur,
+                        });
+                    }
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}

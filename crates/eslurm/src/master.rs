@@ -7,7 +7,9 @@
 use crate::config::{partition, satellites_needed, EslurmConfig};
 use crate::fsm::{SatEvent, SatFsm, SatState};
 use emu::{Actor, Context, NodeId};
-use obs::{Counter, EventKind, Gauge, Hist, LabeledCounter, MetricId, Recorder};
+use obs::{
+    Counter, EventKind, FlowKind, Gauge, Hist, LabeledCounter, MetricId, Recorder, TraceContext,
+};
 use rm::master::JobRecord;
 use rm::proto::{CtlKind, NodeSlice, RmMsg};
 use simclock::{SimSpan, SimTime};
@@ -49,6 +51,9 @@ struct JobState {
     tasks_total: u32,
     tasks_done: u32,
     reached: u32,
+    /// Causal-trace root for this job's flow (dispatch or sweep); `None`
+    /// unless the recorder has causal tracing on.
+    trace: Option<TraceContext>,
 }
 
 struct Task {
@@ -62,6 +67,12 @@ struct Task {
     takeover_expected: u32,
     takeover_received: u32,
     takeover_reached: u32,
+    /// Causal context the task's broadcast sends attach to (copied from
+    /// the job at creation, replaced by a recovery root on takeover).
+    trace: Option<TraceContext>,
+    /// When this task's broadcast was last sent out (start of the timeout
+    /// window a later `TASK_TIMEOUT` relabels as backoff).
+    sent_at: SimTime,
 }
 
 /// The ESlurm master actor.
@@ -178,6 +189,7 @@ impl EslurmMaster {
         state.phase = kind;
         state.tasks_done = 0;
         state.reached = 0;
+        let trace = state.trace;
         let list = state.nodes.clone();
         let n = satellites_needed(list.len(), self.cfg.eq1_width, self.satellites.len());
         let parts = partition(list.len(), n);
@@ -199,6 +211,8 @@ impl EslurmMaster {
                         takeover_expected: 0,
                         takeover_received: 0,
                         takeover_reached: 0,
+                        trace,
+                        sent_at: SimTime::ZERO,
                     },
                 );
                 id
@@ -265,6 +279,12 @@ impl EslurmMaster {
             .get_mut(&task_id)
             .expect("takeover of unknown task");
         task.sat = None;
+        // A takeover is the failure-recovery flow: root a fresh trace here
+        // so the master's direct relay fan-out is attributed to recovery
+        // rather than to the original dispatch/sweep.
+        if let Some(rec) = ctx.trace_begin(FlowKind::Recovery) {
+            task.trace = Some(rec);
+        }
         self.obs
             .event_at(ctx.now(), ctx.me().0, EventKind::TaskTakeover, task.job, 0);
         if task.list.is_empty() {
@@ -278,6 +298,7 @@ impl EslurmMaster {
         let k = if task_len < w { task_len } else { w };
         let chunks = split_balanced(task_len, k);
         task.takeover_expected = chunks.len() as u32;
+        task.sent_at = ctx.now();
         let (job, kind) = (task.job, task.kind);
         let list = task.list.clone();
         for (lo, len) in chunks {
@@ -384,6 +405,7 @@ impl EslurmMaster {
         let job = SWEEP_BIT | self.sweep_seq;
         self.sweep_seq += 1;
         Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
+        let trace = ctx.trace_begin(FlowKind::Sweep);
         self.jobs.insert(
             job,
             JobState {
@@ -395,6 +417,7 @@ impl EslurmMaster {
                 tasks_total: 0,
                 tasks_done: 0,
                 reached: 0,
+                trace,
             },
         );
         self.start_ctl(ctx, job, CtlKind::Ping);
@@ -433,6 +456,7 @@ impl Actor<RmMsg> for EslurmMaster {
                     job,
                     nodes.len() as u64,
                 );
+                let trace = ctx.trace_begin(FlowKind::Dispatch);
                 self.jobs.insert(
                     job,
                     JobState {
@@ -446,6 +470,7 @@ impl Actor<RmMsg> for EslurmMaster {
                         tasks_total: 0,
                         tasks_done: 0,
                         reached: 0,
+                        trace,
                     },
                 );
                 self.start_ctl(ctx, job, CtlKind::Launch);
@@ -558,10 +583,12 @@ impl Actor<RmMsg> for EslurmMaster {
             }
             TOKEN_DISPATCH => {
                 if let Some(task_id) = self.dispatch_q.pop_front() {
-                    if let Some(t) = self.tasks.get(&task_id) {
+                    if let Some(t) = self.tasks.get_mut(&task_id) {
                         if !t.done {
                             if let Some(idx) = t.sat {
                                 Self::track_work(&mut self.busy_until, ctx, self.cfg.task_prep_cpu);
+                                ctx.trace_adopt(t.trace);
+                                t.sent_at = ctx.now();
                                 let sat_node = NodeId(self.satellites[idx]);
                                 ctx.open_socket_for(sat_node, self.cfg.conn_lifetime);
                                 ctx.send(
@@ -611,6 +638,9 @@ impl Actor<RmMsg> for EslurmMaster {
                     .unwrap_or(false);
                 if still_running {
                     Self::track_work(&mut self.busy_until, ctx, self.cfg.sched_cpu);
+                    if let Some(s) = self.jobs.get(&id) {
+                        ctx.trace_adopt(s.trace);
+                    }
                     self.start_ctl(ctx, id, CtlKind::Terminate);
                 }
             }
@@ -638,6 +668,13 @@ impl Actor<RmMsg> for EslurmMaster {
                 };
                 if t.done {
                     return;
+                }
+                // The flow sat idle from the last broadcast until this
+                // deadline: relabel the window as timeout backoff and resume
+                // the trace for whatever the retry/takeover sends next.
+                if let Some(tc) = t.trace {
+                    ctx.trace_backoff(&tc, t.sent_at);
+                    ctx.trace_adopt(Some(tc));
                 }
                 if t.takeover_expected > 0 {
                     // Master's own relay: close it out with partial coverage.

@@ -12,7 +12,7 @@ use crate::config::EslurmConfig;
 use crate::fsm::SatState;
 use emu::{Actor, Context, NodeId};
 use monitoring::FailurePredictor;
-use obs::{EventKind, Hist, Recorder};
+use obs::{EventKind, Hist, Recorder, TraceContext};
 use rm::proto::{CtlKind, NodeSlice, RmMsg};
 use simclock::{SimSpan, SimTime};
 use std::collections::BTreeMap;
@@ -56,6 +56,11 @@ struct PendingTask {
     received: u32,
     reached: u32,
     relayed: bool,
+    /// When the FP-Tree fan-out went out (start of the ack deadline window).
+    relayed_at: SimTime,
+    /// Causal context the incoming `BcastTask` carried; the relay fan-out
+    /// and the final `BcastDone` link under it.
+    trace: Option<TraceContext>,
 }
 
 const TOKEN_KIND_BITS: u64 = 2;
@@ -151,6 +156,8 @@ impl SatelliteDaemon {
                 received: 0,
                 reached: 0,
                 relayed: false,
+                relayed_at: ctx.now(),
+                trace: ctx.trace_current(),
             },
         );
         ctx.set_timer(proc, token << TOKEN_KIND_BITS | START_TIMER);
@@ -169,6 +176,9 @@ impl SatelliteDaemon {
             return;
         }
         t.relayed = true;
+        // Resume the task's trace (relay runs from a timer, so the
+        // message-borne context is long cleared).
+        ctx.trace_adopt(t.trace);
         if t.list.is_empty() {
             let done = self.tasks.remove(&token).expect("task vanished");
             self.tasks_done += 1;
@@ -207,6 +217,7 @@ impl SatelliteDaemon {
         };
         let chunks = split_balanced(arranged.len(), k);
         t.expected = chunks.len() as u32;
+        t.relayed_at = ctx.now();
         let (job, kind) = (t.job, t.kind);
         for (lo, len) in chunks {
             let head = arranged.nodes()[lo];
@@ -313,6 +324,12 @@ impl Actor<RmMsg> for SatelliteDaemon {
                 // Some subtrees never acknowledged (failed heads below the
                 // first layer); report the partial coverage.
                 if self.tasks.contains_key(&t) => {
+                    let pt = &self.tasks[&t];
+                    if let Some(tc) = pt.trace {
+                        // The wait on missing acks is timeout backoff.
+                        ctx.trace_backoff(&tc, pt.relayed_at);
+                        ctx.trace_adopt(Some(tc));
+                    }
                     self.finish_task(ctx, t, false);
                 }
             _ => {}

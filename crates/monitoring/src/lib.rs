@@ -14,7 +14,6 @@
 //! false-alarm rate — as controlled experiment parameters.
 
 pub mod alerts;
-pub mod metrics;
 pub mod predictor;
 pub mod sensors;
 pub mod trend;

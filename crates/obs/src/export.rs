@@ -9,6 +9,7 @@
 
 use std::fmt::Write as _;
 
+use crate::causal::CausalRecord;
 use crate::event::TraceEvent;
 use crate::metric::{Counter, Gauge, Hist, HistSnapshot};
 use crate::recorder::{LabeledValue, MetricsSummary, Recorder};
@@ -48,15 +49,57 @@ fn push_chrome_event(out: &mut String, e: &TraceEvent) {
 /// Events are sorted by timestamp so the file loads with a monotone
 /// timeline regardless of recording order.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
-    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
-    sorted.sort_by_key(|e| e.ts_us);
-    let mut out = String::with_capacity(events.len() * 96 + 64);
+    to_chrome_trace_with_flows(events, &[])
+}
+
+/// Like [`to_chrome_trace`], but also rendering each causal hop as a pair
+/// of Chrome *flow events* (`ph:"s"` on the sender at send time, `ph:"f"`
+/// binding to the receiver's enclosing slice at receive time), so Perfetto
+/// draws cross-node arrows from a send to the work it triggered.
+pub fn to_chrome_trace_with_flows(events: &[TraceEvent], causal: &[CausalRecord]) -> String {
+    let mut items: Vec<(u64, String)> = Vec::with_capacity(events.len() + causal.len() * 2);
+    for e in events {
+        let mut s = String::with_capacity(96);
+        push_chrome_event(&mut s, e);
+        items.push((e.ts_us, s));
+    }
+    for r in causal {
+        if let CausalRecord::Hop {
+            span,
+            flow,
+            from,
+            to,
+            send_us,
+            recv_us,
+            ..
+        } = *r
+        {
+            items.push((
+                send_us,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"causal\",\"ph\":\"s\",\"id\":{span},\
+                     \"pid\":0,\"tid\":{from},\"ts\":{send_us}}}",
+                    flow.name()
+                ),
+            ));
+            items.push((
+                recv_us,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\
+                     \"id\":{span},\"pid\":0,\"tid\":{to},\"ts\":{recv_us}}}",
+                    flow.name()
+                ),
+            ));
+        }
+    }
+    items.sort_by_key(|(ts, _)| *ts);
+    let mut out = String::with_capacity(items.len() * 96 + 64);
     out.push_str("{\"traceEvents\":[");
-    for (i, e) in sorted.iter().enumerate() {
+    for (i, (_, s)) in items.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        push_chrome_event(&mut out, e);
+        out.push_str(s);
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
@@ -321,6 +364,54 @@ mod tests {
         assert_eq!(instant.get("s").and_then(as_str), Some("p"));
         assert!(instant.get("dur").is_none());
         assert_eq!(v.get("displayTimeUnit").and_then(as_str), Some("ms"));
+    }
+
+    /// Each causal hop renders as a matched `ph:"s"` / `ph:"f"` flow-event
+    /// pair sharing an id, interleaved in timestamp order with the rest of
+    /// the trace, and the whole document still parses.
+    #[test]
+    fn flow_events_pair_send_and_finish() {
+        use crate::causal::{CausalRecord, FlowKind};
+        let r = Recorder::full();
+        r.span(100, 40, 1, EventKind::MsgProcess, 0, 16);
+        let root = r.causal_begin(FlowKind::Sweep, 0, 50).expect("causal on");
+        let child = r.causal_child(root).expect("child ctx");
+        r.causal_record(CausalRecord::Hop {
+            trace: root.trace,
+            span: child.span,
+            parent: root.span,
+            flow: FlowKind::Sweep,
+            depth: 1,
+            from: 0,
+            to: 1,
+            send_us: 60,
+            queue_us: 5,
+            link_us: 35,
+            recv_us: 100,
+            process_us: 40,
+        });
+        let doc = to_chrome_trace_with_flows(&r.events(), &r.causal_records());
+        let v = serde_json::parse_value_str(&doc).expect("flow trace must be valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(as_array)
+            .expect("traceEvents array");
+        let start = events
+            .iter()
+            .find(|e| e.get("ph").and_then(as_str) == Some("s"))
+            .expect("flow start event");
+        let finish = events
+            .iter()
+            .find(|e| e.get("ph").and_then(as_str) == Some("f"))
+            .expect("flow finish event");
+        assert_eq!(start.get("cat").and_then(as_str), Some("causal"));
+        assert_eq!(start.get("name").and_then(as_str), Some("sweep"));
+        assert_eq!(start.get("id"), finish.get("id"));
+        assert_eq!(start.get("tid").and_then(as_u64), Some(0));
+        assert_eq!(start.get("ts").and_then(as_u64), Some(60));
+        assert_eq!(finish.get("tid").and_then(as_u64), Some(1));
+        assert_eq!(finish.get("ts").and_then(as_u64), Some(100));
+        assert_eq!(finish.get("bp").and_then(as_str), Some("e"));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! assert!(doc.starts_with("{\"traceEvents\":["));
 //! ```
 
+pub mod causal;
 pub mod event;
 pub mod export;
 pub mod expose;
@@ -60,6 +61,10 @@ pub mod recorder;
 pub mod sampler;
 pub mod series;
 
+pub use causal::{
+    build_traces, flow_summaries, CausalRecord, CriticalPath, FlowKind, FlowSummary, Hop, HopSend,
+    PathStep, TraceContext, TraceTree,
+};
 pub use event::{EventKind, TraceEvent};
 pub use flight::{FlightConfig, FlightRecorder};
 pub use label::MetricId;

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use simclock::SimTime;
 
+use crate::causal::{CausalRecord, FlowKind, TraceContext};
 use crate::event::{EventKind, TraceEvent};
 use crate::flight::{FlightConfig, FlightRecorder};
 use crate::label::MetricId;
@@ -54,6 +55,13 @@ struct Shared {
     labeled: Mutex<std::collections::BTreeMap<MetricId, LabeledCell>>,
     events: Mutex<Vec<TraceEvent>>,
     flight: Option<FlightState>,
+    /// Cross-node causal log (see [`crate::causal`]); only populated in
+    /// full-trace mode, like `events`.
+    causal: Mutex<Vec<CausalRecord>>,
+    /// Trace/span id allocators shared by every transport recording here,
+    /// so DES and thread hops agree on one id space. Ids start at 1.
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
 }
 
 impl Shared {
@@ -72,6 +80,9 @@ impl Shared {
                 ring: Mutex::new(FlightRecorder::new(&cfg)),
                 dump_path: cfg.dump_path,
             }),
+            causal: Mutex::new(Vec::new()),
+            next_trace: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
         }
     }
 
@@ -299,6 +310,101 @@ impl Recorder {
             a,
             b,
         );
+    }
+
+    /// Whether causal tracing is on (full-trace mode only). Transports
+    /// check this before allocating contexts or touching envelopes, so
+    /// metrics-only and flight-only runs pay nothing.
+    #[inline]
+    pub fn causal_enabled(&self) -> bool {
+        matches!(&self.0, Some(s) if s.record_events)
+    }
+
+    /// Start a new trace of `flow` rooted at `node`: allocates a trace and
+    /// root-span id, records the [`CausalRecord::Root`], and returns the
+    /// root context. `None` when causal tracing is off.
+    pub fn causal_begin(&self, flow: FlowKind, node: u32, ts_us: u64) -> Option<TraceContext> {
+        self.causal_root(flow, node, ts_us, 0, 0)
+    }
+
+    /// Like [`Recorder::causal_begin`] but with explicit root attribution —
+    /// for transport-less producers (the backfill scheduler) that know how
+    /// long the flow queued before starting and what starting it cost.
+    pub fn causal_root(
+        &self,
+        flow: FlowKind,
+        node: u32,
+        ts_us: u64,
+        queue_us: u64,
+        process_us: u64,
+    ) -> Option<TraceContext> {
+        let s = self.0.as_ref()?;
+        if !s.record_events {
+            return None;
+        }
+        let trace = s.next_trace.fetch_add(1, Ordering::Relaxed);
+        let span = s.next_span.fetch_add(1, Ordering::Relaxed);
+        s.causal.lock().push(CausalRecord::Root {
+            trace,
+            span,
+            flow,
+            node,
+            ts_us,
+            queue_us,
+            process_us,
+        });
+        Some(TraceContext {
+            trace,
+            span,
+            depth: 0,
+            flow,
+        })
+    }
+
+    /// Allocate a child context under `parent` (one message hop deeper).
+    /// Records nothing yet — the receiving transport completes the hop.
+    pub fn causal_child(&self, parent: TraceContext) -> Option<TraceContext> {
+        let s = self.0.as_ref()?;
+        if !s.record_events {
+            return None;
+        }
+        let span = s.next_span.fetch_add(1, Ordering::Relaxed);
+        Some(TraceContext {
+            trace: parent.trace,
+            span,
+            depth: parent.depth.saturating_add(1),
+            flow: parent.flow,
+        })
+    }
+
+    /// Append a completed causal record (hop or backoff).
+    #[inline]
+    pub fn causal_record(&self, r: CausalRecord) {
+        if let Some(s) = &self.0 {
+            if s.record_events {
+                s.causal.lock().push(r);
+            }
+        }
+    }
+
+    /// Record a timeout/retry wait inside `ctx`'s trace over
+    /// `[start_us, end_us]` on `node`.
+    pub fn causal_backoff(&self, ctx: &TraceContext, node: u32, start_us: u64, end_us: u64) {
+        self.causal_record(CausalRecord::Backoff {
+            trace: ctx.trace,
+            parent: ctx.span,
+            node,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Snapshot the causal log in recording order.
+    pub fn causal_records(&self) -> Vec<CausalRecord> {
+        match &self.0 {
+            Some(s) => s.causal.lock().clone(),
+            None => Vec::new(),
+        }
     }
 
     /// Snapshot the recorded events in recording order.

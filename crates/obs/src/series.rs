@@ -335,9 +335,11 @@ pub struct DiffReport {
     /// Compared statistics for metrics present in both runs, in metric
     /// order (mean before max within a metric).
     pub deltas: Vec<MetricDelta>,
-    /// Metrics only the baseline has.
+    /// Metrics only the baseline has. Gated metrics in this list also
+    /// appear in `deltas` as a regressed `presence` entry — a gated metric
+    /// vanishing from the candidate run is a gate failure, not a skip.
     pub only_in_base: Vec<String>,
-    /// Metrics only the candidate has.
+    /// Metrics only the candidate has (gated ones regress, as above).
     pub only_in_new: Vec<String>,
 }
 
@@ -363,6 +365,28 @@ pub fn compare_csv(a: &str, b: &str, opts: &DiffOptions) -> Result<DiffReport, S
     for name in cand.keys() {
         if !base.contains_key(name) {
             report.only_in_new.push(name.clone());
+        }
+    }
+    // A gated metric present in only one run cannot be compared, but
+    // silently skipping it would let a regression hide by renaming or
+    // dropping its series. Fail the gate by name instead: presence is the
+    // compared "statistic", 1 meaning the run has the metric.
+    for (names, bv, cv, pct) in [
+        (&report.only_in_base, 1.0, 0.0, -100.0),
+        (&report.only_in_new, 0.0, 1.0, f64::INFINITY),
+    ] {
+        for name in names {
+            if let Some(t) = opts.gates(name) {
+                report.deltas.push(MetricDelta {
+                    metric: name.clone(),
+                    stat: "presence",
+                    base: bv,
+                    new: cv,
+                    pct,
+                    threshold_pct: Some(t),
+                    regressed: true,
+                });
+            }
         }
     }
     for (name, base_pts) in &base {
@@ -512,6 +536,41 @@ mod tests {
         // The improvement direction never regresses.
         let improved = compare_csv(&b, &a, &DiffOptions::default()).expect("diff runs");
         assert!(improved.regressions().is_empty());
+    }
+
+    /// A gated metric present in only one of the two runs is a named gate
+    /// failure, not a silent skip; ungated one-sided metrics still only
+    /// show up in the `only_in_*` lists.
+    #[test]
+    fn one_sided_gated_metric_fails_the_gate_by_name() {
+        let mk = |with_sockets: bool| {
+            let mut store = SeriesStore::new();
+            store.record(MetricId::new("footprint_cpu_util"), t(1), 0.5);
+            store.record(MetricId::new("uninteresting"), t(1), 1.0);
+            if with_sockets {
+                store.record(MetricId::new("footprint_sockets"), t(1), 3.0);
+            } else {
+                store.record(MetricId::new("unwatched_extra"), t(1), 9.0);
+            }
+            store.to_csv()
+        };
+        let report =
+            compare_csv(&mk(true), &mk(false), &DiffOptions::default()).expect("diff runs");
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1, "exactly the vanished gated metric fails");
+        assert_eq!(regs[0].metric, "footprint_sockets");
+        assert_eq!(regs[0].stat, "presence");
+        assert_eq!(report.only_in_base, vec!["footprint_sockets".to_string()]);
+        assert_eq!(report.only_in_new, vec!["unwatched_extra".to_string()]);
+
+        // The other direction fails too: a gated metric appearing from
+        // nowhere means the baseline never covered it.
+        let appeared =
+            compare_csv(&mk(false), &mk(true), &DiffOptions::default()).expect("diff runs");
+        let regs = appeared.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "footprint_sockets");
+        assert!(regs[0].pct.is_infinite());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::profile::{Fanout, HeartbeatMode, RmProfile};
 use crate::proto::{CtlKind, NodeSlice, RmMsg};
 use emu::{Actor, Context, NodeId};
-use obs::{Counter, EventKind, Hist, LabeledGauge, MetricId, Recorder};
+use obs::{Counter, EventKind, FlowKind, Hist, LabeledGauge, MetricId, Recorder, TraceContext};
 use simclock::{SimSpan, SimTime};
 use std::collections::BTreeMap;
 use topology::split_balanced;
@@ -53,6 +53,10 @@ struct JobState {
     expected_acks: u32,
     /// Next node index to contact (sequential fan-out only).
     seq_next: usize,
+    /// Causal-trace root for this job's dispatch flow (the centralized
+    /// baselines trace the same flow kinds as the ESlurm tree, so
+    /// `eslurm critical-path` comparisons line up).
+    trace: Option<TraceContext>,
 }
 
 const TOKEN_POLL: u64 = 0;
@@ -128,6 +132,7 @@ impl CentralizedMaster {
         let state = self.jobs.get_mut(&job).expect("ctl for unknown job");
         state.acked = 0;
         state.seq_next = 0;
+        ctx.trace_adopt(state.trace);
         match self.profile.fanout {
             Fanout::Direct => {
                 state.expected_acks = state.nodes.len() as u32;
@@ -186,6 +191,7 @@ impl CentralizedMaster {
         if state.seq_next >= state.nodes.len() {
             return;
         }
+        ctx.trace_adopt(state.trace);
         let head = state.nodes.nodes()[state.seq_next];
         state.seq_next += 1;
         Self::track_work(&mut self.busy_until, ctx, self.profile.msg_cpu);
@@ -288,6 +294,7 @@ impl Actor<RmMsg> for CentralizedMaster {
                     job,
                     nodes.len() as u64,
                 );
+                let trace = ctx.trace_begin(FlowKind::Dispatch);
                 self.jobs.insert(
                     job,
                     JobState {
@@ -299,6 +306,7 @@ impl Actor<RmMsg> for CentralizedMaster {
                         acked: 0,
                         expected_acks: 0,
                         seq_next: 0,
+                        trace,
                     },
                 );
                 self.begin_ctl(ctx, job, CtlKind::Launch);

@@ -6,9 +6,9 @@
 
 use crate::proto::{CtlKind, NodeSlice, RmMsg};
 use emu::{Actor, Context, NodeId};
-use obs::{Counter, Recorder};
+use obs::{Counter, Recorder, TraceContext};
 use rand::RngExt;
-use simclock::SimSpan;
+use simclock::{SimSpan, SimTime};
 use std::collections::BTreeMap;
 use topology::{relay_depth, split_balanced};
 
@@ -37,6 +37,11 @@ struct Relay {
     /// Nodes covered so far (self + acknowledged subtrees).
     count: u32,
     done: bool,
+    /// When the relay fanned out (start of the ack-timeout window).
+    started: SimTime,
+    /// Causal context the incoming `JobCtl` carried, so a timeout-driven
+    /// partial ack still links into the broadcast's trace.
+    trace: Option<TraceContext>,
 }
 
 /// Configuration of a slave daemon.
@@ -158,6 +163,8 @@ impl SlaveDaemon {
                 received: 0,
                 count: 1,
                 done: false,
+                started: ctx.now(),
+                trace: ctx.trace_current(),
             },
         );
         let depth = relay_depth(list.len(), w) as u64;
@@ -251,7 +258,12 @@ impl Actor<RmMsg> for SlaveDaemon {
             self.arm_heartbeat(ctx);
         } else if let Some(mut relay) = self.relays.remove(&token) {
             // Children that didn't answer in time are reported as missing
-            // (partial count) — the parent layer handles re-routing.
+            // (partial count) — the parent layer handles re-routing. The
+            // wait on the silent subtree is timeout backoff in the trace.
+            if let Some(tc) = relay.trace {
+                ctx.trace_backoff(&tc, relay.started);
+                ctx.trace_adopt(Some(tc));
+            }
             Self::finish_relay(ctx, &mut relay);
         }
     }

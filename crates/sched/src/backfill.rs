@@ -470,6 +470,17 @@ fn start(
     let occupied = cfg.dispatch.occupation(nodes, run);
     let planned = cfg.dispatch.occupation(nodes, q.limit);
 
+    // Root-only dispatch trace: queue wait is submission→start, processing
+    // is the modelled launch overhead, so `eslurm critical-path` can rank
+    // scheduler-level dispatches alongside the RM broadcast trees.
+    cfg.obs.causal_root(
+        obs::FlowKind::Dispatch,
+        0,
+        q.original_submit.as_micros(),
+        (now - q.original_submit).as_micros(),
+        cfg.dispatch.launch(nodes).as_micros(),
+    );
+
     report.occupied_node_secs += nodes as f64 * occupied.as_secs_f64();
 
     let slot = running.iter().position(|r| r.is_none()).unwrap_or_else(|| {
