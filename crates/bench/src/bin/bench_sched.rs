@@ -1,0 +1,184 @@
+//! Scheduler + audit benchmark: a fixed-seed backfill-and-estimation
+//! workload run twice (decision auditing off, then on), reporting job-wait
+//! percentiles, the backfill hit-rate, and the wall-clock overhead the
+//! audit log adds to the simulation hot path.
+//!
+//! Writes `BENCH_SCHED.json` at the repository root (plus a table on
+//! stdout) so CI can archive the numbers per commit. `--quick` shrinks
+//! the trace, `--seed` varies it.
+
+use eslurm::PredictiveLimit;
+use eslurm_bench::{f, print_table, ExpArgs};
+use estimate::EstimatorConfig;
+use obs::audit::{AuditReport, Decision, DecisionLog};
+use sched::{simulate, BackfillConfig, SchedAlgo, ScheduleReport};
+use serde::{Number, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+use workload::{Job, TraceConfig};
+
+fn run(jobs: &[Job], nodes: u32, audit: DecisionLog) -> ScheduleReport {
+    let mut policy = PredictiveLimit::new(EstimatorConfig::default());
+    let cfg = BackfillConfig {
+        algo: SchedAlgo::Easy,
+        audit,
+        ..BackfillConfig::new(nodes)
+    };
+    simulate(jobs, &mut policy, &cfg)
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds (one warmup call).
+fn time_ns<F: FnMut()>(mut f: F, reps: usize) -> u64 {
+    f();
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Per-job wait (submission → final start) in seconds, reconstructed from
+/// the decision log itself — the same joins `eslurm why-job` renders.
+fn waits_from_log(log: &DecisionLog) -> Vec<f64> {
+    let mut submit: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut start: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in log.records() {
+        match r.decision {
+            Decision::Submitted => {
+                submit.entry(r.job).or_insert(r.t_us);
+            }
+            Decision::Started { .. } => {
+                start.insert(r.job, r.t_us); // last start wins
+            }
+            _ => {}
+        }
+    }
+    let mut waits: Vec<f64> = start
+        .iter()
+        .filter_map(|(job, &s)| submit.get(job).map(|&sub| (s - sub) as f64 / 1e6))
+        .collect();
+    waits.sort_by(f64::total_cmp);
+    waits
+}
+
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[(((sorted.len() - 1) as f64) * q).round() as usize]
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n_jobs = args.scale(4000, 400);
+    let reps = args.scale(5, 2);
+    let nodes = 128;
+    let jobs = TraceConfig::small(n_jobs, args.seed).generate();
+
+    // Timed passes: auditing off vs on, identical workload and policy.
+    let off_ns = time_ns(
+        || {
+            std::hint::black_box(run(&jobs, nodes, DecisionLog::disabled()));
+        },
+        reps,
+    );
+    let on_ns = time_ns(
+        || {
+            std::hint::black_box(run(&jobs, nodes, DecisionLog::unbounded()));
+        },
+        reps,
+    );
+    let overhead_pct = (on_ns as f64 - off_ns as f64) / off_ns.max(1) as f64 * 100.0;
+
+    // One audited pass for the scheduling metrics themselves.
+    let log = DecisionLog::unbounded();
+    let report = run(&jobs, nodes, log.clone());
+    let audit = AuditReport::from_records(&log.records());
+    let waits = waits_from_log(&log);
+    let wait_p50 = pct(&waits, 0.50);
+    let wait_p99 = pct(&waits, 0.99);
+
+    print_table(
+        "sched bench (fixed-seed backfill + estimation workload)",
+        &["metric", "value"],
+        &[
+            vec!["jobs".into(), n_jobs.to_string()],
+            vec!["completed".into(), report.completed.to_string()],
+            vec!["killed".into(), report.killed.to_string()],
+            vec!["wait p50 s".into(), f(wait_p50, 1)],
+            vec!["wait p99 s".into(), f(wait_p99, 1)],
+            vec![
+                "backfill hit-rate".into(),
+                format!("{}%", f(audit.backfill_hit_rate() * 100.0, 1)),
+            ],
+            vec!["utilization".into(), f(report.utilization(), 3)],
+            vec!["sim (audit off) ms".into(), f(off_ns as f64 / 1e6, 1)],
+            vec!["sim (audit on) ms".into(), f(on_ns as f64 / 1e6, 1)],
+            vec!["audit overhead".into(), format!("{}%", f(overhead_pct, 1))],
+            vec!["decisions logged".into(), log.len().to_string()],
+        ],
+    );
+
+    let mut root = BTreeMap::new();
+    root.insert(
+        "generated_by".to_string(),
+        Value::String("cargo run --release -p eslurm-bench --bin bench_sched".to_string()),
+    );
+    root.insert("quick".to_string(), Value::Bool(args.quick));
+    root.insert("seed".to_string(), Value::Number(Number::U64(args.seed)));
+    root.insert(
+        "jobs".to_string(),
+        Value::Number(Number::U64(n_jobs as u64)),
+    );
+    root.insert(
+        "nodes".to_string(),
+        Value::Number(Number::U64(nodes as u64)),
+    );
+    root.insert(
+        "completed".to_string(),
+        Value::Number(Number::U64(report.completed as u64)),
+    );
+    root.insert(
+        "killed".to_string(),
+        Value::Number(Number::U64(report.killed as u64)),
+    );
+    root.insert(
+        "wait_p50_s".to_string(),
+        Value::Number(Number::F64(wait_p50)),
+    );
+    root.insert(
+        "wait_p99_s".to_string(),
+        Value::Number(Number::F64(wait_p99)),
+    );
+    root.insert(
+        "backfill_hit_rate".to_string(),
+        Value::Number(Number::F64(audit.backfill_hit_rate())),
+    );
+    root.insert(
+        "utilization".to_string(),
+        Value::Number(Number::F64(report.utilization())),
+    );
+    root.insert(
+        "sim_audit_off_ns".to_string(),
+        Value::Number(Number::U64(off_ns)),
+    );
+    root.insert(
+        "sim_audit_on_ns".to_string(),
+        Value::Number(Number::U64(on_ns)),
+    );
+    root.insert(
+        "audit_overhead_pct".to_string(),
+        Value::Number(Number::F64(overhead_pct)),
+    );
+    root.insert(
+        "decisions_logged".to_string(),
+        Value::Number(Number::U64(log.len() as u64)),
+    );
+    let json = serde_json::to_string(&Value::Object(root)).expect("serialize report");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_SCHED.json");
+    std::fs::write(&path, json + "\n").expect("write BENCH_SCHED.json");
+    println!("\n  [json] {}", path.display());
+}

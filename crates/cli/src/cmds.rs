@@ -8,10 +8,11 @@ use estimate::{
     evaluate, forest_baseline, svm_baseline, EslurmPredictor, EstimatorConfig, Irpa, Last2, Prep,
     RuntimePredictor, Trip, UserEstimate,
 };
+use obs::audit::{render_report, render_timeline, AuditReport};
 use obs::causal::{render_critical_path, render_flow_summaries, render_tree};
 use obs::{
-    build_traces, compare_csv, flow_summaries, DiffOptions, FlightConfig, FlowKind, Recorder,
-    Sampler, TraceTree,
+    build_traces, compare_csv, flow_summaries, DecisionLog, DiffOptions, FlightConfig, FlowKind,
+    Recorder, Sampler, TraceTree,
 };
 use sched::{
     simulate as run_schedule, BackfillConfig, LimitPolicy, OracleLimit, SchedAlgo, UserLimit,
@@ -114,6 +115,34 @@ pub const COMMANDS: &[CmdSpec] = &[
         ],
     },
     CmdSpec {
+        name: "why-job",
+        summary: "decision timeline of one job in an audited backfill run",
+        flags: &[
+            "trace",
+            "nodes",
+            "algo",
+            "policy",
+            "resubmits",
+            "jobs",
+            "seed",
+        ],
+    },
+    CmdSpec {
+        name: "sched-report",
+        summary: "backfill hit-rate, skip reasons, and estimator accuracy",
+        flags: &[
+            "trace",
+            "nodes",
+            "algo",
+            "policy",
+            "resubmits",
+            "jobs",
+            "seed",
+            "audit",
+            "obs",
+        ],
+    },
+    CmdSpec {
         name: "diff",
         summary: "compare two metrics CSVs and gate footprint regressions",
         flags: &["threshold-pct", "thresholds", "all"],
@@ -124,6 +153,50 @@ pub const COMMANDS: &[CmdSpec] = &[
         flags: &["cores-per-node"],
     },
 ];
+
+/// The top-level usage text, enumerating every subcommand from
+/// [`COMMANDS`] — the one table — so a new command registered there can
+/// never be silently missing from `eslurm --help`.
+pub fn usage() -> String {
+    let width = COMMANDS
+        .iter()
+        .map(|c| c.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("help".len());
+    let mut out = String::from(
+        "eslurm — distributed resource management, emulated\n\n\
+         USAGE:\n    eslurm <COMMAND> [OPTIONS]\n\nCOMMANDS:\n",
+    );
+    for c in COMMANDS {
+        out.push_str(&format!("    {:<width$}  {}\n", c.name, c.summary));
+    }
+    out.push_str(&format!("    {:<width$}  show this message\n", "help"));
+    out.push_str("\nRun `eslurm <COMMAND> --help` for per-command options.");
+    out
+}
+
+/// Route a subcommand name to its implementation. Returns `None` for
+/// names not in [`COMMANDS`], so `main` treats them as usage errors; a
+/// unit test asserts every registered command dispatches.
+pub fn dispatch(cmd: &str, rest: &[String]) -> Option<Result<(), CliError>> {
+    Some(match cmd {
+        "gen-trace" => gen_trace(rest),
+        "analyze" => analyze(rest),
+        "replay" => replay(rest),
+        "predict" => predict(rest),
+        "simulate" => simulate(rest),
+        "trace" => trace_cmd(rest),
+        "metrics" => metrics(rest),
+        "explain" => explain(rest),
+        "critical-path" => critical_path(rest),
+        "why-job" => why_job(rest),
+        "sched-report" => sched_report(rest),
+        "diff" => diff(rest),
+        "convert" => convert(rest),
+        _ => return None,
+    })
+}
 
 fn spec(name: &str) -> Option<&'static CmdSpec> {
     COMMANDS.iter().find(|c| c.name == name)
@@ -315,28 +388,8 @@ pub fn replay(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::usage(CMD, e))?;
     let jobs = load_trace(path)?;
     let nodes = flag_or(CMD, &o, "nodes", 1024u32)?;
-    let algo = match o.get("algo").unwrap_or("easy") {
-        "easy" => SchedAlgo::Easy,
-        "fcfs" => SchedAlgo::Fcfs,
-        "conservative" => SchedAlgo::Conservative,
-        other => {
-            return Err(CliError::usage(
-                CMD,
-                format!("unknown --algo {other} (easy | fcfs | conservative)"),
-            ))
-        }
-    };
-    let mut policy: Box<dyn LimitPolicy> = match o.get("policy").unwrap_or("user") {
-        "user" => Box::new(UserLimit::default()),
-        "predictive" => Box::new(PredictiveLimit::new(EstimatorConfig::default())),
-        "oracle" => Box::new(OracleLimit),
-        other => {
-            return Err(CliError::usage(
-                CMD,
-                format!("unknown --policy {other} (user | predictive | oracle)"),
-            ))
-        }
-    };
+    let algo = parse_algo(CMD, &o)?;
+    let mut policy = parse_policy(CMD, &o, "user")?;
     let rec = if o.get("obs").is_some() {
         Recorder::full()
     } else {
@@ -789,6 +842,181 @@ pub fn critical_path(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `--algo easy|fcfs|conservative` (shared by replay and the audit
+/// commands).
+fn parse_algo(cmd: &'static str, o: &Opts) -> Result<SchedAlgo, CliError> {
+    match o.get("algo").unwrap_or("easy") {
+        "easy" => Ok(SchedAlgo::Easy),
+        "fcfs" => Ok(SchedAlgo::Fcfs),
+        "conservative" => Ok(SchedAlgo::Conservative),
+        other => Err(CliError::usage(
+            cmd,
+            format!("unknown --algo {other} (easy | fcfs | conservative)"),
+        )),
+    }
+}
+
+/// `--policy user|predictive|oracle` with a per-command default.
+fn parse_policy(
+    cmd: &'static str,
+    o: &Opts,
+    default: &'static str,
+) -> Result<Box<dyn LimitPolicy>, CliError> {
+    match o.get("policy").unwrap_or(default) {
+        "user" => Ok(Box::new(UserLimit::default())),
+        "predictive" => Ok(Box::new(PredictiveLimit::new(EstimatorConfig::default()))),
+        "oracle" => Ok(Box::new(OracleLimit)),
+        other => Err(CliError::usage(
+            cmd,
+            format!("unknown --policy {other} (user | predictive | oracle)"),
+        )),
+    }
+}
+
+/// One audited backfill run shared by `why-job` and `sched-report`.
+struct AuditRun {
+    n_jobs: usize,
+    nodes: u32,
+    algo: SchedAlgo,
+    policy_name: String,
+    log: DecisionLog,
+    report: sched::ScheduleReport,
+    rec: Recorder,
+}
+
+/// Run the backfill simulation with the decision audit log on: either a
+/// `--trace FILE` replay or the deterministic synthetic default scenario
+/// (whose seed/jobs/nodes are tuned so backfills, skips, and kills all
+/// occur). The predictive policy is the default so decisions carry model
+/// estimates with cluster ids.
+fn audit_run(cmd: &'static str, o: &Opts) -> Result<AuditRun, CliError> {
+    let jobs = match o.get("trace") {
+        Some(path) => load_trace(path)?,
+        None => {
+            let n = flag_or(cmd, o, "jobs", 400usize)?;
+            let seed = flag_or(cmd, o, "seed", 42u64)?;
+            TraceConfig::small(n, seed).generate()
+        }
+    };
+    let nodes = flag_or(cmd, o, "nodes", 64u32)?;
+    let algo = parse_algo(cmd, o)?;
+    let mut policy = parse_policy(cmd, o, "predictive")?;
+    let rec = if o.get("obs").is_some() {
+        Recorder::full()
+    } else {
+        Recorder::disabled()
+    };
+    let log = DecisionLog::unbounded();
+    let cfg = BackfillConfig {
+        algo,
+        max_resubmits: flag_or(cmd, o, "resubmits", 3u32)?,
+        obs: rec.clone(),
+        audit: log.clone(),
+        ..BackfillConfig::new(nodes)
+    };
+    let policy_name = policy.name();
+    let report = run_schedule(&jobs, policy.as_mut(), &cfg);
+    Ok(AuditRun {
+        n_jobs: jobs.len(),
+        nodes,
+        algo,
+        policy_name,
+        log,
+        report,
+        rec,
+    })
+}
+
+/// `eslurm why-job ID [--trace FILE] [--nodes N --algo A --policy P
+/// --resubmits R --jobs J --seed S]`
+///
+/// Replays the (deterministic) scenario with the decision audit log on and
+/// prints the complete decision timeline of one job: submission,
+/// head-of-queue and reservation placements (with the counterfactual
+/// blocker set), backfills and skips, starts, kills, resubmissions, and
+/// completion — each line carrying the estimate (value + source + cluster)
+/// the decision was based on.
+pub fn why_job(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "why-job";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let id_str = o
+        .positional(0, "job id")
+        .map_err(|e| CliError::usage(CMD, e))?;
+    let id: u64 = id_str
+        .parse()
+        .map_err(|_| CliError::usage(CMD, format!("job id `{id_str}` is not an integer")))?;
+    let run = audit_run(CMD, &o)?;
+    let records = run.log.records();
+    if !records.iter().any(|r| r.job == id) {
+        return Err(CliError::parse(
+            CMD,
+            format!(
+                "job {id} made no decisions in this run ({} jobs audited)",
+                run.n_jobs
+            ),
+        ));
+    }
+    println!(
+        "audited {} jobs on {} nodes ({:?}, {} limits)\n",
+        run.n_jobs, run.nodes, run.algo, run.policy_name
+    );
+    print!("{}", render_timeline(id, &records));
+    Ok(())
+}
+
+/// `eslurm sched-report [--trace FILE] [--nodes N --algo A --policy P
+/// --resubmits R --jobs J --seed S] [--audit FILE] [--obs FILE]`
+///
+/// Replays the (deterministic) scenario with the decision audit log on and
+/// prints the aggregate decision story: backfill hit-rate, skip-reason
+/// counts, kills/resubmissions, per-source and per-cluster estimator
+/// accuracy (signed-error percentiles), and calibration buckets.
+/// `--audit` exports the raw decision log as JSONL (byte-identical across
+/// same-seed runs); `--obs` exports a Chrome trace whose pid 1 carries
+/// per-job queued→run lanes next to the scheduler's flow arrows.
+pub fn sched_report(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "sched-report";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let run = audit_run(CMD, &o)?;
+    let records = run.log.records();
+    println!(
+        "audited {} jobs on {} nodes ({:?}, {} limits)",
+        run.n_jobs, run.nodes, run.algo, run.policy_name
+    );
+    println!(
+        "completed {} / killed {} / abandoned {}   avg wait {:.0}s   utilization {:.3}\n",
+        run.report.completed,
+        run.report.killed,
+        run.report.abandoned,
+        run.report.avg_wait().as_secs_f64(),
+        run.report.utilization()
+    );
+    print!("{}", render_report(&AuditReport::from_records(&records)));
+    if let Some(path) = o.get("audit") {
+        std::fs::write(path, obs::audit::to_jsonl(&records))
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("audit:  {} decisions -> {path}", records.len());
+    }
+    if let Some(path) = o.get("obs") {
+        let doc = obs::export::to_chrome_trace_with_flows_and_jobs(
+            &run.rec.events(),
+            &run.rec.causal_records(),
+            &records,
+        );
+        std::fs::write(path, doc).map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("trace:  job lanes + flows -> {path}");
+    }
+    Ok(())
+}
+
 /// `eslurm diff BASE.csv NEW.csv [--threshold-pct P]
 /// [--thresholds metric=P,metric=P] [--all true]`
 ///
@@ -884,4 +1112,49 @@ pub fn convert(args: &[String]) -> Result<(), CliError> {
     save_trace(&jobs, output)?;
     println!("converted {} jobs: {input} -> {output}", jobs.len());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The drift guard: every command registered in COMMANDS must both
+    /// dispatch to an implementation and appear in the usage text, so a
+    /// new subcommand cannot be silently absent from `eslurm --help` (or
+    /// listed in help without actually routing anywhere).
+    #[test]
+    fn every_registered_command_dispatches_and_is_listed() {
+        let help = vec!["--help".to_string()];
+        let usage_text = usage();
+        for c in COMMANDS {
+            assert!(
+                dispatch(c.name, &help).is_some(),
+                "`{}` is in COMMANDS but dispatch() does not route it",
+                c.name
+            );
+            assert!(
+                usage_text.contains(c.name),
+                "`{}` missing from usage text",
+                c.name
+            );
+            assert!(
+                usage_text.contains(c.summary),
+                "`{}` summary missing from usage text",
+                c.name
+            );
+        }
+        assert!(dispatch("no-such-command", &help).is_none());
+        assert!(usage_text.contains("help"));
+    }
+
+    /// Spec names are unique — duplicate registration would shadow one
+    /// command's flags with another's.
+    #[test]
+    fn command_names_are_unique() {
+        let mut names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate command name in COMMANDS");
+    }
 }

@@ -11,9 +11,15 @@
 //! eslurm metrics --nodes 128 --minutes 5 --csv run.csv --prom run.prom
 //! eslurm explain 3 --faults 2
 //! eslurm critical-path --flow sweep
+//! eslurm why-job 17 --jobs 400 --seed 42
+//! eslurm sched-report --policy predictive --audit decisions.jsonl
 //! eslurm diff base.csv new.csv --threshold-pct 5
 //! eslurm convert trace.jsonl trace.swf
 //! ```
+//!
+//! The top-level usage text is generated from the same command table that
+//! drives dispatch and per-command help ([`cmds::usage`]), so a new
+//! subcommand cannot be silently omitted from `eslurm --help`.
 //!
 //! Exit codes: 0 success, 1 runtime failure (I/O, malformed input),
 //! 2 command-line usage error, 3 footprint-regression gate tripped.
@@ -25,51 +31,19 @@ mod opts;
 use error::CliError;
 use std::process::ExitCode;
 
-const USAGE: &str = "\
-eslurm — distributed resource management, emulated
-
-USAGE:
-    eslurm <COMMAND> [OPTIONS]
-
-COMMANDS:
-    gen-trace   Generate a synthetic workload trace (.jsonl or .swf)
-    analyze     Workload statistics (Fig. 5 analyses) for a trace file
-    replay      Replay a trace through the backfill scheduler
-    predict     Compare runtime-prediction models on a trace
-    simulate    Run an emulated ESlurm cluster and report RM metrics
-    trace       Record a Perfetto-loadable trace of a faulted emulated run
-    metrics     Sample an emulated run's resource footprint (CSV/Prometheus)
-    explain     Reconstruct one trace's causal tree and critical path
-    critical-path  Slowest causal chain with per-hop latency breakdown
-    diff        Compare two metrics CSVs and gate footprint regressions
-    convert     Convert between .jsonl and .swf trace formats
-    help        Show this message
-
-Run `eslurm <COMMAND> --help` for per-command options.";
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", cmds::usage());
         return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
-        "gen-trace" => cmds::gen_trace(rest),
-        "analyze" => cmds::analyze(rest),
-        "replay" => cmds::replay(rest),
-        "predict" => cmds::predict(rest),
-        "simulate" => cmds::simulate(rest),
-        "trace" => cmds::trace_cmd(rest),
-        "metrics" => cmds::metrics(rest),
-        "explain" => cmds::explain(rest),
-        "critical-path" => cmds::critical_path(rest),
-        "diff" => cmds::diff(rest),
-        "convert" => cmds::convert(rest),
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            println!("{}", cmds::usage());
             Ok(())
         }
-        other => Err(CliError::usage("", format!("unknown command `{other}`"))),
+        other => cmds::dispatch(other, rest)
+            .unwrap_or_else(|| Err(CliError::usage("", format!("unknown command `{other}`")))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -77,7 +51,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             if let CliError::Usage { command, .. } = &e {
                 if command.is_empty() {
-                    eprintln!("\n{USAGE}");
+                    eprintln!("\n{}", cmds::usage());
                 } else {
                     print_help_stderr(command);
                 }

@@ -3,7 +3,8 @@
 //! contribution the paper attributes to runtime estimation in §VII-D).
 
 use estimate::{EstimatorConfig, RuntimeEstimator};
-use sched::LimitPolicy;
+use obs::audit::{EstSource, EstimateRef};
+use sched::{LimitInfo, LimitPolicy};
 use simclock::{SimSpan, SimTime};
 use workload::Job;
 
@@ -56,6 +57,10 @@ impl PredictiveLimit {
 
 impl LimitPolicy for PredictiveLimit {
     fn limit(&mut self, job: &Job) -> SimSpan {
+        self.limit_info(job).limit
+    }
+
+    fn limit_info(&mut self, job: &Job) -> LimitInfo {
         self.estimator.maybe_retrain(job.submit);
         match self.estimator.estimate(job) {
             Some(e) => {
@@ -75,15 +80,47 @@ impl LimitPolicy for PredictiveLimit {
                             Some(u) => (u, self.margin),
                             None => (self.no_user_floor, self.margin * 2.0),
                         };
-                        e.runtime.mul_f64(margin).max(user).max(self.floor)
+                        LimitInfo {
+                            limit: e.runtime.mul_f64(margin).max(user).max(self.floor),
+                            est: EstimateRef::new(e.runtime.as_micros(), EstSource::Model)
+                                .with_cluster(e.cluster.map(|c| c as u32)),
+                        }
                     }
                     estimate::EstimateSource::User => {
                         self.user_limits += 1;
-                        e.runtime.max(self.floor)
+                        LimitInfo {
+                            limit: e.runtime.max(self.floor),
+                            est: EstimateRef::new(e.runtime.as_micros(), EstSource::User),
+                        }
                     }
                 }
             }
-            None => self.default,
+            None => LimitInfo {
+                limit: self.default,
+                est: EstimateRef::new(self.default.as_micros(), EstSource::Default),
+            },
+        }
+    }
+
+    fn resubmit_info(&mut self, job: &Job, prev: LimitInfo, _attempt: u32) -> LimitInfo {
+        if prev.est.source == EstSource::Model {
+            // The model chronically underestimated this job: abandon it and
+            // fall back to the user's request (or the partition default),
+            // never below double the killed limit so the resubmission
+            // ladder still terminates.
+            let (fallback, source) = match job.user_estimate {
+                Some(u) => (u, EstSource::User),
+                None => (self.default, EstSource::Default),
+            };
+            LimitInfo {
+                limit: fallback.max(prev.limit * 2),
+                est: EstimateRef::new(fallback.as_micros(), source),
+            }
+        } else {
+            LimitInfo {
+                limit: prev.limit * 2,
+                est: prev.est,
+            }
         }
     }
 
@@ -100,7 +137,52 @@ impl LimitPolicy for PredictiveLimit {
 mod tests {
     use super::*;
     use sched::{simulate, BackfillConfig, UserLimit};
-    use workload::TraceConfig;
+    use workload::{JobId, TraceConfig, UserId};
+
+    fn job(est: Option<u64>, actual: u64) -> Job {
+        Job {
+            id: JobId(0),
+            name: "j".into(),
+            user: UserId(0),
+            nodes: 1,
+            cores_per_node: 1,
+            submit: SimTime::ZERO,
+            user_estimate: est.map(SimSpan::from_secs),
+            actual_runtime: SimSpan::from_secs(actual),
+        }
+    }
+
+    #[test]
+    fn resubmit_abandons_a_chronic_model_underestimate() {
+        let mut policy = PredictiveLimit::new(EstimatorConfig::default());
+        let prev = LimitInfo {
+            limit: SimSpan::from_secs(100),
+            est: EstimateRef::new(50_000_000, EstSource::Model).with_cluster(Some(3)),
+        };
+        // With a user estimate: fall back to the user's request.
+        let next = policy.resubmit_info(&job(Some(900), 1000), prev, 1);
+        assert_eq!(next.est.source, EstSource::User);
+        assert_eq!(next.limit, SimSpan::from_secs(900));
+        // Without one: fall back to the partition default.
+        let next = policy.resubmit_info(&job(None, 1000), prev, 1);
+        assert_eq!(next.est.source, EstSource::Default);
+        assert_eq!(next.limit, policy.default);
+        // The ladder never shrinks below double the killed limit.
+        let prev_high = LimitInfo {
+            limit: SimSpan::from_secs(600),
+            ..prev
+        };
+        let next = policy.resubmit_info(&job(Some(900), 1000), prev_high, 1);
+        assert_eq!(next.limit, SimSpan::from_secs(1200));
+        // Non-model kills keep the classic doubling and attribution.
+        let user_prev = LimitInfo {
+            limit: SimSpan::from_secs(100),
+            est: EstimateRef::new(100_000_000, EstSource::User),
+        };
+        let next = policy.resubmit_info(&job(Some(100), 1000), user_prev, 1);
+        assert_eq!(next.est.source, EstSource::User);
+        assert_eq!(next.limit, SimSpan::from_secs(200));
+    }
 
     #[test]
     fn predictive_limits_learn_from_completions() {

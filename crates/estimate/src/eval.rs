@@ -26,6 +26,17 @@ pub struct ModelReport {
     pub coverage: f64,
     /// Jobs replayed.
     pub jobs: usize,
+    /// 10th percentile of signed error (prediction − actual), seconds.
+    /// Negative values are underestimates.
+    pub err_p10_s: f64,
+    /// Median signed error, seconds.
+    pub err_p50_s: f64,
+    /// 90th percentile of signed error, seconds.
+    pub err_p90_s: f64,
+    /// Predicted jobs whose runtime was overestimated (or matched).
+    pub overestimates: usize,
+    /// Predicted jobs whose runtime was underestimated.
+    pub underestimates: usize,
 }
 
 struct Completion {
@@ -62,6 +73,7 @@ pub fn evaluate(jobs: &[Job], predictor: &mut dyn RuntimePredictor, warmup: usiz
     let mut under = 0usize;
     let mut predicted = 0usize;
     let mut scored = 0usize;
+    let mut errs: Vec<f64> = Vec::new();
 
     for (i, job) in order.iter().enumerate() {
         // Deliver completions that happened before this submission.
@@ -82,6 +94,7 @@ pub fn evaluate(jobs: &[Job], predictor: &mut dyn RuntimePredictor, warmup: usiz
                 predicted += 1;
                 let actual = job.actual_runtime;
                 ea_sum += estimation_accuracy(p.as_secs_f64(), actual.as_secs_f64());
+                errs.push(p.as_secs_f64() - actual.as_secs_f64());
                 if p < actual {
                     under += 1;
                 }
@@ -94,6 +107,7 @@ pub fn evaluate(jobs: &[Job], predictor: &mut dyn RuntimePredictor, warmup: usiz
         });
     }
 
+    let (p10, p50, p90) = signed_error_percentiles(&mut errs);
     ModelReport {
         name: predictor.name(),
         aea: if predicted == 0 {
@@ -112,7 +126,26 @@ pub fn evaluate(jobs: &[Job], predictor: &mut dyn RuntimePredictor, warmup: usiz
             predicted as f64 / scored as f64
         },
         jobs: scored,
+        err_p10_s: p10,
+        err_p50_s: p50,
+        err_p90_s: p90,
+        overestimates: predicted - under,
+        underestimates: under,
     }
+}
+
+/// The (p10, p50, p90) order statistics of a signed-error sample, by the
+/// nearest-rank rule; sorts `errs` in place. Empty samples yield zeros.
+/// Shared with the audit pipeline so `eslurm sched-report` accuracy
+/// reconciles with [`evaluate`] on the same trace by construction.
+pub fn signed_error_percentiles(errs: &mut [f64]) -> (f64, f64, f64) {
+    if errs.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    errs.sort_by(f64::total_cmp);
+    let n = errs.len();
+    let pct = |q: f64| errs[(((n - 1) as f64) * q).round() as usize];
+    (pct(0.10), pct(0.50), pct(0.90))
 }
 
 /// Convenience: mean absolute multiplicative error expressed as a span,
@@ -183,5 +216,48 @@ mod tests {
         let report = evaluate(&[], &mut UserEstimate, 0);
         assert_eq!(report.jobs, 0);
         assert_eq!(report.aea, 0.0);
+        assert_eq!(report.err_p50_s, 0.0);
+        assert_eq!(report.overestimates + report.underestimates, 0);
+    }
+
+    #[test]
+    fn signed_error_percentiles_pinned_on_fixed_trace() {
+        use simclock::SimTime;
+        use workload::{JobId, UserId};
+        // Eleven jobs whose user estimates miss the actual runtime by
+        // exactly −5 … +5 seconds, submitted a second apart.
+        let jobs: Vec<Job> = (0..11)
+            .map(|i| {
+                let actual = 100i64;
+                let delta = i as i64 - 5;
+                Job {
+                    id: JobId(i),
+                    name: format!("j{i}"),
+                    user: UserId(0),
+                    nodes: 1,
+                    cores_per_node: 1,
+                    submit: SimTime::from_secs(i),
+                    user_estimate: Some(SimSpan::from_secs((actual + delta) as u64)),
+                    actual_runtime: SimSpan::from_secs(actual as u64),
+                }
+            })
+            .collect();
+        let report = evaluate(&jobs, &mut UserEstimate, 0);
+        assert_eq!(report.jobs, 11);
+        assert_eq!(report.err_p10_s, -4.0);
+        assert_eq!(report.err_p50_s, 0.0);
+        assert_eq!(report.err_p90_s, 4.0);
+        assert_eq!(report.underestimates, 5);
+        assert_eq!(report.overestimates, 6);
+        assert!((report.underestimate_rate - 5.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_helper_is_nearest_rank() {
+        assert_eq!(signed_error_percentiles(&mut []), (0.0, 0.0, 0.0));
+        let mut one = vec![3.0];
+        assert_eq!(signed_error_percentiles(&mut one), (3.0, 3.0, 3.0));
+        let mut errs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(signed_error_percentiles(&mut errs), (10.0, 50.0, 90.0));
     }
 }

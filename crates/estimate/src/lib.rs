@@ -22,7 +22,7 @@ pub use baselines::{
     forest_baseline, svm_baseline, EslurmPredictor, Irpa, Last2, Prep, RuntimePredictor, Trip,
     UserEstimate,
 };
-pub use eval::{evaluate, ModelReport};
+pub use eval::{evaluate, signed_error_percentiles, ModelReport};
 pub use framework::{
     estimation_accuracy, ClusterDiag, Estimate, EstimateSource, EstimatorConfig, RuntimeEstimator,
 };

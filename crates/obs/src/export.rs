@@ -9,6 +9,7 @@
 
 use std::fmt::Write as _;
 
+use crate::audit::{Decision, DecisionRecord};
 use crate::causal::CausalRecord;
 use crate::event::TraceEvent;
 use crate::metric::{Counter, Gauge, Hist, HistSnapshot};
@@ -57,7 +58,21 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
 /// binding to the receiver's enclosing slice at receive time), so Perfetto
 /// draws cross-node arrows from a send to the work it triggered.
 pub fn to_chrome_trace_with_flows(events: &[TraceEvent], causal: &[CausalRecord]) -> String {
-    let mut items: Vec<(u64, String)> = Vec::with_capacity(events.len() + causal.len() * 2);
+    to_chrome_trace_with_flows_and_jobs(events, causal, &[])
+}
+
+/// Like [`to_chrome_trace_with_flows`], but also rendering the decision
+/// audit log as *job lanes*: a second Chrome process (pid 1, one thread
+/// per job id) whose queued→run spans sit next to the node lanes (pid 0)
+/// and PR 4's flow arrows, so Perfetto shows each job's wait, its runtime,
+/// and the backfill skips in between.
+pub fn to_chrome_trace_with_flows_and_jobs(
+    events: &[TraceEvent],
+    causal: &[CausalRecord],
+    audit: &[DecisionRecord],
+) -> String {
+    let mut items: Vec<(u64, String)> =
+        Vec::with_capacity(events.len() + causal.len() * 2 + audit.len());
     for e in events {
         let mut s = String::with_capacity(96);
         push_chrome_event(&mut s, e);
@@ -92,6 +107,7 @@ pub fn to_chrome_trace_with_flows(events: &[TraceEvent], causal: &[CausalRecord]
             ));
         }
     }
+    push_job_lane_items(&mut items, audit);
     items.sort_by_key(|(ts, _)| *ts);
     let mut out = String::with_capacity(items.len() * 96 + 64);
     out.push_str("{\"traceEvents\":[");
@@ -103,6 +119,79 @@ pub fn to_chrome_trace_with_flows(events: &[TraceEvent], causal: &[CausalRecord]
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
+}
+
+/// Fold the audit log into per-job lane items on pid 1: `queued` spans
+/// from (re)submission to start, `run` spans from start to completion or
+/// kill, and thread-scoped instants for backfill skips.
+fn push_job_lane_items(items: &mut Vec<(u64, String)>, audit: &[DecisionRecord]) {
+    use std::collections::BTreeMap;
+    if audit.is_empty() {
+        return;
+    }
+    items.push((
+        0,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+         \"args\":{\"name\":\"jobs\"}}"
+            .to_string(),
+    ));
+    let mut queued_since: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut run_since: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
+    for r in audit {
+        match &r.decision {
+            Decision::Submitted | Decision::Resubmitted { .. } => {
+                queued_since.insert(r.job, r.t_us);
+            }
+            Decision::Started { nodes } => {
+                if let Some(q0) = queued_since.remove(&r.job) {
+                    items.push((
+                        q0,
+                        format!(
+                            "{{\"name\":\"queued\",\"cat\":\"job\",\"ph\":\"X\",\"pid\":1,\
+                             \"tid\":{},\"ts\":{q0},\"dur\":{},\
+                             \"args\":{{\"est_s\":{},\"source\":\"{}\"}}}}",
+                            r.job,
+                            r.t_us - q0,
+                            r.est.value_us / 1_000_000,
+                            r.est.source.name()
+                        ),
+                    ));
+                }
+                run_since.insert(r.job, (r.t_us, *nodes));
+            }
+            Decision::Completed { .. } | Decision::KilledAtLimit { .. } => {
+                if let Some((s0, nodes)) = run_since.remove(&r.job) {
+                    let name = if matches!(r.decision, Decision::KilledAtLimit { .. }) {
+                        "run (killed)"
+                    } else {
+                        "run"
+                    };
+                    items.push((
+                        s0,
+                        format!(
+                            "{{\"name\":\"{name}\",\"cat\":\"job\",\"ph\":\"X\",\"pid\":1,\
+                             \"tid\":{},\"ts\":{s0},\"dur\":{},\"args\":{{\"nodes\":{nodes}}}}}",
+                            r.job,
+                            r.t_us - s0,
+                        ),
+                    ));
+                }
+            }
+            Decision::SkippedBackfill { reason } => {
+                items.push((
+                    r.t_us,
+                    format!(
+                        "{{\"name\":\"skip:{}\",\"cat\":\"job\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{}}}}",
+                        reason.name(),
+                        r.job,
+                        r.t_us
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Render events as JSONL: one flat object per line, in recording order
@@ -412,6 +501,55 @@ mod tests {
         assert_eq!(finish.get("tid").and_then(as_u64), Some(1));
         assert_eq!(finish.get("ts").and_then(as_u64), Some(100));
         assert_eq!(finish.get("bp").and_then(as_str), Some("e"));
+    }
+
+    /// The audit log renders as a second process of job lanes: queued and
+    /// run spans on pid 1 keyed by job id, skips as thread instants, plus
+    /// a process_name metadata event — and the document still parses.
+    #[test]
+    fn job_lanes_render_queue_and_run_spans() {
+        use crate::audit::{Decision, DecisionLog, EstSource, EstimateRef, SkipReason};
+        let log = DecisionLog::unbounded();
+        let est = EstimateRef::new(60_000_000, EstSource::Model).with_cluster(Some(2));
+        log.record(1_000, 7, est, Decision::Submitted);
+        log.record(
+            2_000,
+            7,
+            est,
+            Decision::SkippedBackfill {
+                reason: SkipReason::NoFreeNodes,
+            },
+        );
+        log.record(5_000, 7, est, Decision::Started { nodes: 4 });
+        log.record(9_000, 7, est, Decision::Completed { est_error_us: 0 });
+        let doc = to_chrome_trace_with_flows_and_jobs(&[], &[], &log.records());
+        let v = serde_json::parse_value_str(&doc).expect("job-lane trace must be valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(as_array)
+            .expect("traceEvents array");
+        let by_name = |n: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(as_str) == Some(n))
+                .unwrap_or_else(|| panic!("missing event {n}"))
+        };
+        let queued = by_name("queued");
+        assert_eq!(queued.get("pid").and_then(as_u64), Some(1));
+        assert_eq!(queued.get("tid").and_then(as_u64), Some(7));
+        assert_eq!(queued.get("ts").and_then(as_u64), Some(1_000));
+        assert_eq!(queued.get("dur").and_then(as_u64), Some(4_000));
+        let args = queued.get("args").expect("queued args");
+        assert_eq!(args.get("est_s").and_then(as_u64), Some(60));
+        assert_eq!(args.get("source").and_then(as_str), Some("model"));
+        let run = by_name("run");
+        assert_eq!(run.get("ts").and_then(as_u64), Some(5_000));
+        assert_eq!(run.get("dur").and_then(as_u64), Some(4_000));
+        let skip = by_name("skip:no_free_nodes");
+        assert_eq!(skip.get("ph").and_then(as_str), Some("i"));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(as_str) == Some("M")));
     }
 
     #[test]

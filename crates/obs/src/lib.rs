@@ -50,6 +50,7 @@
 //! assert!(doc.starts_with("{\"traceEvents\":["));
 //! ```
 
+pub mod audit;
 pub mod causal;
 pub mod event;
 pub mod export;
@@ -61,6 +62,10 @@ pub mod recorder;
 pub mod sampler;
 pub mod series;
 
+pub use audit::{
+    AccuracyStats, AuditReport, Decision, DecisionLog, DecisionRecord, EstSource, EstimateRef,
+    SkipReason,
+};
 pub use causal::{
     build_traces, flow_summaries, CausalRecord, CriticalPath, FlowKind, FlowSummary, Hop, HopSend,
     PathStep, TraceContext, TraceTree,

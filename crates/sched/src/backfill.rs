@@ -11,8 +11,9 @@
 //! Slurm crash/reboot cycles observed in §II-B).
 
 use crate::metrics::{bounded_slowdown, ScheduleReport};
-use crate::policy::LimitPolicy;
+use crate::policy::{LimitInfo, LimitPolicy};
 use crate::profile_resv::AvailabilityProfile;
+use obs::audit::{Decision, DecisionLog, EstimateRef, SkipReason};
 use obs::{Counter, EventKind, Gauge, Hist, MetricId, Recorder, Sampler};
 use simclock::{EventQueue, SimSpan, SimTime};
 use std::collections::VecDeque;
@@ -99,6 +100,10 @@ pub struct BackfillConfig {
     /// Optional `run=<label>` attached to sampled series, so several
     /// simulations (e.g. the Fig. 10 RM sweep) can share one store.
     pub run_label: Option<String>,
+    /// Per-job decision audit log (disabled by default). Auditing is
+    /// non-perturbing: the simulation makes identical policy calls and
+    /// produces bit-identical outcomes whether the log is enabled or not.
+    pub audit: DecisionLog,
 }
 
 impl BackfillConfig {
@@ -114,6 +119,7 @@ impl BackfillConfig {
             obs: Recorder::disabled(),
             sampler: Sampler::disabled(),
             run_label: None,
+            audit: DecisionLog::disabled(),
         }
     }
 }
@@ -124,6 +130,13 @@ struct Queued {
     limit: SimSpan,
     resubmits: u32,
     original_submit: SimTime,
+    /// The estimate the current limit was derived from (audit provenance).
+    est: EstimateRef,
+    /// Last skip reason logged for this queue entry — audit deduplication
+    /// only (queue scans re-derive the same verdict every event, so only
+    /// changes are logged). Written solely when auditing is enabled and
+    /// never read by scheduling decisions.
+    last_skip: Option<SkipReason>,
 }
 
 #[derive(Clone, Copy)]
@@ -131,6 +144,35 @@ struct Running {
     nodes: u32,
     /// When the scheduler believes the nodes free up (limit-based).
     planned_end: SimTime,
+    /// Job id, so reservations can name their blockers.
+    job_id: u64,
+}
+
+/// Deduplication state for the audit log: steady-state scheduling passes
+/// re-derive the same blocked head and reservation every event, so only
+/// *changes* are recorded (per-job skip dedup lives on the [`Queued`]
+/// entry itself, keeping the queue scan allocation- and lookup-free).
+/// Touched only when auditing is enabled; never feeds back into
+/// scheduling decisions.
+#[derive(Default)]
+struct AuditCursor {
+    /// Last job recorded as the blocked head of the queue.
+    last_head: Option<u64>,
+    /// Last `(head job, reservation start µs)` recorded.
+    last_resv: Option<(u64, u64)>,
+}
+
+impl AuditCursor {
+    /// A job left the queue (started or was resubmitted): forget its
+    /// deduplication state so fresh decisions are recorded next pass.
+    fn forget(&mut self, job_id: u64) {
+        if self.last_head == Some(job_id) {
+            self.last_head = None;
+        }
+        if self.last_resv.is_some_and(|(j, _)| j == job_id) {
+            self.last_resv = None;
+        }
+    }
 }
 
 enum Ev {
@@ -189,6 +231,7 @@ pub fn simulate(
 
     let tick = cfg.sampler.interval();
     let mut next_due = tick.map(|i| SimTime::ZERO + i);
+    let mut cursor = AuditCursor::default();
 
     while let Some((now, ev)) = events.pop() {
         // Catch the sampling cadence up to `now`: each tick records the
@@ -201,12 +244,18 @@ pub fn simulate(
         }
         match ev {
             Ev::Arrive(i) => {
-                let limit = policy.limit(&jobs[i]);
+                let info = policy.limit_info(&jobs[i]);
+                if cfg.audit.enabled() {
+                    cfg.audit
+                        .record(now.as_micros(), jobs[i].id.0, info.est, Decision::Submitted);
+                }
                 queue.push_back(Queued {
                     job: i,
-                    limit,
+                    limit: info.limit,
                     resubmits: 0,
                     original_submit: jobs[i].submit,
+                    est: info.est,
+                    last_skip: None,
                 });
             }
             Ev::End {
@@ -222,6 +271,23 @@ pub fn simulate(
                     report.killed += 1;
                     cfg.obs.inc(Counter::JobsKilled);
                     cfg.obs.event_at(now, 0, EventKind::JobKill, job.id.0, 0);
+                    if cfg.audit.enabled() {
+                        cfg.audit.record(
+                            now.as_micros(),
+                            job.id.0,
+                            queued.est,
+                            Decision::KilledAtLimit {
+                                limit_us: queued.limit.as_micros(),
+                                actual_us: job.actual_runtime.as_micros(),
+                            },
+                        );
+                    }
+                    record_accuracy(
+                        cfg,
+                        &queued.est,
+                        queued.est.value_us as i64 - job.actual_runtime.as_micros() as i64,
+                        true,
+                    );
                     if queued.resubmits < cfg.max_resubmits {
                         cfg.obs.inc(Counter::JobsResubmitted);
                         cfg.obs.event_at(
@@ -231,9 +297,33 @@ pub fn simulate(
                             job.id.0,
                             queued.resubmits as u64 + 1,
                         );
+                        // The policy is consulted unconditionally so its
+                        // internal state cannot diverge with auditing off.
+                        let next = policy.resubmit_info(
+                            job,
+                            LimitInfo {
+                                limit: queued.limit,
+                                est: queued.est,
+                            },
+                            queued.resubmits + 1,
+                        );
+                        if cfg.audit.enabled() {
+                            cursor.forget(job.id.0);
+                            cfg.audit.record(
+                                now.as_micros(),
+                                job.id.0,
+                                next.est,
+                                Decision::Resubmitted {
+                                    attempt: queued.resubmits + 1,
+                                    new_limit_us: next.limit.as_micros(),
+                                },
+                            );
+                        }
                         queue.push_back(Queued {
-                            limit: queued.limit * 2,
+                            limit: next.limit,
+                            est: next.est,
                             resubmits: queued.resubmits + 1,
+                            last_skip: None,
                             ..queued
                         });
                     } else {
@@ -251,6 +341,23 @@ pub fn simulate(
                     report.total_slowdown += bounded_slowdown(wait, job.actual_runtime);
                     // r.nodes is the clamped allocation actually held.
                     report.useful_node_secs += r.nodes as f64 * job.actual_runtime.as_secs_f64();
+                    if cfg.audit.enabled() {
+                        cfg.audit.record(
+                            now.as_micros(),
+                            job.id.0,
+                            queued.est,
+                            Decision::Completed {
+                                est_error_us: queued.est.value_us as i64
+                                    - job.actual_runtime.as_micros() as i64,
+                            },
+                        );
+                    }
+                    record_accuracy(
+                        cfg,
+                        &queued.est,
+                        queued.est.value_us as i64 - job.actual_runtime.as_micros() as i64,
+                        false,
+                    );
                     policy.on_complete(job, now);
                 }
                 report.makespan = report.makespan.max(now);
@@ -269,10 +376,57 @@ pub fn simulate(
             jobs,
             cfg,
             &mut report,
+            &mut cursor,
         );
     }
     report
 }
+
+/// Per-source / per-cluster estimator accuracy into the labeled metric
+/// registry, from where `Sampler::snapshot` feeds the SeriesStore and
+/// `export::to_prometheus` the text exposition. Signed error is
+/// estimate − actual in µs; a kill joins the estimate to a lower bound of
+/// the actual runtime.
+fn record_accuracy(cfg: &BackfillConfig, est: &EstimateRef, err_us: i64, killed: bool) {
+    if !cfg.obs.enabled() {
+        return;
+    }
+    let src = est.source.name();
+    let family = if err_us < 0 {
+        "est_underestimates"
+    } else {
+        "est_overestimates"
+    };
+    cfg.obs
+        .labeled_counter(MetricId::new(family).with("source", src))
+        .inc();
+    if killed {
+        cfg.obs
+            .labeled_counter(MetricId::new("est_kills").with("source", src))
+            .inc();
+    }
+    let abs_s = err_us.unsigned_abs() / 1_000_000;
+    cfg.obs
+        .labeled_hist(
+            MetricId::new("est_abs_err_s").with("source", src),
+            EST_ERR_BOUNDS,
+        )
+        .observe(abs_s);
+    if let Some(c) = est.cluster {
+        cfg.obs
+            .labeled_hist(
+                MetricId::new("est_abs_err_s").with("cluster", c.to_string()),
+                EST_ERR_BOUNDS,
+            )
+            .observe(abs_s);
+    }
+}
+
+/// Bucket ladder for absolute estimate error, seconds (same shape as the
+/// job-wait ladder).
+const EST_ERR_BOUNDS: &[u64] = &[
+    1, 5, 15, 60, 300, 900, 1_800, 3_600, 7_200, 14_400, 43_200, 86_400,
+];
 
 #[allow(clippy::too_many_arguments)]
 fn schedule(
@@ -284,6 +438,7 @@ fn schedule(
     jobs: &[Job],
     cfg: &BackfillConfig,
     report: &mut ScheduleReport,
+    cursor: &mut AuditCursor,
 ) {
     // Start jobs FIFO while they fit.
     while let Some(&head) = queue.front() {
@@ -298,7 +453,7 @@ fn schedule(
                 jobs[head.job].id.0,
                 nodes as u64,
             );
-            start(now, head, free, running, events, jobs, cfg, report);
+            start(now, head, free, running, events, jobs, cfg, report, cursor);
         } else {
             break;
         }
@@ -310,7 +465,7 @@ fn schedule(
             return;
         }
         SchedAlgo::Conservative => {
-            conservative_pass(now, free, queue, running, events, jobs, cfg, report);
+            conservative_pass(now, free, queue, running, events, jobs, cfg, report, cursor);
             // Every job still queued holds a profile reservation.
             sched_gauges(cfg, queue, running, queue.len() as i64);
             return;
@@ -343,6 +498,27 @@ fn schedule(
         }
     }
 
+    if cfg.audit.enabled() {
+        let head_id = jobs[head.job].id.0;
+        if cursor.last_head != Some(head_id) {
+            cursor.last_head = Some(head_id);
+            cfg.audit
+                .record(now.as_micros(), head_id, head.est, Decision::HeadOfQueue);
+        }
+        if shadow != SimTime(u64::MAX) && cursor.last_resv != Some((head_id, shadow.as_micros())) {
+            cursor.last_resv = Some((head_id, shadow.as_micros()));
+            cfg.audit.record(
+                now.as_micros(),
+                head_id,
+                head.est,
+                Decision::ReservationPlaced {
+                    at_us: shadow.as_micros(),
+                    blockers: blocker_set(running, shadow),
+                },
+            );
+        }
+    }
+
     // Backfill the rest of the queue.
     let mut i = 1;
     while i < queue.len() {
@@ -362,17 +538,87 @@ fn schedule(
                     jobs[cand.job].id.0,
                     nodes as u64,
                 );
-                start(now, cand, free, running, events, jobs, cfg, report);
+                if cfg.audit.enabled() {
+                    // Slack left before the head's reservation (zero when
+                    // the job rode the reservation's spare nodes instead).
+                    let slack_us = if fits_before_shadow {
+                        shadow.as_micros() - (now + occupied).as_micros()
+                    } else {
+                        0
+                    };
+                    cfg.audit.record(
+                        now.as_micros(),
+                        jobs[cand.job].id.0,
+                        cand.est,
+                        Decision::Backfilled {
+                            slack_us,
+                            head_job: jobs[head.job].id.0,
+                        },
+                    );
+                }
+                start(now, cand, free, running, events, jobs, cfg, report, cursor);
                 if !fits_before_shadow {
                     extra -= nodes;
                 }
                 continue; // same index now holds the next candidate
             }
+            record_skip(
+                cfg,
+                now,
+                jobs[cand.job].id.0,
+                &mut queue[i],
+                SkipReason::WouldDelayHead,
+            );
+        } else {
+            record_skip(
+                cfg,
+                now,
+                jobs[cand.job].id.0,
+                &mut queue[i],
+                SkipReason::NoFreeNodes,
+            );
         }
         i += 1;
     }
     // EASY holds exactly one reservation: the blocked head's.
     sched_gauges(cfg, queue, running, 1);
+}
+
+/// The counterfactual blocker set of a reservation at `shadow`: the
+/// running jobs whose planned ends the reservation waits behind, in
+/// deterministic (end time, job id) order.
+fn blocker_set(running: &[Option<Running>], shadow: SimTime) -> Vec<u64> {
+    let mut blockers: Vec<(SimTime, u64)> = running
+        .iter()
+        .flatten()
+        .filter(|r| r.planned_end <= shadow)
+        .map(|r| (r.planned_end, r.job_id))
+        .collect();
+    blockers.sort();
+    blockers.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Record a backfill skip, deduplicated per queue entry by reason — queue
+/// scans re-derive the same verdict every event, so only changes are
+/// logged. The dedup marker lives on the entry itself, so the steady-state
+/// cost on an audited scan is one `Copy` field compare.
+fn record_skip(
+    cfg: &BackfillConfig,
+    now: SimTime,
+    job_id: u64,
+    q: &mut Queued,
+    reason: SkipReason,
+) {
+    if !cfg.audit.enabled() || q.last_skip == Some(reason) {
+        return;
+    }
+    q.last_skip = Some(reason);
+    cfg.audit.record(
+        now.as_micros(),
+        job_id,
+        q.est,
+        Decision::SkippedBackfill { reason },
+    );
 }
 
 /// One sampling-cadence tick: the busy-node series plus a snapshot of the
@@ -414,6 +660,7 @@ fn conservative_pass(
     jobs: &[Job],
     cfg: &BackfillConfig,
     report: &mut ScheduleReport,
+    cursor: &mut AuditCursor,
 ) {
     let mut profile = AvailabilityProfile::new(now, cfg.nodes);
     for r in running.iter().flatten() {
@@ -442,8 +689,57 @@ fn conservative_pass(
             cfg.obs.inc(counter);
             cfg.obs
                 .event_at(now, 0, kind, jobs[q.job].id.0, nodes as u64);
-            start(now, q, free, running, events, jobs, cfg, report);
+            if cfg.audit.enabled() && i > 0 {
+                // Started out of queue order: a conservative backfill.
+                // The profile guarantees zero slack is stolen from any
+                // reservation, so slack is reported against the head's.
+                cfg.audit.record(
+                    now.as_micros(),
+                    jobs[q.job].id.0,
+                    q.est,
+                    Decision::Backfilled {
+                        slack_us: 0,
+                        head_job: jobs[queue[0].job].id.0,
+                    },
+                );
+            }
+            start(now, q, free, running, events, jobs, cfg, report, cursor);
             continue;
+        }
+        if cfg.audit.enabled() {
+            let job = &jobs[q.job];
+            if i == 0 {
+                let head_id = job.id.0;
+                if cursor.last_head != Some(head_id) {
+                    cursor.last_head = Some(head_id);
+                    cfg.audit
+                        .record(now.as_micros(), head_id, q.est, Decision::HeadOfQueue);
+                }
+                if cursor.last_resv != Some((head_id, start_at.as_micros())) {
+                    cursor.last_resv = Some((head_id, start_at.as_micros()));
+                    cfg.audit.record(
+                        now.as_micros(),
+                        head_id,
+                        q.est,
+                        Decision::ReservationPlaced {
+                            at_us: start_at.as_micros(),
+                            blockers: blocker_set(running, start_at),
+                        },
+                    );
+                }
+            } else if nodes > *free {
+                record_skip(cfg, now, job.id.0, &mut queue[i], SkipReason::NoFreeNodes);
+            } else {
+                // Nodes are physically free, but starting now would push
+                // back someone's profile reservation.
+                record_skip(
+                    cfg,
+                    now,
+                    job.id.0,
+                    &mut queue[i],
+                    SkipReason::WouldDelayReservation,
+                );
+            }
         }
         i += 1;
     }
@@ -459,11 +755,22 @@ fn start(
     jobs: &[Job],
     cfg: &BackfillConfig,
     report: &mut ScheduleReport,
+    cursor: &mut AuditCursor,
 ) {
     let job = &jobs[q.job];
     let nodes = job.nodes.min(cfg.nodes);
     debug_assert!(nodes <= *free);
     *free -= nodes;
+
+    if cfg.audit.enabled() {
+        cursor.forget(job.id.0);
+        cfg.audit.record(
+            now.as_micros(),
+            job.id.0,
+            q.est,
+            Decision::Started { nodes },
+        );
+    }
 
     let killed = cfg.kill_at_limit && job.actual_runtime > q.limit;
     let run = if killed { q.limit } else { job.actual_runtime };
@@ -490,6 +797,7 @@ fn start(
     running[slot] = Some(Running {
         nodes,
         planned_end: now + planned,
+        job_id: job.id.0,
     });
     events.push(
         now + occupied,
@@ -772,5 +1080,34 @@ mod tests {
         let oracle = simulate(&jobs, &mut OracleLimit, &cfg);
         assert!(oracle.avg_wait() <= user.avg_wait().mul_f64(1.2));
         assert_eq!(oracle.killed, 0);
+    }
+
+    #[test]
+    fn accuracy_series_reach_the_metrics_registry() {
+        // One chronic underestimate (killed, then resubmitted to
+        // completion) and one overestimate: the prediction-vs-actual joins
+        // must land in the labeled registry the sampler snapshots.
+        let jobs = vec![job(0, 2, 0, 300, 100), job(1, 2, 0, 100, 200)];
+        let mut cfg = zero_overhead(4);
+        cfg.obs = Recorder::full();
+        let r = simulate(&jobs, &mut UserLimit::default(), &cfg);
+        assert!(r.killed >= 1, "scenario must kill the underestimate");
+        assert_eq!(r.completed, 2);
+        let snap = cfg.obs.labeled_snapshot();
+        let has = |name: &str| snap.iter().any(|(id, _)| id.name() == name);
+        assert!(has("est_underestimates"));
+        assert!(has("est_overestimates"));
+        assert!(has("est_kills"));
+        assert!(has("est_abs_err_s"));
+        // Every accuracy series carries a source attribution label.
+        for (id, _) in snap.iter().filter(|(id, _)| id.name().starts_with("est_")) {
+            assert!(
+                id.labels()
+                    .iter()
+                    .any(|(k, _)| *k == "source" || *k == "cluster"),
+                "{} lost its attribution label",
+                id.name()
+            );
+        }
     }
 }

@@ -23,5 +23,5 @@ pub mod profile_resv;
 
 pub use backfill::{simulate, BackfillConfig, DispatchModel, SchedAlgo};
 pub use metrics::{bounded_slowdown, ScheduleReport};
-pub use policy::{LimitPolicy, OracleLimit, UserLimit};
+pub use policy::{LimitInfo, LimitPolicy, OracleLimit, UserLimit};
 pub use profile_resv::AvailabilityProfile;
