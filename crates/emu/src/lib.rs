@@ -25,6 +25,7 @@ pub mod meter;
 pub mod network;
 pub mod node;
 pub mod sim;
+mod state;
 pub mod thread;
 
 pub use actor::{Actor, Context, Payload};

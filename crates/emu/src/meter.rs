@@ -48,6 +48,38 @@ impl Meter {
         Meter::default()
     }
 
+    /// Assemble a meter from raw component values. Used by the
+    /// struct-of-arrays node store in `sim` to materialize `Meter`
+    /// snapshots without keeping one `Meter` struct per node.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw(
+        cpu_time: SimSpan,
+        cpu_time_at_last_sample: SimSpan,
+        last_sample_at: SimTime,
+        virt_mem: u64,
+        real_mem: u64,
+        sockets: u32,
+        peak_sockets: u32,
+        peak_virt: u64,
+        peak_real: u64,
+        msgs_sent: u64,
+        msgs_received: u64,
+    ) -> Meter {
+        Meter {
+            cpu_time,
+            cpu_time_at_last_sample,
+            last_sample_at,
+            virt_mem,
+            real_mem,
+            sockets,
+            peak_sockets,
+            peak_virt,
+            peak_real,
+            msgs_sent,
+            msgs_received,
+        }
+    }
+
     /// Charge `span` of CPU time to the daemon.
     pub fn charge_cpu(&mut self, span: SimSpan) {
         self.cpu_time += span;
@@ -146,7 +178,7 @@ impl Meter {
     }
 }
 
-fn apply(cur: u64, delta: i64) -> u64 {
+pub(crate) fn apply(cur: u64, delta: i64) -> u64 {
     if delta >= 0 {
         cur + delta as u64
     } else {

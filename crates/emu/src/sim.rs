@@ -1,17 +1,54 @@
 //! The discrete-event transport: deterministic, fast, and scalable to the
-//! 20K+-node clusters of the paper's evaluation.
+//! million-node clusters the paper's FP-Tree argument targets.
+//!
+//! ## Sharded execution
+//!
+//! The event population is partitioned into `shards` independent
+//! [`KeyedQueue`]s, each with its own struct-of-arrays node store
+//! (`emu::state`) covering the nodes assigned to it. Every
+//! event carries a canonical [`EventKey`] `(time, lane, seq)` stamped at
+//! creation (lane = creator node + 1, or 0 for external injections and
+//! fault markers; seq = the creator's own counter), which is identical no
+//! matter how many shards exist — so sorting by key yields the *same*
+//! total order in every mode, and `shards = 1` is a special case rather
+//! than a preserved fork. Three execution strategies share that order:
+//!
+//! * **Serial / merged** (`shards == 1`, or full tracing on, or the link
+//!   model offers no lookahead): repeatedly pop the globally minimal key
+//!   across the shard queues and dispatch inline. This is exactly the
+//!   serial engine; with tracing enabled it is the only mode, so the
+//!   obs/causal exports are byte-identical by construction.
+//! * **Parallel** (`shards > 1`, metrics-only or disabled recorder): one
+//!   worker thread per shard, synchronized by conservative time windows of
+//!   width [`LatencyModel::min_hop`] — no message can arrive within the
+//!   window that sent it, so shards process their windows concurrently.
+//!   Cross-shard deliveries travel through per-pair mailboxes and land in
+//!   later windows; socket opens/closes (the one cross-shard *state*
+//!   mutation) are deferred and applied sorted by `(key, sub)`, which
+//!   replays the serial order exactly (windows partition time, so sorted
+//!   per-window batches concatenate to the global sort). Outcomes —
+//!   meters, drops, clock, event counts, metric snapshots — are
+//!   bit-identical to the serial mode.
+//!
+//! Meter sampling is an engine-level tick (not a queued event), replayed
+//! identically in every mode: ticks fire at multiples of the interval,
+//! before any event at the same instant, and one final "kill tick" past
+//! `until` retires the cadence (matching the retired event-based
+//! scheduling, including its event count and clock effect).
 
 use crate::actor::{Actor, Context, Payload};
 use crate::fault::FaultPlan;
 use crate::meter::{Meter, SampleSeries};
 use crate::network::LatencyModel;
 use crate::node::NodeId;
+use crate::state::NodeStore;
 use obs::{
     CausalRecord, Counter, EventKind, FlowKind, Hist, HopSend, Recorder, Sampler, TraceContext,
 };
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use simclock::rng::stream_rng;
-use simclock::{EventQueue, SimSpan, SimTime};
+use simclock::{EventKey, KeyedQueue, SimSpan, SimTime};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Configuration of a simulated cluster.
 #[derive(Clone, Debug)]
@@ -37,6 +74,17 @@ pub struct SimConfig {
     /// sampler's cadence over its named nodes (the sampler must then have
     /// an end time, or no ticks are scheduled).
     pub sampler: Sampler,
+    /// Number of event-queue shards (clamped to `[1, nodes]`). `1` runs
+    /// the classic serial loop; `> 1` runs one worker thread per shard
+    /// when the recorder permits (metrics-only or disabled — full tracing
+    /// falls back to a single-threaded merge that is still sharded but
+    /// preserves export byte-identity trivially).
+    pub shards: usize,
+    /// Node → shard assignment (`partition[node] < shards`). `None`
+    /// partitions nodes into contiguous balanced blocks. Correctness never
+    /// depends on the partition — only locality does — because the
+    /// synchronization window comes from the global link model.
+    pub partition: Option<Vec<u32>>,
 }
 
 /// Periodic meter sampling configuration.
@@ -60,6 +108,8 @@ impl SimConfig {
             sampling: None,
             obs: Recorder::disabled(),
             sampler: Sampler::disabled(),
+            shards: 1,
+            partition: None,
         }
     }
 }
@@ -83,7 +133,6 @@ enum Ev<M> {
         a: NodeId,
         b: NodeId,
     },
-    Sample,
     /// Fault-plan marker so the trace shows outages at their virtual time.
     /// Only queued when the recorder is enabled, so un-observed runs see
     /// an identical event stream.
@@ -93,50 +142,198 @@ enum Ev<M> {
     },
 }
 
-/// Everything the context needs, kept apart from the actors so that an
-/// actor and its context can be mutably borrowed at the same time.
-struct Inner<M> {
-    queue: EventQueue<Ev<M>>,
-    meters: Vec<Meter>,
-    tx_free: Vec<SimTime>,
-    rngs: Vec<StdRng>,
+/// A deferred socket open/close, ordered by the key of the event that
+/// issued it plus a within-handler sub-counter, so sorted application
+/// replays the serial order exactly.
+#[derive(Clone, Copy)]
+struct SockOp {
+    key: EventKey,
+    sub: u16,
+    node: NodeId,
+    open: bool,
+}
+
+/// One shard: its event queue, the state of the nodes it owns, and its
+/// share of the run counters.
+struct Shard<M> {
+    queue: KeyedQueue<Ev<M>>,
+    nodes: NodeStore,
+    /// Socket ops awaiting sorted application (parallel mode only).
+    pending_socks: Vec<SockOp>,
+    /// Time of the latest event this shard processed.
+    last_time: SimTime,
+    events: u64,
+    drops: u64,
+}
+
+/// Cross-shard traffic for one (src, dst) pair within one window round.
+struct MailBatch<M> {
+    events: Vec<(EventKey, Ev<M>)>,
+    socks: Vec<SockOp>,
+}
+
+impl<M> Default for MailBatch<M> {
+    fn default() -> Self {
+        MailBatch {
+            events: Vec::new(),
+            socks: Vec::new(),
+        }
+    }
+}
+
+/// State shared read-only by every shard during dispatch.
+struct SimShared {
     latency: LatencyModel,
     faults: FaultPlan,
-    msg_drops: u64,
     obs: Recorder,
-    sampler: Sampler,
-    /// The causal context current for the actor handler running right now
-    /// (set from the delivered envelope or by `trace_begin`/`trace_adopt`,
-    /// cleared when the handler returns). Always `None` when the recorder
-    /// keeps no causal records.
+    /// `node → (shard, local index)`.
+    map: Vec<(u32, u32)>,
+    /// Conservative window width; see [`LatencyModel::min_hop`].
+    lookahead: SimSpan,
+    nshards: usize,
+}
+
+/// How a context reaches simulation state: the single-threaded modes hold
+/// every shard; a parallel worker holds only its own plus mailboxes.
+enum Access<'a, M> {
+    Global(&'a mut [Shard<M>]),
+    Local {
+        shard: &'a mut Shard<M>,
+        sid: u32,
+        /// This worker's outbound row: `mail[dst]`.
+        mail: &'a [Mutex<MailBatch<M>>],
+    },
+}
+
+struct DesCtx<'a, M> {
+    access: Access<'a, M>,
+    shared: &'a SimShared,
+    me: NodeId,
+    now: SimTime,
+    /// Key of the event whose handler is running (orders deferred ops).
+    cur_key: EventKey,
+    /// Within-handler op counter (tie-break under `cur_key`).
+    sub: u16,
+    /// The causal context current for the running handler (set from the
+    /// delivered envelope or by `trace_begin`/`trace_adopt`). Always
+    /// `None` when the recorder keeps no causal records.
     cur_ctx: Option<TraceContext>,
 }
 
-impl<M: Payload> Inner<M> {
-    fn send_from(&mut self, me: NodeId, to: NodeId, msg: M) {
-        let now = self.queue.now();
+impl<M: Payload> DesCtx<'_, M> {
+    /// The store and local index of `node`. A parallel worker may only
+    /// reach nodes of its own shard this way (socket ops on remote peers
+    /// go through [`DesCtx::sock_op`] instead).
+    fn store(&mut self, node: NodeId) -> (&mut NodeStore, usize) {
+        let (s, l) = self.shared.map[node.index()];
+        match &mut self.access {
+            Access::Global(shards) => (&mut shards[s as usize].nodes, l as usize),
+            Access::Local { shard, sid, .. } => {
+                debug_assert_eq!(s, *sid, "cross-shard state access from a worker");
+                (&mut shard.nodes, l as usize)
+            }
+        }
+    }
+
+    /// Route an event to the shard that owns its execution.
+    fn push_event(&mut self, key: EventKey, dst_shard: u32, ev: Ev<M>) {
+        match &mut self.access {
+            Access::Global(shards) => shards[dst_shard as usize].queue.push(key, ev),
+            Access::Local { shard, sid, mail } => {
+                if dst_shard == *sid {
+                    shard.queue.push(key, ev);
+                } else {
+                    mail[dst_shard as usize].lock().events.push((key, ev));
+                }
+            }
+        }
+    }
+
+    /// Apply (serial/merged) or defer (parallel) one socket open/close.
+    /// Parallel mode defers even own-shard ops: the per-window sorted
+    /// application interleaves them with remote shards' ops in the exact
+    /// serial order, which keeps `peak_sockets` bit-identical.
+    fn sock_op(&mut self, node: NodeId, open: bool) {
+        let (s, l) = self.shared.map[node.index()];
+        match &mut self.access {
+            Access::Global(shards) => {
+                let store = &mut shards[s as usize].nodes;
+                if open {
+                    store.open_socket(l as usize);
+                } else {
+                    store.close_socket(l as usize);
+                }
+            }
+            Access::Local { shard, sid, mail } => {
+                let op = SockOp {
+                    key: self.cur_key,
+                    sub: self.sub,
+                    node,
+                    open,
+                };
+                self.sub += 1;
+                if s == *sid {
+                    shard.pending_socks.push(op);
+                } else {
+                    mail[s as usize].lock().socks.push(op);
+                }
+            }
+        }
+    }
+
+    /// Schedule an event on `me`'s own shard at absolute time `at`,
+    /// stamped with `me`'s lane and next sequence number.
+    fn push_self(&mut self, at: SimTime, ev: Ev<M>) {
+        let me = self.me;
+        let seq = {
+            let (store, li) = self.store(me);
+            store.take_seq(li)
+        };
+        let sid = self.shared.map[me.index()].0;
+        self.push_event(EventKey::for_node(at, me.0, seq), sid, ev);
+    }
+}
+
+impl<M: Payload> Context<M> for DesCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        let shared = self.shared;
+        let now = self.now;
+        let me = self.me;
         let size = msg.size_bytes();
-        let depart = self.tx_free[me.index()].max(now) + self.latency.tx_gap(size);
-        self.tx_free[me.index()] = depart;
-        let arrive = depart + self.latency.latency(size, &mut self.rngs[me.index()]);
+        let cur_ctx = self.cur_ctx;
+        let (depart, arrive, seq) = {
+            let (store, li) = self.store(me);
+            let depart = store.tx_free(li).max(now) + shared.latency.tx_gap(size);
+            store.set_tx_free(li, depart);
+            let arrive = depart + shared.latency.latency(size, store.rng(li));
+            store.count_sent(li);
+            (depart, arrive, store.take_seq(li))
+        };
         // Allocate the hop's child span while the sender's context is
         // current; the queue/link split falls out of the DES send math
         // (backlog + transmit gap until departure, wire latency after).
-        let hop = self.cur_ctx.and_then(|ctx| {
-            self.obs.causal_child(ctx).map(|child| HopSend {
+        let hop = cur_ctx.and_then(|ctx| {
+            shared.obs.causal_child(ctx).map(|child| HopSend {
                 ctx: child,
                 parent: ctx.span,
                 send_us: now.as_micros(),
                 queue_us: depart.as_micros() - now.as_micros(),
             })
         });
-        self.meters[me.index()].count_sent();
-        if self.obs.enabled() {
+        if shared.obs.enabled() {
             let flight = arrive.as_micros() - now.as_micros();
-            self.obs.inc(Counter::MsgsSent);
-            self.obs.add(Counter::BytesSent, size as u64);
-            self.obs.observe(Hist::HopLatencyUs, flight);
-            self.obs.span(
+            shared.obs.inc(Counter::MsgsSent);
+            shared.obs.add(Counter::BytesSent, size as u64);
+            shared.obs.observe(Hist::HopLatencyUs, flight);
+            shared.obs.span(
                 now.as_micros(),
                 flight,
                 me.0,
@@ -145,8 +342,10 @@ impl<M: Payload> Inner<M> {
                 size as u64,
             );
         }
-        self.queue.push(
-            arrive,
+        let dst = shared.map[to.index()].0;
+        self.push_event(
+            EventKey::for_node(arrive, me.0, seq),
+            dst,
             Ev::Deliver {
                 from: me,
                 to,
@@ -156,117 +355,276 @@ impl<M: Payload> Inner<M> {
         );
     }
 
-    fn open_socket(&mut self, a: NodeId, b: NodeId) {
-        self.meters[a.index()].open_socket();
-        self.meters[b.index()].open_socket();
-        self.obs.inc(Counter::SocketsOpened);
-    }
-
-    fn close_socket(&mut self, a: NodeId, b: NodeId) {
-        self.meters[a.index()].close_socket();
-        self.meters[b.index()].close_socket();
-        self.obs.inc(Counter::SocketsClosed);
-    }
-}
-
-struct DesCtx<'a, M> {
-    inner: &'a mut Inner<M>,
-    me: NodeId,
-}
-
-impl<M: Payload> Context<M> for DesCtx<'_, M> {
-    fn now(&self) -> SimTime {
-        self.inner.queue.now()
-    }
-
-    fn me(&self) -> NodeId {
-        self.me
-    }
-
-    fn send(&mut self, to: NodeId, msg: M) {
-        self.inner.send_from(self.me, to, msg);
-    }
-
     fn set_timer(&mut self, after: SimSpan, token: u64) {
-        let at = self.inner.queue.now() + after;
-        self.inner.queue.push(
-            at,
-            Ev::Timer {
-                node: self.me,
-                token,
-            },
-        );
+        let at = self.now + after;
+        let node = self.me;
+        self.push_self(at, Ev::Timer { node, token });
     }
 
     fn charge_cpu(&mut self, span: SimSpan) {
-        self.inner.meters[self.me.index()].charge_cpu(span);
+        let me = self.me;
+        let (store, li) = self.store(me);
+        store.charge_cpu(li, span);
     }
 
     fn alloc_virt(&mut self, delta: i64) {
-        self.inner.meters[self.me.index()].alloc_virt(delta);
+        let me = self.me;
+        let (store, li) = self.store(me);
+        store.alloc_virt(li, delta);
     }
 
     fn alloc_real(&mut self, delta: i64) {
-        self.inner.meters[self.me.index()].alloc_real(delta);
+        let me = self.me;
+        let (store, li) = self.store(me);
+        store.alloc_real(li, delta);
     }
 
     fn open_socket(&mut self, peer: NodeId) {
-        self.inner.open_socket(self.me, peer);
+        self.shared.obs.inc(Counter::SocketsOpened);
+        let me = self.me;
+        self.sock_op(me, true);
+        self.sock_op(peer, true);
     }
 
     fn close_socket(&mut self, peer: NodeId) {
-        self.inner.close_socket(self.me, peer);
+        self.shared.obs.inc(Counter::SocketsClosed);
+        let me = self.me;
+        self.sock_op(me, false);
+        self.sock_op(peer, false);
     }
 
     fn open_socket_for(&mut self, peer: NodeId, dur: SimSpan) {
-        self.inner.open_socket(self.me, peer);
-        let at = self.inner.queue.now() + dur;
-        self.inner.queue.push(
-            at,
-            Ev::SocketClose {
-                a: self.me,
-                b: peer,
-            },
-        );
+        self.open_socket(peer);
+        let at = self.now + dur;
+        let a = self.me;
+        self.push_self(at, Ev::SocketClose { a, b: peer });
     }
 
     fn rng(&mut self) -> &mut StdRng {
-        &mut self.inner.rngs[self.me.index()]
+        let me = self.me;
+        let (store, li) = self.store(me);
+        store.rng(li)
     }
 
     fn is_up(&self, node: NodeId) -> bool {
-        self.inner.faults.is_up(node, self.inner.queue.now())
+        self.shared.faults.is_up(node, self.now)
     }
 
     fn trace_begin(&mut self, flow: FlowKind) -> Option<TraceContext> {
         let ctx = self
-            .inner
+            .shared
             .obs
-            .causal_begin(flow, self.me.0, self.inner.queue.now().as_micros());
+            .causal_begin(flow, self.me.0, self.now.as_micros());
         if ctx.is_some() {
-            self.inner.cur_ctx = ctx;
+            self.cur_ctx = ctx;
         }
         ctx
     }
 
     fn trace_current(&self) -> Option<TraceContext> {
-        self.inner.cur_ctx
+        self.cur_ctx
     }
 
     fn trace_adopt(&mut self, ctx: Option<TraceContext>) {
-        if self.inner.obs.causal_enabled() {
-            self.inner.cur_ctx = ctx;
+        if self.shared.obs.causal_enabled() {
+            self.cur_ctx = ctx;
         }
     }
 
     fn trace_backoff(&mut self, ctx: &TraceContext, start: SimTime) {
-        self.inner.obs.causal_backoff(
-            ctx,
-            self.me.0,
-            start.as_micros(),
-            self.inner.queue.now().as_micros(),
-        );
+        self.shared
+            .obs
+            .causal_backoff(ctx, self.me.0, start.as_micros(), self.now.as_micros());
     }
+}
+
+/// Dispatch one event. `actors` is the actor group of the shard the event
+/// executes on (deliveries and timers always run on the shard that owns
+/// the target node). Returns whether a message was dropped.
+fn exec_event<M: Payload, A: Actor<M>>(
+    key: EventKey,
+    ev: Ev<M>,
+    access: Access<'_, M>,
+    actors: &mut [A],
+    shared: &SimShared,
+) -> bool {
+    let now = key.time;
+    match ev {
+        Ev::Deliver { from, to, msg, hop } => {
+            if !shared.faults.is_up(to, now) {
+                shared.obs.inc(Counter::MsgsDropped);
+                shared
+                    .obs
+                    .event_at(now, to.0, EventKind::MsgDrop, from.0 as u64, 0);
+                return true;
+            }
+            let li = shared.map[to.index()].1 as usize;
+            // The delivered context becomes current for the handler, so
+            // any sends it makes chain as children of this hop.
+            let mut ctx = DesCtx {
+                access,
+                shared,
+                me: to,
+                now,
+                cur_key: key,
+                sub: 0,
+                cur_ctx: hop.map(|h| h.ctx),
+            };
+            {
+                let (store, i) = ctx.store(to);
+                store.count_received(i);
+            }
+            let tracing = shared.obs.events_enabled();
+            let (size, cpu_before) = if tracing {
+                let s = msg.size_bytes() as u64;
+                let c = {
+                    let (store, i) = ctx.store(to);
+                    store.cpu_time(i).as_micros()
+                };
+                shared
+                    .obs
+                    .event_at(now, to.0, EventKind::MsgRecv, from.0 as u64, s);
+                (s, c)
+            } else {
+                (0, 0)
+            };
+            actors[li].on_message(&mut ctx, from, msg);
+            if tracing {
+                let cpu = {
+                    let (store, i) = ctx.store(to);
+                    store.cpu_time(i).as_micros()
+                } - cpu_before;
+                shared.obs.observe(Hist::MsgProcessUs, cpu);
+                shared.obs.span(
+                    now.as_micros(),
+                    cpu,
+                    to.0,
+                    EventKind::MsgProcess,
+                    from.0 as u64,
+                    size,
+                );
+                if let Some(h) = hop {
+                    // Close the hop: queue/link were fixed at send time,
+                    // processing is the CPU the handler just charged.
+                    let recv_us = now.as_micros();
+                    shared.obs.causal_record(CausalRecord::Hop {
+                        trace: h.ctx.trace,
+                        span: h.ctx.span,
+                        parent: h.parent,
+                        flow: h.ctx.flow,
+                        depth: h.ctx.depth,
+                        from: from.0,
+                        to: to.0,
+                        send_us: h.send_us,
+                        queue_us: h.queue_us,
+                        link_us: recv_us.saturating_sub(h.send_us + h.queue_us),
+                        recv_us,
+                        process_us: cpu,
+                    });
+                }
+            }
+            false
+        }
+        Ev::Timer { node, token } => {
+            let li = shared.map[node.index()].1 as usize;
+            let mut ctx = DesCtx {
+                access,
+                shared,
+                me: node,
+                now,
+                cur_key: key,
+                sub: 0,
+                cur_ctx: None,
+            };
+            if !shared.faults.is_up(node, now) {
+                // The daemon is down; its periodic work resumes when the
+                // node reboots (state is preserved, as for a restarted
+                // slurmd). Re-arm the timer for the reboot instant.
+                if let Some(up) = shared.faults.next_up_after(node, now) {
+                    ctx.push_self(up, Ev::Timer { node, token });
+                }
+                return false;
+            }
+            actors[li].on_timer(&mut ctx, token);
+            false
+        }
+        Ev::SocketClose { a, b } => {
+            let mut ctx = DesCtx {
+                access,
+                shared,
+                me: a,
+                now,
+                cur_key: key,
+                sub: 0,
+                cur_ctx: None,
+            };
+            ctx.close_socket(b);
+            false
+        }
+        Ev::Fault { node, up } => {
+            if up {
+                shared.obs.inc(Counter::NodeUps);
+                shared.obs.event_at(now, node.0, EventKind::NodeUp, 0, 0);
+            } else {
+                shared.obs.inc(Counter::NodeDowns);
+                shared.obs.event_at(now, node.0, EventKind::NodeDown, 0, 0);
+            }
+            false
+        }
+    }
+}
+
+/// A sense-reversing barrier that spins briefly before yielding, sized
+/// for the microsecond-scale window rounds of the parallel engine (a
+/// parking barrier would dominate the window cost; pure spinning would
+/// starve oversubscribed hosts).
+struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 200 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Per-segment worker coordination: the barrier plus two ping-pong slots
+/// into which workers `fetch_min` their queue heads (ping-pong so a round
+/// can reset the *other* slot without racing the current one).
+struct RoundCtl {
+    barrier: SpinBarrier,
+    next: [AtomicU64; 2],
+}
+
+enum Mode {
+    /// Single-threaded k-way merge (identical to the serial engine).
+    Merged,
+    /// One worker thread per shard under conservative windows.
+    Parallel,
 }
 
 /// A cluster of actors driven by the discrete-event engine.
@@ -291,14 +649,23 @@ impl<M: Payload> Context<M> for DesCtx<'_, M> {
 /// assert_eq!(cluster.actor(NodeId(1)).0 + cluster.actor(NodeId(0)).0, 5);
 /// ```
 pub struct SimCluster<M: Payload, A: Actor<M>> {
-    actors: Vec<A>,
-    inner: Inner<M>,
+    /// Actor groups, `actors[shard][local]`.
+    actors: Vec<Vec<A>>,
+    shards: Vec<Shard<M>>,
+    shared: SimShared,
+    sampler: Sampler,
     sampling: Option<Sampling>,
     /// One series per entry of `sampling.tracked`, in the same order, so
     /// the per-sample hot path is a plain index instead of a hash lookup.
     series: Vec<SampleSeries>,
+    /// Next engine-level sampling tick; `None` once the cadence retired.
+    sample_next: Option<SimTime>,
     started: bool,
     events_processed: u64,
+    now: SimTime,
+    /// Creation counter of the system lane (injections, fault markers).
+    sys_seq: u64,
+    n: usize,
 }
 
 impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
@@ -309,12 +676,23 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
             config.faults.cluster_size() == 0 || config.faults.cluster_size() >= n,
             "fault plan covers fewer nodes than the cluster"
         );
-        let mut queue = EventQueue::with_capacity(n * 4);
+        let nshards = config.shards.clamp(1, n.max(1));
+        let part: Vec<u32> = match config.partition {
+            Some(p) => {
+                assert_eq!(p.len(), n, "partition length != node count");
+                assert!(
+                    p.iter().all(|&s| (s as usize) < nshards),
+                    "partition references shard >= shards"
+                );
+                p
+            }
+            None => (0..n).map(|i| (i * nshards / n.max(1)) as u32).collect(),
+        };
         let mut sampling = config.sampling;
         if sampling.is_none() && config.sampler.enabled() {
             // The sampler alone can drive the sampling cadence, tracking
             // the nodes it was given names for. An end time is required —
-            // an open-ended tick would keep the queue alive forever.
+            // an open-ended tick would keep the run alive forever.
             if let (Some(interval), Some(until)) =
                 (config.sampler.interval(), config.sampler.until())
             {
@@ -334,71 +712,115 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
             .as_ref()
             .map(|s| vec![SampleSeries::default(); s.tracked.len()])
             .unwrap_or_default();
-        if let Some(s) = &sampling {
-            queue.push(SimTime::ZERO + s.interval, Ev::Sample);
+        let sample_next = sampling.as_ref().map(|s| SimTime::ZERO + s.interval);
+
+        // Group actors by shard, recording each node's (shard, local).
+        let mut map = vec![(0u32, 0u32); n];
+        let mut ids: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+        let mut groups: Vec<Vec<A>> = (0..nshards).map(|_| Vec::new()).collect();
+        for (i, a) in actors.into_iter().enumerate() {
+            let s = part[i] as usize;
+            map[i] = (part[i], groups[s].len() as u32);
+            ids[s].push(i as u32);
+            groups[s].push(a);
         }
+        let mut shards: Vec<Shard<M>> = ids
+            .iter()
+            .map(|ids| Shard {
+                queue: KeyedQueue::with_capacity(ids.len() * 4 + 16),
+                nodes: NodeStore::new(config.seed, ids),
+                pending_socks: Vec::new(),
+                last_time: SimTime::ZERO,
+                events: 0,
+                drops: 0,
+            })
+            .collect();
+
+        let mut sys_seq = 0u64;
         if config.obs.enabled() {
-            // Fault-plan markers ride the queue so node_down/node_up land in
-            // the trace at their exact virtual time. Skipped entirely when
-            // un-observed, keeping the event stream identical to the seed.
+            // Fault-plan markers ride the queues so node_down/node_up land
+            // in the trace at their exact virtual time. Skipped entirely
+            // when un-observed, keeping the event stream identical.
             for o in config.faults.outages() {
-                queue.push(
-                    o.down_at,
+                let s = map[o.node.index()].0 as usize;
+                shards[s].queue.push(
+                    EventKey::system(o.down_at, sys_seq),
                     Ev::Fault {
                         node: o.node,
                         up: false,
                     },
                 );
-                queue.push(
-                    o.up_at,
+                sys_seq += 1;
+                shards[s].queue.push(
+                    EventKey::system(o.up_at, sys_seq),
                     Ev::Fault {
                         node: o.node,
                         up: true,
                     },
                 );
+                sys_seq += 1;
             }
         }
+
         SimCluster {
-            actors,
-            inner: Inner {
-                queue,
-                meters: (0..n).map(|_| Meter::new()).collect(),
-                tx_free: vec![SimTime::ZERO; n],
-                rngs: (0..n).map(|i| stream_rng(config.seed, i as u64)).collect(),
+            actors: groups,
+            shards,
+            shared: SimShared {
+                lookahead: config.latency.min_hop(),
                 latency: config.latency,
                 faults: config.faults,
-                msg_drops: 0,
                 obs: config.obs,
-                sampler: config.sampler,
-                cur_ctx: None,
+                map,
+                nshards,
             },
+            sampler: config.sampler,
             sampling,
             series,
+            sample_next,
             started: false,
             events_processed: 0,
+            now: SimTime::ZERO,
+            sys_seq,
+            n,
         }
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.actors.len()
+        self.n
     }
 
     /// Whether the cluster has zero nodes.
     pub fn is_empty(&self) -> bool {
-        self.actors.is_empty()
+        self.n == 0
+    }
+
+    /// Number of event-queue shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.nshards
+    }
+
+    /// Whether runs use worker threads (as opposed to the single-threaded
+    /// merge): more than one shard, a usable lookahead window, and no
+    /// full/causal tracing (whose exports are append-ordered).
+    pub fn parallel_enabled(&self) -> bool {
+        matches!(self.pick_mode(), Mode::Parallel)
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.inner.queue.now()
+        self.now
     }
 
     /// Inject an external message (e.g. a user's job submission arriving at
     /// the master) at absolute time `at`, appearing to come from `from`.
     pub fn inject(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
-        self.inner.queue.push(
-            at,
+        let at = at.max(self.now);
+        let key = EventKey::system(at, self.sys_seq);
+        self.sys_seq += 1;
+        let dst = self.shared.map[to.index()].0 as usize;
+        self.shards[dst].queue.push(
+            key,
             Ev::Deliver {
                 from,
                 to,
@@ -412,15 +834,14 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
     /// comes first. Returns the number of events processed by this call.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         self.ensure_started();
-        let mut n = 0;
-        while let Some(t) = self.inner.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (_, ev) = self.inner.queue.pop().expect("peeked event vanished");
-            self.dispatch(ev);
-            n += 1;
+        let before: u64 = self.shards.iter().map(|s| s.events).sum();
+        let mut ticks = 0u64;
+        match self.pick_mode() {
+            Mode::Merged => self.run_merged(horizon, &mut ticks),
+            Mode::Parallel => self.run_parallel(horizon, &mut ticks),
         }
+        let after: u64 = self.shards.iter().map(|s| s.events).sum();
+        let n = after - before + ticks;
         self.events_processed += n;
         n
     }
@@ -431,9 +852,10 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         self.run_until(SimTime(u64::MAX))
     }
 
-    /// The resource meter of `node`.
-    pub fn meter(&self, node: NodeId) -> &Meter {
-        &self.inner.meters[node.index()]
+    /// A snapshot of the resource meter of `node`.
+    pub fn meter(&self, node: NodeId) -> Meter {
+        let (s, l) = self.shared.map[node.index()];
+        self.shards[s as usize].nodes.meter(l as usize)
     }
 
     /// Recorded sample series for a tracked node.
@@ -445,34 +867,48 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
 
     /// Immutable access to an actor (for extracting results after a run).
     pub fn actor(&self, node: NodeId) -> &A {
-        &self.actors[node.index()]
+        let (s, l) = self.shared.map[node.index()];
+        &self.actors[s as usize][l as usize]
     }
 
     /// Mutable access to an actor (for reconfiguring between phases).
     pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
-        &mut self.actors[node.index()]
+        let (s, l) = self.shared.map[node.index()];
+        &mut self.actors[s as usize][l as usize]
     }
 
     /// Messages dropped because the destination was down at delivery time.
     pub fn dropped_messages(&self) -> u64 {
-        self.inner.msg_drops
+        self.shards.iter().map(|s| s.drops).sum()
     }
 
     /// The observability recorder this cluster records into (disabled
     /// unless one was supplied via [`SimConfig`]).
     pub fn obs(&self) -> &Recorder {
-        &self.inner.obs
+        &self.shared.obs
     }
 
     /// The time-series sampler this cluster feeds (disabled unless one
     /// was supplied via [`SimConfig`]).
     pub fn sampler(&self) -> &Sampler {
-        &self.inner.sampler
+        &self.sampler
     }
 
-    /// Total events processed so far.
+    /// Total events processed so far (queue events plus sampling ticks).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    fn pick_mode(&self) -> Mode {
+        if self.shared.nshards == 1
+            || self.shared.obs.events_enabled()
+            || self.shared.obs.causal_enabled()
+            || self.shared.lookahead.as_micros() == 0
+        {
+            Mode::Merged
+        } else {
+            Mode::Parallel
+        }
     }
 
     fn ensure_started(&mut self) {
@@ -480,159 +916,253 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
             return;
         }
         self.started = true;
-        for i in 0..self.actors.len() {
+        for i in 0..self.n {
             let me = NodeId(i as u32);
             let mut ctx = DesCtx {
-                inner: &mut self.inner,
+                access: Access::Global(&mut self.shards),
+                shared: &self.shared,
                 me,
+                now: SimTime::ZERO,
+                cur_key: EventKey::system(SimTime::ZERO, 0),
+                sub: 0,
+                cur_ctx: None,
             };
-            self.actors[i].on_start(&mut ctx);
-            self.inner.cur_ctx = None;
+            let (s, l) = self.shared.map[i];
+            self.actors[s as usize][l as usize].on_start(&mut ctx);
         }
     }
 
-    fn dispatch(&mut self, ev: Ev<M>) {
-        match ev {
-            Ev::Deliver { from, to, msg, hop } => {
-                let now = self.inner.queue.now();
-                if !self.inner.faults.is_up(to, now) {
-                    self.inner.msg_drops += 1;
-                    self.inner.obs.inc(Counter::MsgsDropped);
-                    self.inner
-                        .obs
-                        .event_at(now, to.0, EventKind::MsgDrop, from.0 as u64, 0);
-                    return;
+    /// Fire one engine-level sampling tick at `t`. A tick past `until`
+    /// retires the cadence without sampling (the "kill tick"), but still
+    /// counts as an event and advances the clock — exactly what the
+    /// retired event-based scheduling did.
+    fn fire_sample(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+        let Some(s) = &self.sampling else {
+            self.sample_next = None;
+            return;
+        };
+        if t > s.until {
+            self.sample_next = None;
+            return;
+        }
+        let feed = self.sampler.due(t);
+        for (series, &node) in self.series.iter_mut().zip(&s.tracked) {
+            let (sh, li) = self.shared.map[node.index()];
+            let sample = self.shards[sh as usize].nodes.sample(li as usize, t);
+            if feed {
+                let id = node.0;
+                self.sampler
+                    .record_node(t, id, "footprint_cpu_util", sample.cpu_util);
+                self.sampler.record_node(
+                    t,
+                    id,
+                    "footprint_cpu_time_s",
+                    sample.cpu_time.as_secs_f64(),
+                );
+                self.sampler
+                    .record_node(t, id, "footprint_virt_bytes", sample.virt_mem as f64);
+                self.sampler
+                    .record_node(t, id, "footprint_real_bytes", sample.real_mem as f64);
+                self.sampler
+                    .record_node(t, id, "footprint_sockets", sample.sockets as f64);
+            }
+            series.push(sample);
+        }
+        if feed {
+            self.sampler.snapshot(t, &self.shared.obs);
+        }
+        self.sample_next = Some(t + s.interval);
+    }
+
+    /// Single-threaded execution: pop the globally minimal key across the
+    /// shard queues. With one shard this *is* the serial engine; with
+    /// several it is the reference merge the parallel mode must match.
+    fn run_merged(&mut self, horizon: SimTime, ticks: &mut u64) {
+        loop {
+            let mut best: Option<(EventKey, usize)> = None;
+            for (si, sh) in self.shards.iter().enumerate() {
+                if let Some(k) = sh.queue.peek_key() {
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, si));
+                    }
                 }
-                self.inner.meters[to.index()].count_received();
-                let tracing = self.inner.obs.events_enabled();
-                let (size, cpu_before) = if tracing {
-                    let s = msg.size_bytes() as u64;
-                    let c = self.inner.meters[to.index()].cpu_time().as_micros();
-                    self.inner
-                        .obs
-                        .event_at(now, to.0, EventKind::MsgRecv, from.0 as u64, s);
-                    (s, c)
+            }
+            // Sampling ticks fire before any event at the same instant.
+            if let Some(st) = self.sample_next {
+                if st <= horizon && best.is_none_or(|(bk, _)| st <= bk.time) {
+                    self.fire_sample(st);
+                    *ticks += 1;
+                    continue;
+                }
+            }
+            let Some((bk, si)) = best else { break };
+            if bk.time > horizon {
+                break;
+            }
+            let (key, ev) = self.shards[si].queue.pop().expect("peeked event vanished");
+            debug_assert!(key.time >= self.now, "event time went backwards");
+            self.now = key.time;
+            let dropped = exec_event(
+                key,
+                ev,
+                Access::Global(&mut self.shards),
+                &mut self.actors[si],
+                &self.shared,
+            );
+            let sh = &mut self.shards[si];
+            sh.events += 1;
+            sh.last_time = key.time;
+            if dropped {
+                sh.drops += 1;
+            }
+        }
+    }
+
+    /// Threaded execution under conservative windows. The main thread
+    /// handles sampling ticks and termination between *segments*; inside a
+    /// segment, one scoped worker per shard advances through window
+    /// rounds without touching the main thread.
+    fn run_parallel(&mut self, horizon: SimTime, ticks: &mut u64) {
+        let k = self.shared.nshards;
+        let mail: Vec<Vec<Mutex<MailBatch<M>>>> = (0..k)
+            .map(|_| (0..k).map(|_| Mutex::new(MailBatch::default())).collect())
+            .collect();
+        loop {
+            let best = self.shards.iter().filter_map(|s| s.queue.peek_key()).min();
+            if let Some(st) = self.sample_next {
+                if st <= horizon && best.is_none_or(|bk| st <= bk.time) {
+                    self.fire_sample(st);
+                    *ticks += 1;
+                    continue;
+                }
+            }
+            let Some(bk) = best else { break };
+            if bk.time > horizon {
+                break;
+            }
+            // Process events strictly before seg_end, so the next sampling
+            // tick (or the horizon) is reached in a fully drained state.
+            let hard_end = SimTime(horizon.as_micros().saturating_add(1));
+            let seg_end = match self.sample_next {
+                Some(st) if st <= horizon => hard_end.min(st),
+                _ => hard_end,
+            };
+            self.parallel_segment(seg_end, &mail);
+            for sh in &self.shards {
+                self.now = self.now.max(sh.last_time);
+            }
+        }
+    }
+
+    fn parallel_segment(&mut self, seg_end: SimTime, mail: &[Vec<Mutex<MailBatch<M>>>]) {
+        let ctl = RoundCtl {
+            barrier: SpinBarrier::new(self.shared.nshards),
+            next: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+        };
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for (sid, (shard, actors)) in self
+                .shards
+                .iter_mut()
+                .zip(self.actors.iter_mut())
+                .enumerate()
+            {
+                let ctl = &ctl;
+                scope.spawn(move || {
+                    worker_loop(sid as u32, shard, actors, shared, mail, ctl, seg_end);
+                });
+            }
+        });
+    }
+}
+
+/// One shard worker's life within a segment: window rounds of
+/// drain-mail → apply-socks → agree-on-min → process-window → publish.
+fn worker_loop<M: Payload, A: Actor<M>>(
+    sid: u32,
+    shard: &mut Shard<M>,
+    actors: &mut [A],
+    shared: &SimShared,
+    mail: &[Vec<Mutex<MailBatch<M>>>],
+    ctl: &RoundCtl,
+    seg_end: SimTime,
+) {
+    let la = shared.lookahead.as_micros();
+    let me = sid as usize;
+    let mut slot = 0usize;
+    loop {
+        // Drain inbound mail (published before the previous round's final
+        // barrier, so fully visible here).
+        for row in mail.iter() {
+            let mut b = row[me].lock();
+            for (key, ev) in b.events.drain(..) {
+                shard.queue.push(key, ev);
+            }
+            shard.pending_socks.append(&mut b.socks);
+        }
+        // Apply deferred socket ops in global order. All pending ops are
+        // from the previous window, so sorting the batch by (key, sub)
+        // replays exactly the serial interleaving.
+        if !shard.pending_socks.is_empty() {
+            shard
+                .pending_socks
+                .sort_unstable_by_key(|op| (op.key, op.sub));
+            for op in shard.pending_socks.drain(..) {
+                let (s, l) = shared.map[op.node.index()];
+                debug_assert_eq!(s, sid, "socket op routed to the wrong shard");
+                if op.open {
+                    shard.nodes.open_socket(l as usize);
                 } else {
-                    (0, 0)
-                };
-                // The delivered context becomes current for the handler, so
-                // any sends it makes chain as children of this hop.
-                self.inner.cur_ctx = hop.map(|h| h.ctx);
-                let mut ctx = DesCtx {
-                    inner: &mut self.inner,
-                    me: to,
-                };
-                self.actors[to.index()].on_message(&mut ctx, from, msg);
-                self.inner.cur_ctx = None;
-                if tracing {
-                    let cpu = self.inner.meters[to.index()].cpu_time().as_micros() - cpu_before;
-                    self.inner.obs.observe(Hist::MsgProcessUs, cpu);
-                    self.inner.obs.span(
-                        now.as_micros(),
-                        cpu,
-                        to.0,
-                        EventKind::MsgProcess,
-                        from.0 as u64,
-                        size,
-                    );
-                    if let Some(h) = hop {
-                        // Close the hop: queue/link were fixed at send time,
-                        // processing is the CPU the handler just charged.
-                        let recv_us = now.as_micros();
-                        self.inner.obs.causal_record(CausalRecord::Hop {
-                            trace: h.ctx.trace,
-                            span: h.ctx.span,
-                            parent: h.parent,
-                            flow: h.ctx.flow,
-                            depth: h.ctx.depth,
-                            from: from.0,
-                            to: to.0,
-                            send_us: h.send_us,
-                            queue_us: h.queue_us,
-                            link_us: recv_us.saturating_sub(h.send_us + h.queue_us),
-                            recv_us,
-                            process_us: cpu,
-                        });
-                    }
-                }
-            }
-            Ev::Timer { node, token } => {
-                let now = self.inner.queue.now();
-                if !self.inner.faults.is_up(node, now) {
-                    // The daemon is down; its periodic work resumes when the
-                    // node reboots (state is preserved, as for a restarted
-                    // slurmd). Re-arm the timer for the reboot instant.
-                    if let Some(up) = self.inner.faults.next_up_after(node, now) {
-                        self.inner.queue.push(up, Ev::Timer { node, token });
-                    }
-                    return;
-                }
-                let mut ctx = DesCtx {
-                    inner: &mut self.inner,
-                    me: node,
-                };
-                self.actors[node.index()].on_timer(&mut ctx, token);
-                // Timer handlers may begin/adopt a trace; it ends with them.
-                self.inner.cur_ctx = None;
-            }
-            Ev::SocketClose { a, b } => {
-                self.inner.close_socket(a, b);
-            }
-            Ev::Sample => {
-                let Some(s) = &self.sampling else { return };
-                let now = self.inner.queue.now();
-                if now > s.until {
-                    return;
-                }
-                let sampler = &self.inner.sampler;
-                let feed_series = sampler.due(now);
-                for (series, &node) in self.series.iter_mut().zip(&s.tracked) {
-                    let sample = self.inner.meters[node.index()].sample(now);
-                    if feed_series {
-                        let id = node.0;
-                        sampler.record_node(now, id, "footprint_cpu_util", sample.cpu_util);
-                        sampler.record_node(
-                            now,
-                            id,
-                            "footprint_cpu_time_s",
-                            sample.cpu_time.as_secs_f64(),
-                        );
-                        sampler.record_node(
-                            now,
-                            id,
-                            "footprint_virt_bytes",
-                            sample.virt_mem as f64,
-                        );
-                        sampler.record_node(
-                            now,
-                            id,
-                            "footprint_real_bytes",
-                            sample.real_mem as f64,
-                        );
-                        sampler.record_node(now, id, "footprint_sockets", sample.sockets as f64);
-                    }
-                    series.push(sample);
-                }
-                if feed_series {
-                    sampler.snapshot(now, &self.inner.obs);
-                }
-                self.inner.queue.push(now + s.interval, Ev::Sample);
-            }
-            Ev::Fault { node, up } => {
-                let now = self.inner.queue.now();
-                if up {
-                    self.inner.obs.inc(Counter::NodeUps);
-                    self.inner
-                        .obs
-                        .event_at(now, node.0, EventKind::NodeUp, 0, 0);
-                } else {
-                    self.inner.obs.inc(Counter::NodeDowns);
-                    self.inner
-                        .obs
-                        .event_at(now, node.0, EventKind::NodeDown, 0, 0);
+                    shard.nodes.close_socket(l as usize);
                 }
             }
         }
+        // Agree on the global minimum pending time.
+        let local_min = shard
+            .queue
+            .peek_key()
+            .map_or(u64::MAX, |pk| pk.time.as_micros());
+        ctl.next[slot].fetch_min(local_min, Ordering::AcqRel);
+        ctl.barrier.wait();
+        let g = ctl.next[slot].load(Ordering::Acquire);
+        if sid == 0 {
+            ctl.next[1 - slot].store(u64::MAX, Ordering::Release);
+        }
+        if g >= seg_end.as_micros() {
+            // Unanimous: every worker computes the same g. All mail was
+            // drained above, so the segment ends fully applied.
+            break;
+        }
+        // Process this shard's events inside the conservative window. No
+        // cross-shard message sent at time >= g can arrive before
+        // g + lookahead + 1, so nothing a peer does this round lands in it.
+        let wend = SimTime(g.saturating_add(la)).min(seg_end);
+        while let Some(pk) = shard.queue.peek_key() {
+            if pk.time >= wend {
+                break;
+            }
+            let (key, ev) = shard.queue.pop().expect("peeked event vanished");
+            let dropped = exec_event(
+                key,
+                ev,
+                Access::Local {
+                    shard: &mut *shard,
+                    sid,
+                    mail: &mail[me],
+                },
+                actors,
+                shared,
+            );
+            shard.events += 1;
+            shard.last_time = key.time;
+            if dropped {
+                shard.drops += 1;
+            }
+        }
+        // Publish outbound mail before any peer starts its next drain.
+        ctl.barrier.wait();
+        slot ^= 1;
     }
 }
 
@@ -663,7 +1193,7 @@ mod tests {
         }
     }
 
-    fn pingpong_cluster() -> SimCluster<u64, PingPong> {
+    fn pingpong_cluster_sharded(shards: usize) -> SimCluster<u64, PingPong> {
         let actors = vec![
             PingPong {
                 peer: NodeId(1),
@@ -676,7 +1206,15 @@ mod tests {
                 received: vec![],
             },
         ];
-        SimCluster::new(actors, SimConfig::new(2, 1))
+        let cfg = SimConfig {
+            shards,
+            ..SimConfig::new(2, 1)
+        };
+        SimCluster::new(actors, cfg)
+    }
+
+    fn pingpong_cluster() -> SimCluster<u64, PingPong> {
+        pingpong_cluster_sharded(1)
     }
 
     #[test]
@@ -698,6 +1236,36 @@ mod tests {
         b.run_to_quiescence();
         assert_eq!(a.now(), b.now());
         assert_eq!(a.events_processed(), b.events_processed());
+    }
+
+    /// The tentpole invariant at its smallest: a 2-shard run (every
+    /// message crosses the shard boundary) matches the serial engine
+    /// bit-for-bit in outcomes.
+    #[test]
+    fn sharded_ping_pong_matches_serial() {
+        let mut serial = pingpong_cluster();
+        let mut sharded = pingpong_cluster_sharded(2);
+        assert!(!serial.parallel_enabled());
+        assert!(
+            sharded.parallel_enabled(),
+            "2 shards + no tracing => workers"
+        );
+        assert_eq!(sharded.shard_count(), 2);
+        serial.run_to_quiescence();
+        sharded.run_to_quiescence();
+        assert_eq!(serial.now(), sharded.now());
+        assert_eq!(serial.events_processed(), sharded.events_processed());
+        for node in [NodeId(0), NodeId(1)] {
+            assert_eq!(serial.actor(node).received, sharded.actor(node).received);
+            assert_eq!(
+                serial.meter(node).cpu_time(),
+                sharded.meter(node).cpu_time()
+            );
+            assert_eq!(
+                serial.meter(node).msg_counts(),
+                sharded.meter(node).msg_counts()
+            );
+        }
     }
 
     #[test]
@@ -872,5 +1440,281 @@ mod tests {
         c.run_until(SimTime::from_secs(3));
         assert_eq!(c.meter(NodeId(0)).sockets(), 0);
         assert_eq!(c.meter(NodeId(0)).peak_sockets(), 1);
+    }
+
+    /// A chatty mesh: every node runs a periodic timer, messages a few
+    /// peers, charges CPU, opens ephemeral sockets, and some nodes fail —
+    /// exercising every event kind across shard boundaries.
+    struct Mesh {
+        n: u32,
+        received: u64,
+        sent: u64,
+    }
+    impl Actor<u64> for Mesh {
+        fn on_start(&mut self, ctx: &mut dyn Context<u64>) {
+            let me = ctx.me().0 as u64;
+            ctx.set_timer(SimSpan::from_millis(50 + (me % 7) * 13), me);
+            ctx.alloc_virt(1_000_000 + me as i64);
+            ctx.alloc_real(100_000);
+        }
+        fn on_message(&mut self, ctx: &mut dyn Context<u64>, from: NodeId, msg: u64) {
+            self.received += 1;
+            ctx.charge_cpu(SimSpan::from_micros(7));
+            if msg.is_multiple_of(5) {
+                ctx.open_socket_for(from, SimSpan::from_millis(3));
+            }
+            if msg > 0 && !msg.is_multiple_of(3) {
+                ctx.send(from, msg / 2);
+                self.sent += 1;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut dyn Context<u64>, token: u64) {
+            let me = ctx.me().0;
+            let peer = NodeId((me + 3) % self.n);
+            let peer2 = NodeId((me * 7 + 1) % self.n);
+            ctx.send(peer, token + 20);
+            ctx.send(peer2, token + 11);
+            self.sent += 2;
+            ctx.charge_cpu(SimSpan::from_micros(3));
+            if ctx.now() < SimTime::from_secs(3) {
+                ctx.set_timer(SimSpan::from_millis(100 + (me as u64 % 5) * 17), token);
+            }
+        }
+    }
+
+    fn mesh_cluster(n: usize, shards: usize, seed: u64) -> SimCluster<u64, Mesh> {
+        let faults = FaultPlan::from_outages(
+            n,
+            vec![
+                Outage {
+                    node: NodeId(2),
+                    down_at: SimTime::from_millis(400),
+                    up_at: SimTime::from_millis(1900),
+                },
+                Outage {
+                    node: NodeId((n - 1) as u32),
+                    down_at: SimTime::from_millis(1200),
+                    up_at: SimTime::from_millis(2500),
+                },
+            ],
+        );
+        let cfg = SimConfig {
+            shards,
+            faults,
+            ..SimConfig::new(n, seed)
+        };
+        let actors = (0..n)
+            .map(|_| Mesh {
+                n: n as u32,
+                received: 0,
+                sent: 0,
+            })
+            .collect();
+        SimCluster::new(actors, cfg)
+    }
+
+    /// The full parity sweep: 2/4/8-shard parallel runs reproduce the
+    /// serial outcomes bit-for-bit — meters (including socket peaks, whose
+    /// order-sensitivity is the hardest case), drops, clock, event counts.
+    #[test]
+    fn sharded_mesh_matches_serial_across_shard_counts() {
+        let n = 16;
+        let mut serial = mesh_cluster(n, 1, 42);
+        serial.run_until(SimTime::from_secs(4));
+        for shards in [2usize, 4, 8] {
+            let mut par = mesh_cluster(n, shards, 42);
+            assert!(par.parallel_enabled());
+            par.run_until(SimTime::from_secs(4));
+            assert_eq!(par.now(), serial.now(), "{shards} shards: clock differs");
+            assert_eq!(
+                par.events_processed(),
+                serial.events_processed(),
+                "{shards} shards: event count differs"
+            );
+            assert_eq!(par.dropped_messages(), serial.dropped_messages());
+            for i in 0..n {
+                let node = NodeId(i as u32);
+                let (a, b) = (serial.meter(node), par.meter(node));
+                assert_eq!(a.cpu_time(), b.cpu_time(), "node {i} cpu");
+                assert_eq!(a.msg_counts(), b.msg_counts(), "node {i} msgs");
+                assert_eq!(a.peak_sockets(), b.peak_sockets(), "node {i} socket peak");
+                assert_eq!(a.sockets(), b.sockets(), "node {i} sockets");
+                assert_eq!(a.peak_mem(), b.peak_mem(), "node {i} mem peaks");
+                assert_eq!(
+                    serial.actor(node).received,
+                    par.actor(node).received,
+                    "node {i} received count"
+                );
+                assert_eq!(serial.actor(node).sent, par.actor(node).sent);
+            }
+        }
+    }
+
+    /// Resuming a horizon-bounded run in more horizons yields the same
+    /// final state in parallel mode as one long serial run.
+    #[test]
+    fn sharded_run_in_phases_matches_serial() {
+        let mut serial = mesh_cluster(12, 1, 7);
+        serial.run_until(SimTime::from_secs(4));
+        let mut par = mesh_cluster(12, 4, 7);
+        par.run_until(SimTime::from_millis(700));
+        par.run_until(SimTime::from_millis(1900));
+        par.run_until(SimTime::from_secs(4));
+        assert_eq!(par.now(), serial.now());
+        assert_eq!(par.events_processed(), serial.events_processed());
+        for i in 0..12 {
+            let node = NodeId(i as u32);
+            assert_eq!(serial.meter(node).cpu_time(), par.meter(node).cpu_time());
+            assert_eq!(serial.actor(node).received, par.actor(node).received);
+        }
+    }
+
+    /// Sampling ticks interleave identically with events in both engines,
+    /// and the tracked series come out bit-identical.
+    #[test]
+    fn sharded_sampling_matches_serial() {
+        let make = |shards: usize| {
+            let mut c = {
+                let mut cfg = SimConfig {
+                    shards,
+                    faults: FaultPlan::none(10),
+                    ..SimConfig::new(10, 9)
+                };
+                cfg.sampling = Some(Sampling {
+                    interval: SimSpan::from_secs(1),
+                    tracked: vec![NodeId(0), NodeId(5), NodeId(9)],
+                    until: SimTime::from_secs(3),
+                });
+                let actors = (0..10)
+                    .map(|_| Mesh {
+                        n: 10,
+                        received: 0,
+                        sent: 0,
+                    })
+                    .collect();
+                SimCluster::new(actors, cfg)
+            };
+            c.run_until(SimTime::from_secs(5));
+            c
+        };
+        let serial = make(1);
+        let par = make(4);
+        assert_eq!(serial.now(), par.now());
+        assert_eq!(serial.events_processed(), par.events_processed());
+        for node in [NodeId(0), NodeId(5), NodeId(9)] {
+            assert_eq!(
+                serial.series(node).unwrap().samples,
+                par.series(node).unwrap().samples
+            );
+        }
+    }
+
+    /// Full tracing forces the single-threaded merge, which still uses the
+    /// sharded queues — outcomes must match the 1-shard run exactly.
+    #[test]
+    fn tracing_run_falls_back_to_merge_and_matches() {
+        let mut cfg = SimConfig {
+            shards: 4,
+            ..SimConfig::new(8, 11)
+        };
+        cfg.obs = Recorder::full();
+        let actors = (0..8)
+            .map(|_| Mesh {
+                n: 8,
+                received: 0,
+                sent: 0,
+            })
+            .collect();
+        let mut traced = SimCluster::new(actors, cfg);
+        assert!(!traced.parallel_enabled(), "tracing must force the merge");
+        traced.run_until(SimTime::from_secs(2));
+
+        // mesh_cluster has faults; build fault-free to mirror the traced cfg.
+        let mut plain = {
+            let actors = (0..8)
+                .map(|_| Mesh {
+                    n: 8,
+                    received: 0,
+                    sent: 0,
+                })
+                .collect();
+            SimCluster::new(actors, SimConfig::new(8, 11))
+        };
+        plain.run_until(SimTime::from_secs(2));
+        assert_eq!(traced.now(), plain.now());
+        for i in 0..8 {
+            let node = NodeId(i as u32);
+            assert_eq!(traced.meter(node).cpu_time(), plain.meter(node).cpu_time());
+            assert_eq!(traced.actor(node).received, plain.actor(node).received);
+        }
+    }
+
+    /// An explicit partition overrides the contiguous default.
+    #[test]
+    fn custom_partition_is_honored_and_matches() {
+        let n = 9;
+        let mut serial = mesh_cluster(n, 1, 13);
+        serial.run_until(SimTime::from_secs(2));
+        let cfg = SimConfig {
+            shards: 3,
+            partition: Some((0..n).map(|i| ((i * 5 + 2) % 3) as u32).collect()),
+            faults: FaultPlan::from_outages(
+                n,
+                vec![
+                    Outage {
+                        node: NodeId(2),
+                        down_at: SimTime::from_millis(400),
+                        up_at: SimTime::from_millis(1900),
+                    },
+                    Outage {
+                        node: NodeId((n - 1) as u32),
+                        down_at: SimTime::from_millis(1200),
+                        up_at: SimTime::from_millis(2500),
+                    },
+                ],
+            ),
+            ..SimConfig::new(n, 13)
+        };
+        let actors = (0..n)
+            .map(|_| Mesh {
+                n: n as u32,
+                received: 0,
+                sent: 0,
+            })
+            .collect();
+        let mut scattered = SimCluster::new(actors, cfg);
+        scattered.run_until(SimTime::from_secs(2));
+        assert_eq!(serial.now(), scattered.now());
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            assert_eq!(serial.actor(node).received, scattered.actor(node).received);
+            assert_eq!(
+                serial.meter(node).peak_sockets(),
+                scattered.meter(node).peak_sockets()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition length")]
+    fn bad_partition_length_panics() {
+        let cfg = SimConfig {
+            shards: 2,
+            partition: Some(vec![0]),
+            ..SimConfig::new(2, 1)
+        };
+        let _ = SimCluster::new(
+            vec![
+                Ticker {
+                    period: SimSpan::from_secs(1),
+                    fires: 0,
+                },
+                Ticker {
+                    period: SimSpan::from_secs(1),
+                    fires: 0,
+                },
+            ],
+            cfg,
+        );
     }
 }

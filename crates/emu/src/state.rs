@@ -1,0 +1,216 @@
+//! Struct-of-arrays node state for the DES engine.
+//!
+//! The serial engine kept one `Meter` struct, one `tx_free` slot and one
+//! RNG per node in parallel `Vec`s of structs. At a million nodes the hot
+//! loop touches only one or two fields per event (a CPU charge, a socket
+//! count, the sender's `tx_free`), so a struct-of-arrays layout keeps each
+//! of those accesses on a densely packed cache line instead of striding
+//! over ~300-byte node records. Each shard of the sharded engine owns one
+//! [`NodeStore`] covering exactly its nodes, indexed by *local* index; the
+//! engine maps `NodeId` → `(shard, local)` once per event.
+//!
+//! RNG streams are derived from the *global* node id, so the draws a node
+//! makes are identical no matter which shard hosts it.
+
+use crate::meter::{apply, Meter, Sample};
+use rand::rngs::StdRng;
+use simclock::rng::stream_rng;
+use simclock::{SimSpan, SimTime};
+
+/// Per-node engine state for one shard, split into parallel arrays.
+pub(crate) struct NodeStore {
+    cpu_time: Vec<SimSpan>,
+    cpu_at_sample: Vec<SimSpan>,
+    last_sample: Vec<SimTime>,
+    virt: Vec<u64>,
+    real: Vec<u64>,
+    peak_virt: Vec<u64>,
+    peak_real: Vec<u64>,
+    sockets: Vec<u32>,
+    peak_sockets: Vec<u32>,
+    sent: Vec<u64>,
+    recv: Vec<u64>,
+    /// Time the node's NIC is next free to transmit.
+    tx_free: Vec<SimTime>,
+    /// Per-node event creation counter: the `seq` of the node's lane.
+    next_seq: Vec<u64>,
+    rngs: Vec<StdRng>,
+}
+
+impl NodeStore {
+    /// A store hosting the nodes with the given *global* ids; local index
+    /// `i` corresponds to `ids[i]`.
+    pub fn new(seed: u64, ids: &[u32]) -> Self {
+        let n = ids.len();
+        NodeStore {
+            cpu_time: vec![SimSpan::ZERO; n],
+            cpu_at_sample: vec![SimSpan::ZERO; n],
+            last_sample: vec![SimTime::ZERO; n],
+            virt: vec![0; n],
+            real: vec![0; n],
+            peak_virt: vec![0; n],
+            peak_real: vec![0; n],
+            sockets: vec![0; n],
+            peak_sockets: vec![0; n],
+            sent: vec![0; n],
+            recv: vec![0; n],
+            tx_free: vec![SimTime::ZERO; n],
+            next_seq: vec![0; n],
+            rngs: ids.iter().map(|&id| stream_rng(seed, id as u64)).collect(),
+        }
+    }
+
+    pub fn charge_cpu(&mut self, i: usize, span: SimSpan) {
+        self.cpu_time[i] += span;
+    }
+
+    pub fn cpu_time(&self, i: usize) -> SimSpan {
+        self.cpu_time[i]
+    }
+
+    pub fn alloc_virt(&mut self, i: usize, delta: i64) {
+        self.virt[i] = apply(self.virt[i], delta);
+        self.peak_virt[i] = self.peak_virt[i].max(self.virt[i]);
+    }
+
+    pub fn alloc_real(&mut self, i: usize, delta: i64) {
+        self.real[i] = apply(self.real[i], delta);
+        self.peak_real[i] = self.peak_real[i].max(self.real[i]);
+    }
+
+    pub fn open_socket(&mut self, i: usize) {
+        self.sockets[i] += 1;
+        self.peak_sockets[i] = self.peak_sockets[i].max(self.sockets[i]);
+    }
+
+    pub fn close_socket(&mut self, i: usize) {
+        debug_assert!(
+            self.sockets[i] > 0,
+            "closing a socket that was never opened"
+        );
+        self.sockets[i] = self.sockets[i].saturating_sub(1);
+    }
+
+    pub fn count_sent(&mut self, i: usize) {
+        self.sent[i] += 1;
+    }
+
+    pub fn count_received(&mut self, i: usize) {
+        self.recv[i] += 1;
+    }
+
+    pub fn tx_free(&self, i: usize) -> SimTime {
+        self.tx_free[i]
+    }
+
+    pub fn set_tx_free(&mut self, i: usize, t: SimTime) {
+        self.tx_free[i] = t;
+    }
+
+    /// Stamp the node's next event sequence number (post-increment).
+    pub fn take_seq(&mut self, i: usize) -> u64 {
+        let s = self.next_seq[i];
+        self.next_seq[i] += 1;
+        s
+    }
+
+    pub fn rng(&mut self, i: usize) -> &mut StdRng {
+        &mut self.rngs[i]
+    }
+
+    /// Materialize a [`Meter`] snapshot of node `i` (by value).
+    pub fn meter(&self, i: usize) -> Meter {
+        Meter::from_raw(
+            self.cpu_time[i],
+            self.cpu_at_sample[i],
+            self.last_sample[i],
+            self.virt[i],
+            self.real[i],
+            self.sockets[i],
+            self.peak_sockets[i],
+            self.peak_virt[i],
+            self.peak_real[i],
+            self.sent[i],
+            self.recv[i],
+        )
+    }
+
+    /// Take a footprint sample of node `i`, with the same windowed-CPU
+    /// semantics as [`Meter::sample`].
+    pub fn sample(&mut self, i: usize, now: SimTime) -> Sample {
+        let window = now - self.last_sample[i];
+        let used = self.cpu_time[i] - self.cpu_at_sample[i];
+        let cpu_util = if window.as_micros() == 0 {
+            0.0
+        } else {
+            used.as_secs_f64() / window.as_secs_f64()
+        };
+        self.last_sample[i] = now;
+        self.cpu_at_sample[i] = self.cpu_time[i];
+        Sample {
+            at: now,
+            cpu_util,
+            cpu_time: self.cpu_time[i],
+            virt_mem: self.virt[i],
+            real_mem: self.real[i],
+            sockets: self.sockets[i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_matches_meter_semantics() {
+        let mut store = NodeStore::new(1, &[5, 9]);
+        let mut m = Meter::new();
+        for target in [0usize, 1] {
+            store.charge_cpu(target, SimSpan::from_millis(500));
+            store.alloc_virt(target, 1000);
+            store.alloc_virt(target, -400);
+            store.alloc_real(target, 256);
+            store.open_socket(target);
+            store.open_socket(target);
+            store.close_socket(target);
+            store.count_sent(target);
+            store.count_received(target);
+        }
+        m.charge_cpu(SimSpan::from_millis(500));
+        m.alloc_virt(1000);
+        m.alloc_virt(-400);
+        m.alloc_real(256);
+        m.open_socket();
+        m.open_socket();
+        m.close_socket();
+        m.count_sent();
+        m.count_received();
+        let s_store = store.sample(0, SimTime::from_secs(1));
+        let s_meter = m.sample(SimTime::from_secs(1));
+        assert_eq!(s_store, s_meter);
+        let snap = store.meter(1);
+        assert_eq!(snap.cpu_time(), m.cpu_time());
+        assert_eq!(snap.virt_mem(), m.virt_mem());
+        assert_eq!(snap.peak_mem(), m.peak_mem());
+        assert_eq!(snap.sockets(), m.sockets());
+        assert_eq!(snap.peak_sockets(), m.peak_sockets());
+        assert_eq!(snap.msg_counts(), m.msg_counts());
+    }
+
+    #[test]
+    fn rng_streams_follow_global_ids() {
+        let mut store = NodeStore::new(42, &[7]);
+        let mut reference = stream_rng(42, 7);
+        use rand::RngExt;
+        assert_eq!(store.rng(0).random::<u64>(), reference.random::<u64>());
+    }
+
+    #[test]
+    fn seq_counter_is_per_node() {
+        let mut store = NodeStore::new(1, &[0, 1]);
+        assert_eq!(store.take_seq(0), 0);
+        assert_eq!(store.take_seq(0), 1);
+        assert_eq!(store.take_seq(1), 0);
+    }
+}

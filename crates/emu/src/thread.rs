@@ -365,6 +365,9 @@ fn node_loop<M: Payload, A: Actor<M>>(
     seed: u64,
 ) -> A {
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    // Scratch buffer for draining due timers: reused across ticks so the
+    // hot loop stays allocation-free once it reaches steady state.
+    let mut due: Vec<TimerEntry> = Vec::new();
     let mut socket_closes: Vec<(Instant, NodeId)> = Vec::new();
     let mut rng = stream_rng(seed, me.0 as u64);
     let mut cur_ctx: Option<TraceContext> = None;
@@ -399,13 +402,18 @@ fn node_loop<M: Payload, A: Actor<M>>(
         let up = shared.up[me.index()].load(Ordering::Acquire);
 
         // Fire due timers (only while up; a down daemon resumes later).
+        // Each pass drains every already-due entry into the reusable
+        // scratch buffer, then fires the batch through one context; timers
+        // a handler arms with a zero delay fire on the next pass.
         if up {
-            while timers
-                .peek()
-                .map(|t| t.deadline <= Instant::now())
-                .unwrap_or(false)
-            {
-                let t = timers.pop().expect("peeked timer vanished");
+            loop {
+                let tick = Instant::now();
+                while timers.peek().map(|t| t.deadline <= tick).unwrap_or(false) {
+                    due.push(timers.pop().expect("peeked timer vanished"));
+                }
+                if due.is_empty() {
+                    break;
+                }
                 let mut ctx = ThreadCtx {
                     shared: &shared,
                     senders: &senders,
@@ -415,8 +423,10 @@ fn node_loop<M: Payload, A: Actor<M>>(
                     rng: &mut rng,
                     cur_ctx: &mut cur_ctx,
                 };
-                actor.on_timer(&mut ctx, t.token);
-                cur_ctx = None;
+                for t in due.drain(..) {
+                    actor.on_timer(&mut ctx, t.token);
+                    *ctx.cur_ctx = None;
+                }
             }
         }
 

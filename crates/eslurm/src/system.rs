@@ -72,6 +72,7 @@ pub struct EslurmSystemBuilder {
     track_satellites: bool,
     obs: Recorder,
     sampler: Sampler,
+    shards: usize,
 }
 
 impl EslurmSystemBuilder {
@@ -87,7 +88,20 @@ impl EslurmSystemBuilder {
             track_satellites: false,
             obs: Recorder::disabled(),
             sampler: Sampler::disabled(),
+            shards: 1,
         }
+    }
+
+    /// Run the DES over `n` event-queue shards (see [`SimConfig::shards`]).
+    /// The partition follows the FP-Tree: the master keeps shard 0,
+    /// satellite `i` takes shard `i mod k` (where `k = min(n, satellites)`),
+    /// and the `i`-th balanced contiguous block of compute nodes — the block
+    /// satellite `i` serves in the master's dispatch split — rides on its
+    /// satellite's shard. Outcomes are bit-identical for every `n`; only
+    /// wall-clock changes.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
     }
 
     /// Record transport and daemon telemetry into `recorder`: the DES
@@ -159,6 +173,23 @@ impl EslurmSystemBuilder {
         }
 
         let mut config = SimConfig::new(total, self.seed);
+        config.shards = self.shards;
+        if self.shards > 1 {
+            let k = self.shards.min(m.max(1));
+            let mut part = vec![0u32; total];
+            for i in 0..m {
+                part[1 + i] = (i % k) as u32;
+            }
+            for (i, &(start, len)) in crate::config::partition(self.n_slaves, m.max(1))
+                .iter()
+                .enumerate()
+            {
+                for j in start..start + len {
+                    part[1 + m + j] = (i % k) as u32;
+                }
+            }
+            config.partition = Some(part);
+        }
         config.obs = self.obs;
         if self.sampler.enabled() {
             self.sampler.name_node(NodeId::MASTER.0, "master");

@@ -9,10 +9,16 @@
 //! simulation built on this crate produces identical output, because
 //! (a) events tie-break on insertion sequence and (b) each stochastic
 //! component owns an independent derived RNG stream.
+//!
+//! For sharded (multi-queue) execution, [`keyed`] provides the
+//! shard-count-invariant ordering `(time, lane, seq)` and a slab-backed
+//! [`KeyedQueue`] whose global merge replays the serial order exactly.
 
+pub mod keyed;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use keyed::{EventKey, KeyedQueue, SYSTEM_LANE};
 pub use queue::EventQueue;
 pub use time::{SimSpan, SimTime};

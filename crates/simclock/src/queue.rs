@@ -3,6 +3,23 @@
 //! Events are ordered by `(time, sequence)`: ties on virtual time are broken
 //! by insertion order, which makes every simulation run a total order and
 //! therefore bit-for-bit reproducible for a given seed.
+//!
+//! ## Ordering contract
+//!
+//! This is a guarantee, not an implementation accident, and the cross-shard
+//! merge rule in [`keyed`](crate::keyed) builds on it:
+//!
+//! 1. `pop` returns events in non-decreasing `time` order (the
+//!    `debug_assert` in [`EventQueue::pop`] checks this invariant).
+//! 2. Among events with **equal** `time`, `pop` returns them in exactly the
+//!    order they were pushed — including events pushed *after* earlier
+//!    equal-time events were already popped, because the sequence counter
+//!    is monotone for the lifetime of the queue and never resets.
+//! 3. The `(time, seq)` pair is unique per entry, so the ordering is total
+//!    and independent of `BinaryHeap`'s internal (unstable) layout.
+//!
+//! The `ties_break_by_insertion_order` and `interleaved_pushes_keep_fifo_ties`
+//! tests pin both the bulk and the interleaved push/pop cases.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -150,6 +167,38 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    /// Regression test for the `(time, seq)` contract under *interleaved*
+    /// pushes and pops: equal-time events pushed across several push/pop
+    /// rounds must still come out in global push order, because the
+    /// sequence counter never resets. (The `debug_assert` in `pop` only
+    /// checks time monotonicity; this pins the tie order.)
+    #[test]
+    fn interleaved_pushes_keep_fifo_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        // Round 1: three ties at t, pop one.
+        q.push(t, 0);
+        q.push(t, 1);
+        q.push(t, 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(0));
+        // Round 2: two more ties at t (clamped to now = t), pop two.
+        q.push(t, 3);
+        q.push(t, 4);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        // Round 3: a later event plus one final tie at t.
+        q.push(SimTime::from_secs(2), 6);
+        q.push(t, 5);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(rest, vec![3, 4, 5, 6]);
+        // A past-dated push after the clock moved clamps to `now` and
+        // orders after every already-pending event at that instant.
+        q.push(SimTime::from_secs(2), 7);
+        q.push(SimTime::ZERO, 8);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 7)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 8)));
     }
 
     #[test]
