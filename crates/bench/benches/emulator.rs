@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
-use rm::{build_cluster, RmProfile};
+use rm::{RmClusterBuilder, RmProfile};
 use simclock::SimTime;
 use std::hint::black_box;
 
@@ -14,7 +14,9 @@ fn bench_heartbeat_storm(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1024 * 20 * 2)); // ~events processed
     g.bench_function("slurm_1024_nodes_10min", |b| {
         b.iter(|| {
-            let mut h = build_cluster(RmProfile::slurm(), 1025, 3, None);
+            let mut h = RmClusterBuilder::new(RmProfile::slurm(), 1025)
+                .seed(3)
+                .build();
             h.sim.run_until(SimTime::from_secs(600));
             black_box(h.sim.events_processed())
         });

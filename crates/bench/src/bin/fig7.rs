@@ -16,7 +16,7 @@ use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, fmt_bytes, print_table, write_csv, ExpArgs};
 use obs::{MetricId, Sampler, SeriesPoint, SeriesStore, SeriesSummary};
 use rand::RngExt;
-use rm::{build_cluster, inject_job, inject_job_stream, RmClusterBuilder, RmProfile};
+use rm::{RmClusterBuilder, RmProfile};
 use simclock::rng::stream_rng;
 use simclock::{SimSpan, SimTime};
 
@@ -85,7 +85,8 @@ fn dump_series(name: &str, store: &SeriesStore, node: &str) {
 }
 
 /// Inject a Fig. 7-style job stream into an ESlurm system (same
-/// distribution as [`rm::inject_job_stream`], mapped onto slave indices).
+/// distribution as [`rm::ClusterHarness::submit_stream`], mapped onto
+/// slave indices).
 fn eslurm_job_stream(
     sys: &mut eslurm::EslurmSystem,
     horizon: SimSpan,
@@ -139,15 +140,7 @@ fn main() {
             .seed(args.seed)
             .sampler(sampler.clone())
             .build();
-        inject_job_stream(
-            &mut h,
-            n as u32,
-            horizon,
-            rate,
-            n as u32,
-            mean_rt,
-            args.seed + 1,
-        );
+        h.submit_stream(n as u32, horizon, rate, n as u32, mean_rt, args.seed + 1);
         h.sim.run_until(horizon_t);
         println!("{} events", h.sim.events_processed());
         let store = sampler.store();
@@ -256,9 +249,10 @@ fn main() {
     for &size in &sizes {
         let mut row = vec![size.to_string()];
         for profile in RmProfile::baselines() {
-            let mut h = build_cluster(profile, n + 1, args.seed, None);
-            inject_job(
-                &mut h,
+            let mut h = RmClusterBuilder::new(profile, n + 1)
+                .seed(args.seed)
+                .build();
+            h.submit(
                 SimTime::from_secs(60),
                 1,
                 (1..=size).collect(),

@@ -9,7 +9,7 @@ use emu::NodeId;
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, fmt_bytes, print_table, write_csv, ExpArgs};
 use obs::{MetricId, Sampler, SeriesStore, SeriesSummary};
-use rm::{inject_job_stream, RmClusterBuilder, RmProfile};
+use rm::{RmClusterBuilder, RmProfile};
 use simclock::{SimSpan, SimTime};
 
 /// Mean/last statistics of `family{node=<node>}` in the sampler's store.
@@ -73,15 +73,7 @@ fn main() {
             .seed(args.seed)
             .sampler(sampler.clone())
             .build();
-        inject_job_stream(
-            &mut h,
-            n as u32,
-            horizon,
-            rate,
-            n as u32,
-            mean_rt,
-            args.seed + 1,
-        );
+        h.submit_stream(n as u32, horizon, rate, n as u32, mean_rt, args.seed + 1);
         h.sim.run_until(horizon_t);
         println!("{} events", h.sim.events_processed());
         let store = sampler.store();

@@ -12,7 +12,7 @@ use emu::NodeId;
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, print_table, write_csv, ExpArgs};
 use rand::RngExt;
-use rm::{build_cluster, inject_job_stream, RmMsg, RmProfile};
+use rm::{RmClusterBuilder, RmMsg, RmProfile};
 use simclock::rng::stream_rng;
 use simclock::{SimSpan, SimTime};
 
@@ -66,9 +66,8 @@ fn main() {
                     let contention = (n as f64 / 1024.0).max(1.0);
                     p.msg_cpu = p.msg_cpu.mul_f64(contention);
                     p.sched_cpu = p.sched_cpu.mul_f64(contention);
-                    let mut h = build_cluster(p, n + 1, args.seed, None);
-                    inject_job_stream(
-                        &mut h,
+                    let mut h = RmClusterBuilder::new(p, n + 1).seed(args.seed).build();
+                    h.submit_stream(
                         n as u32,
                         horizon,
                         job_rate,

@@ -14,8 +14,9 @@ use obs::{
     build_traces, compare_csv, flow_summaries, DecisionLog, DiffOptions, FlightConfig, FlowKind,
     Recorder, Sampler, TraceTree,
 };
-use sched::{
-    simulate as run_schedule, BackfillConfig, LimitPolicy, OracleLimit, SchedAlgo, UserLimit,
+use sched::prelude::{
+    simulate as run_schedule, BackfillConfig, FairShareLedger, LimitPolicy, MultifactorPriority,
+    OracleLimit, SchedAlgo, SchedPolicies, UserLimit,
 };
 use simclock::{SimSpan, SimTime};
 use std::path::Path;
@@ -125,6 +126,9 @@ pub const COMMANDS: &[CmdSpec] = &[
             "resubmits",
             "jobs",
             "seed",
+            "users",
+            "banks",
+            "priority",
         ],
     },
     CmdSpec {
@@ -138,6 +142,9 @@ pub const COMMANDS: &[CmdSpec] = &[
             "resubmits",
             "jobs",
             "seed",
+            "users",
+            "banks",
+            "priority",
             "audit",
             "obs",
         ],
@@ -884,18 +891,48 @@ struct AuditRun {
     rec: Recorder,
 }
 
+/// `--priority fifo|multifactor [--users N --banks B]` → the policy-layer
+/// bundle of an audited run. `fifo` (the default) is the trivial bundle —
+/// bit-identical to the pre-policy scheduler; `multifactor` turns on the
+/// Slurm-flavored composition with a 24 h-half-life fair-share ledger.
+fn parse_policies(cmd: &'static str, o: &Opts, banks: usize) -> Result<SchedPolicies, CliError> {
+    match o.get("priority").unwrap_or("fifo") {
+        "fifo" => Ok(SchedPolicies::default()),
+        "multifactor" => Ok(SchedPolicies::default()
+            .with_priority(MultifactorPriority::slurm_default())
+            .with_fairshare(FairShareLedger::new(SimSpan::from_hours(24), banks as u32))),
+        other => Err(CliError::usage(
+            cmd,
+            format!("unknown --priority {other} (fifo | multifactor)"),
+        )),
+    }
+}
+
 /// Run the backfill simulation with the decision audit log on: either a
 /// `--trace FILE` replay or the deterministic synthetic default scenario
 /// (whose seed/jobs/nodes are tuned so backfills, skips, and kills all
 /// occur). The predictive policy is the default so decisions carry model
-/// estimates with cluster ids.
+/// estimates with cluster ids. `--users N` switches the synthetic trace to
+/// the multi-tenant generator with that many accounts over `--banks`
+/// banks, and `--priority multifactor` ranks the queue with the
+/// Slurm-flavored factor composition (per-factor contributions land in
+/// the audit log).
 fn audit_run(cmd: &'static str, o: &Opts) -> Result<AuditRun, CliError> {
+    let users = flag_or(cmd, o, "users", 0usize)?;
+    let banks = flag_or(cmd, o, "banks", 48usize)?;
     let jobs = match o.get("trace") {
         Some(path) => load_trace(path)?,
         None => {
             let n = flag_or(cmd, o, "jobs", 400usize)?;
             let seed = flag_or(cmd, o, "seed", 42u64)?;
-            TraceConfig::small(n, seed).generate()
+            if users > 0 {
+                TraceConfig::multi_tenant(n, seed)
+                    .with_users(users)
+                    .with_banks(banks)
+                    .generate()
+            } else {
+                TraceConfig::small(n, seed).generate()
+            }
         }
     };
     let nodes = flag_or(cmd, o, "nodes", 64u32)?;
@@ -912,6 +949,7 @@ fn audit_run(cmd: &'static str, o: &Opts) -> Result<AuditRun, CliError> {
         max_resubmits: flag_or(cmd, o, "resubmits", 3u32)?,
         obs: rec.clone(),
         audit: log.clone(),
+        policies: parse_policies(cmd, o, banks)?,
         ..BackfillConfig::new(nodes)
     };
     let policy_name = policy.name();

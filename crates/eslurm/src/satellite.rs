@@ -17,7 +17,7 @@ use rm::proto::{CtlKind, NodeSlice, RmMsg};
 use simclock::{SimSpan, SimTime};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
-use topology::fptree::rearrange;
+use topology::fptree::rearrange_into;
 use topology::split_balanced;
 
 /// Aggregate FP-Tree construction statistics (the paper's "FP-tree node
@@ -197,7 +197,11 @@ impl SatelliteDaemon {
         // FP-Tree construction: rearrange so suspects sit on leaves, then
         // relay by the ordinary grouping rule.
         let w = self.cfg.relay_width.max(2);
-        let arranged = rearrange(t.list.nodes(), &suspects, w);
+        // The arranged list is this relay's `Deliver` payload; building it
+        // in a recycled buffer keeps the per-task allocation out of the
+        // DES hot path.
+        let mut arranged = NodeSlice::recycled_buf();
+        rearrange_into(t.list.nodes(), &suspects, w, &mut arranged);
         let leaves = topology::leaf_positions(arranged.len(), w);
         self.fp_stats.trees += 1;
         self.fp_stats.total_nodes += arranged.len() as u64;

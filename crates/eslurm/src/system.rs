@@ -13,6 +13,7 @@ use monitoring::FailurePredictor;
 use obs::{Recorder, Sampler};
 use rm::proto::{NodeSlice, RmMsg};
 use rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
+use sched::prelude::*;
 use simclock::{SimSpan, SimTime};
 use std::sync::{Arc, Mutex};
 
@@ -59,6 +60,9 @@ pub struct EslurmSystem {
     pub n_satellites: usize,
     /// Number of compute nodes.
     pub n_slaves: usize,
+    /// Multi-tenant policy layers for scheduling runs over this cluster
+    /// (see [`EslurmSystem::backfill_config`]).
+    pub policies: SchedPolicies,
 }
 
 /// Builder for [`EslurmSystem`].
@@ -73,6 +77,7 @@ pub struct EslurmSystemBuilder {
     obs: Recorder,
     sampler: Sampler,
     shards: usize,
+    policies: SchedPolicies,
 }
 
 impl EslurmSystemBuilder {
@@ -89,7 +94,31 @@ impl EslurmSystemBuilder {
             obs: Recorder::disabled(),
             sampler: Sampler::disabled(),
             shards: 1,
+            policies: SchedPolicies::default(),
         }
+    }
+
+    /// Install a partition set for scheduling runs over this cluster
+    /// (mirrored verbatim on `RmClusterBuilder` — the builder-parity
+    /// convention). The default single unconstrained partition leaves
+    /// outcomes bit-identical to a partition-unaware scheduler.
+    pub fn partitions(mut self, partitions: PartitionSet) -> Self {
+        self.policies.partitions = partitions;
+        self
+    }
+
+    /// Install a fair-share ledger (mirrored on `RmClusterBuilder`). The
+    /// default disabled ledger charges nothing and scores everyone 1.0.
+    pub fn fairshare(mut self, fairshare: FairShareLedger) -> Self {
+        self.policies.fairshare = fairshare;
+        self
+    }
+
+    /// Install a priority composition (mirrored on `RmClusterBuilder`).
+    /// The default uniform composer never reorders the queue.
+    pub fn priority(mut self, priority: MultifactorPriority) -> Self {
+        self.policies.priority = priority;
+        self
     }
 
     /// Run the DES over `n` event-queue shards (see [`SimConfig::shards`]).
@@ -216,6 +245,7 @@ impl EslurmSystemBuilder {
             sim: SimCluster::new(actors, config),
             n_satellites: m,
             n_slaves: self.n_slaves,
+            policies: self.policies,
         }
     }
 }
@@ -242,16 +272,25 @@ impl EslurmSystem {
         (1 + self.n_satellites + i) as u32
     }
 
+    /// A [`BackfillConfig`] sized to this cluster's compute nodes with the
+    /// builder's policy layers installed — the bridge from the emulated
+    /// system to `sched::simulate` scheduling runs.
+    pub fn backfill_config(&self) -> BackfillConfig {
+        let mut cfg = BackfillConfig::new(self.n_slaves as u32);
+        cfg.policies = self.policies.clone();
+        cfg
+    }
+
     /// Submit a job over the given compute-node indices (0-based) at `at`.
     pub fn submit(&mut self, at: SimTime, job: u64, slave_idxs: &[usize], runtime: SimSpan) {
-        let nodes: Vec<u32> = slave_idxs.iter().map(|&i| self.slave_id(i)).collect();
+        let nodes = NodeSlice::from_nodes(slave_idxs.iter().map(|&i| self.slave_id(i)));
         self.sim.inject(
             at,
             NodeId::MASTER,
             NodeId::MASTER,
             RmMsg::SubmitJob {
                 job,
-                nodes: NodeSlice::new(nodes),
+                nodes,
                 runtime_us: runtime.as_micros(),
             },
         );

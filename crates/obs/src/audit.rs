@@ -99,6 +99,8 @@ pub enum SkipReason {
     /// Starting now would push back another job's profile reservation
     /// (conservative backfill).
     WouldDelayReservation,
+    /// The job's partition is at its concurrent-node capacity.
+    PartitionFull,
 }
 
 impl SkipReason {
@@ -108,6 +110,7 @@ impl SkipReason {
             SkipReason::NoFreeNodes => "no_free_nodes",
             SkipReason::WouldDelayHead => "would_delay_head",
             SkipReason::WouldDelayReservation => "would_delay_reservation",
+            SkipReason::PartitionFull => "partition_full",
         }
     }
 }
@@ -117,6 +120,18 @@ impl SkipReason {
 pub enum Decision {
     /// The job entered the queue.
     Submitted,
+    /// The multifactor priority (re)ranked the job in the queue. Recorded
+    /// on material changes only; `factors` carries each factor's weighted
+    /// contribution in milli-units, summing exactly to `priority_milli`.
+    PriorityRanked {
+        /// Composed priority × 1000.
+        priority_milli: i64,
+        /// Queue position after ordering (0 = head).
+        rank: u32,
+        /// `(factor name, weighted contribution × 1000)` per factor, in
+        /// composition order.
+        factors: Vec<(&'static str, i64)>,
+    },
     /// The job became the blocked head of the queue.
     HeadOfQueue,
     /// A reservation was planned for the (head) job at `at_us`, blocked by
@@ -173,6 +188,7 @@ impl Decision {
     pub fn name(&self) -> &'static str {
         match self {
             Decision::Submitted => "submitted",
+            Decision::PriorityRanked { .. } => "priority_ranked",
             Decision::HeadOfQueue => "head_of_queue",
             Decision::ReservationPlaced { .. } => "reservation_placed",
             Decision::Backfilled { .. } => "backfilled",
@@ -304,6 +320,23 @@ impl DecisionLog {
 fn push_decision_fields(out: &mut String, d: &Decision) {
     match d {
         Decision::Submitted | Decision::HeadOfQueue => {}
+        Decision::PriorityRanked {
+            priority_milli,
+            rank,
+            factors,
+        } => {
+            let _ = write!(
+                out,
+                ",\"priority_milli\":{priority_milli},\"rank\":{rank},\"factors\":{{"
+            );
+            for (i, (name, milli)) in factors.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{name}\":{milli}");
+            }
+            out.push('}');
+        }
         Decision::ReservationPlaced { at_us, blockers } => {
             let _ = write!(out, ",\"at_us\":{at_us},\"blockers\":[");
             for (i, b) in blockers.iter().enumerate() {
@@ -449,6 +482,8 @@ pub struct AuditReport {
     pub completions: usize,
     /// Reservations placed for blocked heads.
     pub reservations: usize,
+    /// Multifactor priority (re)rankings recorded.
+    pub priority_updates: usize,
     /// Accuracy per estimate source, in source order.
     pub by_source: BTreeMap<&'static str, AccuracyStats>,
     /// Accuracy per model cluster, in cluster order.
@@ -472,6 +507,7 @@ impl AuditReport {
         for r in records {
             match &r.decision {
                 Decision::Submitted => rep.submitted += 1,
+                Decision::PriorityRanked { .. } => rep.priority_updates += 1,
                 Decision::HeadOfQueue => {}
                 Decision::ReservationPlaced { .. } => rep.reservations += 1,
                 Decision::Backfilled { .. } => rep.backfills += 1,
@@ -587,6 +623,22 @@ pub fn render_timeline(job: u64, records: &[DecisionRecord]) -> String {
     for r in rows {
         let what = match &r.decision {
             Decision::Submitted => format!("submitted           {}", fmt_est(&r.est)),
+            Decision::PriorityRanked {
+                priority_milli,
+                rank,
+                factors,
+            } => {
+                let parts: Vec<String> = factors
+                    .iter()
+                    .map(|(name, milli)| format!("{name} {:.2}", *milli as f64 / 1000.0))
+                    .collect();
+                format!(
+                    "priority ranked     #{} at {:.2} ({})",
+                    rank + 1,
+                    *priority_milli as f64 / 1000.0,
+                    parts.join(", ")
+                )
+            }
             Decision::HeadOfQueue => "head of queue       blocked, waiting for nodes".to_string(),
             Decision::ReservationPlaced { at_us, blockers } => {
                 let ids: Vec<String> = blockers.iter().map(|b| b.to_string()).collect();
@@ -606,6 +658,7 @@ pub fn render_timeline(job: u64, records: &[DecisionRecord]) -> String {
                     SkipReason::NoFreeNodes => "not enough free nodes",
                     SkipReason::WouldDelayHead => "would delay the reserved head",
                     SkipReason::WouldDelayReservation => "would delay another reservation",
+                    SkipReason::PartitionFull => "its partition is at capacity",
                 };
                 format!("skipped backfill    {why} ({})", fmt_est(&r.est))
             }
@@ -658,6 +711,9 @@ pub fn render_report(rep: &AuditReport) -> String {
         100.0 * rep.backfill_hit_rate()
     );
     let _ = writeln!(out, "  reservations:     {}", rep.reservations);
+    if rep.priority_updates > 0 {
+        let _ = writeln!(out, "  priority updates: {}", rep.priority_updates);
+    }
     for (reason, n) in &rep.skips {
         let _ = writeln!(out, "  skipped backfill: {n:>6}  {reason}");
     }
@@ -934,6 +990,50 @@ mod tests {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         assert!(render_timeline(99, &records).contains("no decisions recorded"));
+    }
+
+    #[test]
+    fn priority_ranked_renders_factors_in_jsonl_and_timeline() {
+        let ranked = Decision::PriorityRanked {
+            priority_milli: 3_110,
+            rank: 2,
+            factors: vec![
+                ("fair-share", 1_500),
+                ("age", 310),
+                ("size", 100),
+                ("qos", 1_200),
+            ],
+        };
+        let log = DecisionLog::unbounded();
+        log.record(
+            5_000_000,
+            9,
+            EstimateRef::new(1, EstSource::User),
+            ranked.clone(),
+        );
+        let line = log.to_jsonl();
+        assert!(
+            line.contains("\"decision\":\"priority_ranked\"")
+                && line.contains("\"priority_milli\":3110")
+                && line.contains("\"rank\":2")
+                && line.contains(
+                    "\"factors\":{\"fair-share\":1500,\"age\":310,\"size\":100,\"qos\":1200}"
+                ),
+            "{line}"
+        );
+        let text = render_timeline(9, &log.records());
+        for needle in [
+            "priority ranked",
+            "#3 at 3.11",
+            "fair-share 1.50",
+            "age 0.31",
+            "qos 1.20",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let rep = AuditReport::from_records(&log.records());
+        assert_eq!(rep.priority_updates, 1);
+        assert!(render_report(&rep).contains("priority updates: 1"));
     }
 
     #[test]

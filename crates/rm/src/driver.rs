@@ -9,6 +9,7 @@ use crate::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
 use obs::{Recorder, Sampler};
 use rand::RngExt;
+use sched::prelude::*;
 use simclock::rng::stream_rng;
 use simclock::{SimSpan, SimTime};
 
@@ -45,6 +46,9 @@ impl Actor<RmMsg> for RmNode {
 pub struct ClusterHarness {
     /// The running simulation.
     pub sim: SimCluster<RmMsg, RmNode>,
+    /// Multi-tenant policy layers for scheduling runs over this cluster
+    /// (see [`ClusterHarness::backfill_config`]).
+    pub policies: SchedPolicies,
 }
 
 impl ClusterHarness {
@@ -54,6 +58,65 @@ impl ClusterHarness {
             RmNode::Master(m) => m,
             RmNode::Slave(_) => unreachable!("node 0 is always the master"),
         }
+    }
+
+    /// A [`BackfillConfig`] sized to this cluster's slave count with the
+    /// builder's policy layers installed, mirroring
+    /// `EslurmSystem::backfill_config`.
+    pub fn backfill_config(&self) -> BackfillConfig {
+        let mut cfg = BackfillConfig::new(self.sim.len().saturating_sub(1) as u32);
+        cfg.policies = self.policies.clone();
+        cfg
+    }
+
+    /// Submit a job to the master at `at` (the harness-method form of the
+    /// deprecated free function `inject_job`).
+    pub fn submit(&mut self, at: SimTime, job: u64, nodes: Vec<u32>, runtime: SimSpan) {
+        self.sim.inject(
+            at,
+            NodeId::MASTER,
+            NodeId::MASTER,
+            RmMsg::SubmitJob {
+                job,
+                nodes: NodeSlice::new(nodes),
+                runtime_us: runtime.as_micros(),
+            },
+        );
+    }
+
+    /// A synthetic job stream for the resource-usage experiments:
+    /// `rate_per_hour` jobs arriving Poisson-style, sizes log-uniform in
+    /// `1..=max_nodes`, runtimes exponential with the given mean. Returns
+    /// the number of jobs injected.
+    pub fn submit_stream(
+        &mut self,
+        n_slaves: u32,
+        horizon: SimSpan,
+        rate_per_hour: f64,
+        max_nodes: u32,
+        mean_runtime: SimSpan,
+        seed: u64,
+    ) -> u64 {
+        let mut rng = stream_rng(seed, 0x10B5);
+        let mut t = 0.0f64;
+        let mut job = 0u64;
+        let rate = rate_per_hour / 3600.0;
+        loop {
+            t += simclock::rng::exponential(&mut rng, rate);
+            if t >= horizon.as_secs_f64() {
+                break;
+            }
+            job += 1;
+            let max_exp = (max_nodes.min(n_slaves) as f64).log2();
+            let nodes_count = 2f64.powf(rng.random::<f64>() * max_exp).round().max(1.0) as u32;
+            let start = rng.random_range(1..=n_slaves - nodes_count.min(n_slaves - 1));
+            let nodes: Vec<u32> = (start..start + nodes_count).collect();
+            let runtime = SimSpan::from_secs_f64(
+                simclock::rng::exponential(&mut rng, 1.0 / mean_runtime.as_secs_f64()).max(5.0),
+            );
+            self.submit(SimTime::from_secs_f64(t), job, nodes, runtime);
+        }
+        job
     }
 }
 
@@ -67,6 +130,7 @@ pub struct RmClusterBuilder {
     sample_until: Option<SimTime>,
     obs: Recorder,
     sampler: Sampler,
+    policies: SchedPolicies,
 }
 
 impl RmClusterBuilder {
@@ -81,7 +145,30 @@ impl RmClusterBuilder {
             sample_until: None,
             obs: Recorder::disabled(),
             sampler: Sampler::disabled(),
+            policies: SchedPolicies::default(),
         }
+    }
+
+    /// Install a partition set for scheduling runs over this cluster,
+    /// exactly as `EslurmSystemBuilder::partitions` does for the
+    /// distributed stack.
+    pub fn partitions(mut self, partitions: PartitionSet) -> Self {
+        self.policies.partitions = partitions;
+        self
+    }
+
+    /// Install a fair-share ledger, exactly as
+    /// `EslurmSystemBuilder::fairshare` does for the distributed stack.
+    pub fn fairshare(mut self, fairshare: FairShareLedger) -> Self {
+        self.policies.fairshare = fairshare;
+        self
+    }
+
+    /// Install a priority composition, exactly as
+    /// `EslurmSystemBuilder::priority` does for the distributed stack.
+    pub fn priority(mut self, priority: MultifactorPriority) -> Self {
+        self.policies.priority = priority;
+        self
     }
 
     /// Master seed for the simulation's RNG streams.
@@ -164,6 +251,7 @@ impl RmClusterBuilder {
         }
         ClusterHarness {
             sim: SimCluster::new(actors, config),
+            policies: self.policies,
         }
     }
 }
@@ -171,6 +259,10 @@ impl RmClusterBuilder {
 /// Build a cluster of `n` nodes (node 0 = master, 1..n = slaves) running
 /// `profile`. `sample_until` turns on 1 Hz master metering until the given
 /// time. Thin wrapper over [`RmClusterBuilder`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use RmClusterBuilder::new(..).seed(..).build()"
+)]
 pub fn build_cluster(
     profile: RmProfile,
     n: usize,
@@ -185,6 +277,7 @@ pub fn build_cluster(
 }
 
 /// Submit a job to the master at `at`.
+#[deprecated(since = "0.1.0", note = "use ClusterHarness::submit")]
 pub fn inject_job(
     h: &mut ClusterHarness,
     at: SimTime,
@@ -192,21 +285,13 @@ pub fn inject_job(
     nodes: Vec<u32>,
     runtime: SimSpan,
 ) {
-    h.sim.inject(
-        at,
-        NodeId::MASTER,
-        NodeId::MASTER,
-        RmMsg::SubmitJob {
-            job,
-            nodes: NodeSlice::new(nodes),
-            runtime_us: runtime.as_micros(),
-        },
-    );
+    h.submit(at, job, nodes, runtime);
 }
 
 /// A synthetic job stream for the resource-usage experiments: `rate_per_hour`
 /// jobs arriving Poisson-style, sizes log-uniform in `1..=max_nodes`,
 /// runtimes exponential with the given mean.
+#[deprecated(since = "0.1.0", note = "use ClusterHarness::submit_stream")]
 #[allow(clippy::too_many_arguments)]
 pub fn inject_job_stream(
     h: &mut ClusterHarness,
@@ -217,26 +302,14 @@ pub fn inject_job_stream(
     mean_runtime: SimSpan,
     seed: u64,
 ) -> u64 {
-    let mut rng = stream_rng(seed, 0x10B5);
-    let mut t = 0.0f64;
-    let mut job = 0u64;
-    let rate = rate_per_hour / 3600.0;
-    loop {
-        t += simclock::rng::exponential(&mut rng, rate);
-        if t >= horizon.as_secs_f64() {
-            break;
-        }
-        job += 1;
-        let max_exp = (max_nodes.min(n_slaves) as f64).log2();
-        let nodes_count = 2f64.powf(rng.random::<f64>() * max_exp).round().max(1.0) as u32;
-        let start = rng.random_range(1..=n_slaves - nodes_count.min(n_slaves - 1));
-        let nodes: Vec<u32> = (start..start + nodes_count).collect();
-        let runtime = SimSpan::from_secs_f64(
-            simclock::rng::exponential(&mut rng, 1.0 / mean_runtime.as_secs_f64()).max(5.0),
-        );
-        inject_job(h, SimTime::from_secs_f64(t), job, nodes, runtime);
-    }
-    job
+    h.submit_stream(
+        n_slaves,
+        horizon,
+        rate_per_hour,
+        max_nodes,
+        mean_runtime,
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -245,9 +318,10 @@ mod tests {
 
     #[test]
     fn job_stream_runs_to_completion() {
-        let mut h = build_cluster(RmProfile::slurm(), 65, 5, None);
-        let n = inject_job_stream(
-            &mut h,
+        let mut h = RmClusterBuilder::new(RmProfile::slurm(), 65)
+            .seed(5)
+            .build();
+        let n = h.submit_stream(
             64,
             SimSpan::from_secs(600),
             120.0,
@@ -262,11 +336,42 @@ mod tests {
 
     #[test]
     fn sampling_records_master_series() {
-        let mut h = build_cluster(RmProfile::lsf(), 33, 5, Some(SimTime::from_secs(60)));
+        let mut h = RmClusterBuilder::new(RmProfile::lsf(), 33)
+            .seed(5)
+            .sample_until(SimTime::from_secs(60))
+            .build();
         h.sim.run_until(SimTime::from_secs(120));
         let series = h.sim.series(NodeId::MASTER).expect("master tracked");
         assert_eq!(series.samples.len(), 60);
         // Memory allocated at start shows up in every sample.
         assert!(series.samples[0].virt_mem > 1 << 30);
+    }
+
+    #[test]
+    fn deprecated_shims_route_through_the_harness() {
+        #![allow(deprecated)]
+        let mut h = build_cluster(RmProfile::slurm(), 9, 1, None);
+        inject_job(
+            &mut h,
+            SimTime::from_secs(1),
+            7,
+            vec![1, 2],
+            SimSpan::from_secs(5),
+        );
+        h.sim.run_until(SimTime::from_secs(60));
+        assert_eq!(h.master_actor().records.len(), 1);
+    }
+
+    #[test]
+    fn builder_policies_reach_the_backfill_config() {
+        let h = RmClusterBuilder::new(RmProfile::slurm(), 17)
+            .priority(MultifactorPriority::slurm_default())
+            .fairshare(FairShareLedger::new(SimSpan::from_hours(24), 4))
+            .build();
+        let cfg = h.backfill_config();
+        assert_eq!(cfg.nodes, 16);
+        assert!(!cfg.policies.priority.is_uniform());
+        assert!(cfg.policies.fairshare.enabled());
+        assert!(!cfg.policies.is_trivial());
     }
 }

@@ -443,12 +443,11 @@ impl Actor<RmMsg> for CentralizedMaster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{build_cluster, inject_job};
+    use crate::driver::RmClusterBuilder;
 
     fn run_one_job(profile: RmProfile, n: usize, job_nodes: u32) -> (SimSpan, SimSpan) {
-        let mut h = build_cluster(profile, n, 11, None);
-        inject_job(
-            &mut h,
+        let mut h = RmClusterBuilder::new(profile, n).seed(11).build();
+        h.submit(
             SimTime::from_secs(1),
             1,
             (1..=job_nodes).collect(),
@@ -490,11 +489,10 @@ mod tests {
         let profile = RmProfile::slurm();
         let per_job = profile.per_job_virt;
         let leak = profile.job_record_leak;
-        let mut h = build_cluster(profile, 65, 3, None);
+        let mut h = RmClusterBuilder::new(profile, 65).seed(3).build();
         h.sim.run_until(SimTime::from_millis(10));
         let before = h.sim.meter(NodeId::MASTER).virt_mem();
-        inject_job(
-            &mut h,
+        h.submit(
             SimTime::from_millis(20),
             1,
             (1..=64).collect(),
@@ -510,9 +508,10 @@ mod tests {
 
     #[test]
     fn cancellation_reclaims_resources_early() {
-        let mut h = build_cluster(RmProfile::slurm(), 65, 3, None);
-        inject_job(
-            &mut h,
+        let mut h = RmClusterBuilder::new(RmProfile::slurm(), 65)
+            .seed(3)
+            .build();
+        h.submit(
             SimTime::from_secs(1),
             1,
             (1..=64).collect(),
@@ -537,10 +536,12 @@ mod tests {
 
     #[test]
     fn polling_masters_accumulate_cpu() {
-        let mut h = build_cluster(RmProfile::sge(), 101, 5, None);
+        let mut h = RmClusterBuilder::new(RmProfile::sge(), 101).seed(5).build();
         h.sim.run_until(SimTime::from_secs(120));
         let cpu_sge = h.sim.meter(NodeId::MASTER).cpu_time();
-        let mut h2 = build_cluster(RmProfile::slurm(), 101, 5, None);
+        let mut h2 = RmClusterBuilder::new(RmProfile::slurm(), 101)
+            .seed(5)
+            .build();
         h2.sim.run_until(SimTime::from_secs(120));
         let cpu_slurm = h2.sim.meter(NodeId::MASTER).cpu_time();
         assert!(
@@ -551,10 +552,14 @@ mod tests {
 
     #[test]
     fn persistent_profiles_hold_sockets() {
-        let mut h = build_cluster(RmProfile::openpbs(), 101, 7, None);
+        let mut h = RmClusterBuilder::new(RmProfile::openpbs(), 101)
+            .seed(7)
+            .build();
         h.sim.run_until(SimTime::from_secs(5));
         assert_eq!(h.sim.meter(NodeId::MASTER).sockets(), 100);
-        let mut h2 = build_cluster(RmProfile::slurm(), 101, 7, None);
+        let mut h2 = RmClusterBuilder::new(RmProfile::slurm(), 101)
+            .seed(7)
+            .build();
         h2.sim.run_until(SimTime::from_secs(5));
         assert!(h2.sim.meter(NodeId::MASTER).sockets() < 10);
     }

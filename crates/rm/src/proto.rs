@@ -28,20 +28,55 @@ pub enum CtlKind {
     Ping,
 }
 
+/// Backing store of a [`NodeSlice`]. When the last clone of a slice
+/// drops, the `Vec`'s allocation is parked in a thread-local pool and
+/// handed out again by [`NodeSlice::recycled_buf`] — million-job streams
+/// build one `Deliver` payload per job (plus one per FP-Tree relay task),
+/// and without the pool each of those is a fresh heap allocation in the
+/// DES hot path.
+#[derive(Debug, PartialEq, Eq)]
+struct ListBuf(Vec<u32>);
+
+thread_local! {
+    static LIST_POOL: std::cell::RefCell<Vec<Vec<u32>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Pool cap: enough for the deepest relay fan-out alive at once; beyond
+/// that, freeing is cheaper than hoarding.
+const LIST_POOL_MAX: usize = 64;
+
+impl Drop for ListBuf {
+    fn drop(&mut self) {
+        if self.0.capacity() == 0 {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.0);
+        LIST_POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < LIST_POOL_MAX {
+                buf.clear();
+                p.push(buf);
+            }
+        });
+    }
+}
+
 /// A shared node list with a sub-range view.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeSlice {
-    list: Arc<Vec<u32>>,
+    list: Arc<ListBuf>,
     lo: u32,
     hi: u32,
 }
 
 impl NodeSlice {
-    /// Wrap a whole list.
+    /// Wrap a whole list. The allocation is recycled through the
+    /// thread-local pool once the last clone drops.
     pub fn new(list: Vec<u32>) -> Self {
         let hi = list.len() as u32;
         NodeSlice {
-            list: Arc::new(list),
+            list: Arc::new(ListBuf(list)),
             lo: 0,
             hi,
         }
@@ -50,10 +85,25 @@ impl NodeSlice {
     /// An empty slice.
     pub fn empty() -> Self {
         NodeSlice {
-            list: Arc::new(Vec::new()),
+            list: Arc::new(ListBuf(Vec::new())),
             lo: 0,
             hi: 0,
         }
+    }
+
+    /// Build a slice by collecting `nodes` into a recycled buffer, so the
+    /// per-payload allocation is reused instead of hitting the allocator.
+    pub fn from_nodes(nodes: impl IntoIterator<Item = u32>) -> Self {
+        let mut buf = Self::recycled_buf();
+        buf.extend(nodes);
+        Self::new(buf)
+    }
+
+    /// An empty `Vec<u32>` whose allocation (if any) came from a
+    /// previously dropped slice on this thread. Fill it and hand it back
+    /// via [`NodeSlice::new`] to keep the allocation cycling.
+    pub fn recycled_buf() -> Vec<u32> {
+        LIST_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
     }
 
     /// View a sub-range (relative to this slice).
@@ -70,7 +120,7 @@ impl NodeSlice {
 
     /// The nodes in view.
     pub fn nodes(&self) -> &[u32] {
-        &self.list[self.lo as usize..self.hi as usize]
+        &self.list.0[self.lo as usize..self.hi as usize]
     }
 
     /// Number of nodes in view.
@@ -416,6 +466,40 @@ mod tests {
     #[should_panic]
     fn out_of_range_slice_panics() {
         NodeSlice::new(vec![1, 2, 3]).slice(1, 5);
+    }
+
+    #[test]
+    fn dropped_slices_recycle_their_allocation() {
+        // Drain whatever earlier tests on this thread left pooled.
+        while LIST_POOL.with(|p| !p.borrow().is_empty()) {
+            LIST_POOL.with(|p| p.borrow_mut().clear());
+        }
+        let s = NodeSlice::new(Vec::with_capacity(4096));
+        let sub = s.slice(0, 0);
+        drop(s);
+        // A live clone still pins the buffer.
+        assert_eq!(NodeSlice::recycled_buf().capacity(), 0);
+        drop(sub);
+        let buf = NodeSlice::recycled_buf();
+        assert!(buf.capacity() >= 4096, "last drop must pool the buffer");
+        assert!(buf.is_empty(), "recycled buffers come back cleared");
+        // And `from_nodes` draws from the same pool.
+        drop(NodeSlice::new(buf));
+        let s = NodeSlice::from_nodes(0..8);
+        assert_eq!(s.nodes(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(
+            s.list.0.capacity() >= 4096,
+            "from_nodes must reuse the pool"
+        );
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let bufs: Vec<NodeSlice> = (0..2 * LIST_POOL_MAX)
+            .map(|_| NodeSlice::new(Vec::with_capacity(8)))
+            .collect();
+        drop(bufs);
+        assert!(LIST_POOL.with(|p| p.borrow().len()) <= LIST_POOL_MAX);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 
 use crate::metrics::{bounded_slowdown, ScheduleReport};
 use crate::policy::{LimitInfo, LimitPolicy};
+use crate::priority::{FactorCtx, FactorShare};
 use crate::profile_resv::AvailabilityProfile;
-use obs::audit::{Decision, DecisionLog, EstimateRef, SkipReason};
+use crate::SchedPolicies;
+use obs::audit::{Decision, DecisionLog, EstSource, EstimateRef, SkipReason};
 use obs::{Counter, EventKind, Gauge, Hist, MetricId, Recorder, Sampler};
 use simclock::{EventQueue, SimSpan, SimTime};
 use std::collections::VecDeque;
@@ -104,6 +106,10 @@ pub struct BackfillConfig {
     /// non-perturbing: the simulation makes identical policy calls and
     /// produces bit-identical outcomes whether the log is enabled or not.
     pub audit: DecisionLog,
+    /// Multi-tenant policy layers: partition routing/limits, fair-share
+    /// accounting, and queue-ordering priority. The default bundle is
+    /// bit-identical to a policy-unaware scheduler.
+    pub policies: SchedPolicies,
 }
 
 impl BackfillConfig {
@@ -120,6 +126,7 @@ impl BackfillConfig {
             sampler: Sampler::disabled(),
             run_label: None,
             audit: DecisionLog::disabled(),
+            policies: SchedPolicies::default(),
         }
     }
 }
@@ -137,6 +144,15 @@ struct Queued {
     /// changes are logged). Written solely when auditing is enabled and
     /// never read by scheduling decisions.
     last_skip: Option<SkipReason>,
+    /// Index of the partition the job routed to (0 under the trivial set).
+    part: u32,
+    /// Composed priority in milli-units, recomputed before each
+    /// scheduling pass when the priority layer is non-uniform; the queue
+    /// sorts on this integer (stable, descending).
+    prio_milli: i64,
+    /// Last priority recorded in the audit log (`i64::MIN` = never) —
+    /// audit deduplication only, in the `last_skip` style.
+    logged_prio: i64,
 }
 
 #[derive(Clone, Copy)]
@@ -146,6 +162,8 @@ struct Running {
     planned_end: SimTime,
     /// Job id, so reservations can name their blockers.
     job_id: u64,
+    /// Partition holding the nodes (releases its capacity at end).
+    part: u32,
 }
 
 /// Deduplication state for the audit log: steady-state scheduling passes
@@ -218,6 +236,9 @@ pub fn simulate(
     let mut free = cfg.nodes;
     let mut queue: VecDeque<Queued> = VecDeque::new();
     let mut running: Vec<Option<Running>> = Vec::new();
+    // Nodes each partition currently occupies (all in partition 0 under
+    // the trivial set, where no capacity is ever consulted).
+    let mut part_busy: Vec<u32> = vec![0; cfg.policies.partitions.len()];
     let mut report = ScheduleReport {
         nodes: cfg.nodes,
         ..Default::default()
@@ -244,7 +265,13 @@ pub fn simulate(
         }
         match ev {
             Ev::Arrive(i) => {
-                let info = policy.limit_info(&jobs[i]);
+                let mut info = policy.limit_info(&jobs[i]);
+                let mut part = 0u32;
+                if !cfg.policies.partitions.is_trivial() {
+                    let nodes = jobs[i].nodes.min(cfg.nodes);
+                    part = cfg.policies.partitions.route(nodes) as u32;
+                    apply_partition_limits(cfg, part, &mut info);
+                }
                 if cfg.audit.enabled() {
                     cfg.audit
                         .record(now.as_micros(), jobs[i].id.0, info.est, Decision::Submitted);
@@ -256,6 +283,9 @@ pub fn simulate(
                     original_submit: jobs[i].submit,
                     est: info.est,
                     last_skip: None,
+                    part,
+                    prio_milli: 0,
+                    logged_prio: i64::MIN,
                 });
             }
             Ev::End {
@@ -266,7 +296,16 @@ pub fn simulate(
             } => {
                 let r = running[slot].take().expect("ending a job twice");
                 free += r.nodes;
+                part_busy[r.part as usize] -= r.nodes;
                 let job = &jobs[queued.job];
+                // The machine time was consumed whether the job completed
+                // or was killed: fair-share charges both.
+                if cfg.policies.fairshare.enabled() {
+                    let cores = r.nodes as u64 * job.cores_per_node.max(1) as u64;
+                    cfg.policies
+                        .fairshare
+                        .charge(job.user.0, cores, now - started, now);
+                }
                 if killed {
                     report.killed += 1;
                     cfg.obs.inc(Counter::JobsKilled);
@@ -299,7 +338,7 @@ pub fn simulate(
                         );
                         // The policy is consulted unconditionally so its
                         // internal state cannot diverge with auditing off.
-                        let next = policy.resubmit_info(
+                        let mut next = policy.resubmit_info(
                             job,
                             LimitInfo {
                                 limit: queued.limit,
@@ -307,6 +346,15 @@ pub fn simulate(
                             },
                             queued.resubmits + 1,
                         );
+                        if !cfg.policies.partitions.is_trivial() {
+                            // The resubmission ladder cannot climb past the
+                            // partition's hard cap.
+                            if let Some(m) =
+                                cfg.policies.partitions.get(queued.part as usize).max_time
+                            {
+                                next.limit = next.limit.min(m);
+                            }
+                        }
                         if cfg.audit.enabled() {
                             cursor.forget(job.id.0);
                             cfg.audit.record(
@@ -372,6 +420,7 @@ pub fn simulate(
             &mut free,
             &mut queue,
             &mut running,
+            &mut part_busy,
             &mut events,
             jobs,
             cfg,
@@ -380,6 +429,98 @@ pub fn simulate(
         );
     }
     report
+}
+
+/// Apply the routed partition's time policies to a fresh limit: the
+/// default walltime replaces a policy default, and the hard cap clamps
+/// whatever survives. Only called under a non-trivial partition set.
+fn apply_partition_limits(cfg: &BackfillConfig, part: u32, info: &mut LimitInfo) {
+    let p = cfg.policies.partitions.get(part as usize);
+    if info.est.source == EstSource::Default {
+        if let Some(d) = p.default_time {
+            info.limit = d;
+            info.est = EstimateRef::new(d.as_micros(), EstSource::Default);
+        }
+    }
+    if let Some(m) = p.max_time {
+        info.limit = info.limit.min(m);
+    }
+}
+
+/// Nodes a partition may still take on (`u32::MAX` when uncapped — the
+/// trivial-set fast path, where this is never consulted against `free`).
+fn part_headroom(cfg: &BackfillConfig, part_busy: &[u32], part: u32) -> u32 {
+    match cfg.policies.partitions.get(part as usize).capacity {
+        Some(cap) => cap.saturating_sub(part_busy[part as usize]),
+        None => u32::MAX,
+    }
+}
+
+/// Recompute every queued job's multifactor priority and keep the queue
+/// sorted by it (descending; the sort is stable, so equal priorities keep
+/// arrival order — and the uniform composer returns without touching the
+/// queue at all, preserving bit-identical FIFO behavior). Material
+/// priority changes are recorded in the audit log with each factor's
+/// weighted contribution.
+fn reorder_by_priority(
+    now: SimTime,
+    queue: &mut VecDeque<Queued>,
+    jobs: &[Job],
+    cfg: &BackfillConfig,
+) {
+    if cfg.policies.priority.is_uniform() || queue.is_empty() {
+        return;
+    }
+    for q in queue.iter_mut() {
+        let ctx = FactorCtx {
+            now,
+            submit: q.original_submit,
+            cluster_nodes: cfg.nodes,
+            partition: cfg.policies.partitions.get(q.part as usize),
+            fairshare: &cfg.policies.fairshare,
+        };
+        q.prio_milli = cfg.policies.priority.priority_milli(&jobs[q.job], &ctx);
+    }
+    queue
+        .make_contiguous()
+        .sort_by_key(|q| std::cmp::Reverse(q.prio_milli));
+    if !cfg.audit.enabled() {
+        return;
+    }
+    // Log first rankings and drifts past ~1.5% of the last logged value:
+    // enough for `why-job` to show why a job ranked where it did, without
+    // re-logging every age tick. Never read by scheduling decisions.
+    let mut shares: Vec<FactorShare> = Vec::new();
+    for (rank, q) in queue.iter_mut().enumerate() {
+        if q.logged_prio != i64::MIN
+            && (q.prio_milli - q.logged_prio).abs() < (q.logged_prio.abs() / 64).max(1)
+        {
+            continue;
+        }
+        let ctx = FactorCtx {
+            now,
+            submit: q.original_submit,
+            cluster_nodes: cfg.nodes,
+            partition: cfg.policies.partitions.get(q.part as usize),
+            fairshare: &cfg.policies.fairshare,
+        };
+        let total = cfg
+            .policies
+            .priority
+            .score_into(&jobs[q.job], &ctx, &mut shares);
+        debug_assert_eq!(total, q.prio_milli);
+        q.logged_prio = q.prio_milli;
+        cfg.audit.record(
+            now.as_micros(),
+            jobs[q.job].id.0,
+            q.est,
+            Decision::PriorityRanked {
+                priority_milli: q.prio_milli,
+                rank: rank as u32,
+                factors: shares.iter().map(|s| (s.name, s.milli)).collect(),
+            },
+        );
+    }
 }
 
 /// Per-source / per-cluster estimator accuracy into the labeled metric
@@ -434,16 +575,20 @@ fn schedule(
     free: &mut u32,
     queue: &mut VecDeque<Queued>,
     running: &mut Vec<Option<Running>>,
+    part_busy: &mut [u32],
     events: &mut EventQueue<Ev>,
     jobs: &[Job],
     cfg: &BackfillConfig,
     report: &mut ScheduleReport,
     cursor: &mut AuditCursor,
 ) {
-    // Start jobs FIFO while they fit.
+    // A non-uniform priority layer re-sorts the queue before every pass;
+    // the uniform default returns immediately, leaving arrival order.
+    reorder_by_priority(now, queue, jobs, cfg);
+    // Start jobs in queue order while they fit (cluster + partition).
     while let Some(&head) = queue.front() {
         let nodes = jobs[head.job].nodes.min(cfg.nodes);
-        if nodes <= *free {
+        if nodes <= *free && nodes <= part_headroom(cfg, part_busy, head.part) {
             queue.pop_front();
             cfg.obs.inc(Counter::BackfillHeadStarts);
             cfg.obs.event_at(
@@ -453,7 +598,9 @@ fn schedule(
                 jobs[head.job].id.0,
                 nodes as u64,
             );
-            start(now, head, free, running, events, jobs, cfg, report, cursor);
+            start(
+                now, head, free, running, part_busy, events, jobs, cfg, report, cursor,
+            );
         } else {
             break;
         }
@@ -465,7 +612,9 @@ fn schedule(
             return;
         }
         SchedAlgo::Conservative => {
-            conservative_pass(now, free, queue, running, events, jobs, cfg, report, cursor);
+            conservative_pass(
+                now, free, queue, running, part_busy, events, jobs, cfg, report, cursor,
+            );
             // Every job still queued holds a profile reservation.
             sched_gauges(cfg, queue, running, queue.len() as i64);
             return;
@@ -479,19 +628,25 @@ fn schedule(
     let head_nodes = jobs[head.job].nodes.min(cfg.nodes);
 
     // EASY reservation for the head: walk planned ends until enough nodes
-    // accumulate.
-    let mut ends: Vec<(SimTime, u32)> = running
+    // accumulate — both cluster-wide and, when the head's partition is
+    // capped, within that partition (releases from other partitions do
+    // not relieve a partition-full head).
+    let mut ends: Vec<(SimTime, u32, u32)> = running
         .iter()
         .flatten()
-        .map(|r| (r.planned_end, r.nodes))
+        .map(|r| (r.planned_end, r.nodes, r.part))
         .collect();
     ends.sort_by_key(|e| e.0);
     let mut acc = *free;
+    let mut part_acc = part_headroom(cfg, part_busy, head.part);
     let mut shadow = SimTime(u64::MAX);
     let mut extra = 0u32;
-    for (t, n) in ends {
+    for (t, n, p) in ends {
         acc += n;
-        if acc >= head_nodes {
+        if p == head.part {
+            part_acc = part_acc.saturating_add(n);
+        }
+        if acc >= head_nodes && part_acc >= head_nodes {
             shadow = t;
             extra = acc - head_nodes;
             break;
@@ -524,7 +679,23 @@ fn schedule(
     while i < queue.len() {
         let cand = queue[i];
         let nodes = jobs[cand.job].nodes.min(cfg.nodes);
-        if nodes <= *free {
+        if nodes > *free {
+            record_skip(
+                cfg,
+                now,
+                jobs[cand.job].id.0,
+                &mut queue[i],
+                SkipReason::NoFreeNodes,
+            );
+        } else if nodes > part_headroom(cfg, part_busy, cand.part) {
+            record_skip(
+                cfg,
+                now,
+                jobs[cand.job].id.0,
+                &mut queue[i],
+                SkipReason::PartitionFull,
+            );
+        } else {
             let occupied = cfg.dispatch.occupation(nodes, cand.limit);
             let fits_before_shadow = now + occupied <= shadow;
             let fits_in_extra = nodes <= extra;
@@ -556,7 +727,9 @@ fn schedule(
                         },
                     );
                 }
-                start(now, cand, free, running, events, jobs, cfg, report, cursor);
+                start(
+                    now, cand, free, running, part_busy, events, jobs, cfg, report, cursor,
+                );
                 if !fits_before_shadow {
                     extra -= nodes;
                 }
@@ -568,14 +741,6 @@ fn schedule(
                 jobs[cand.job].id.0,
                 &mut queue[i],
                 SkipReason::WouldDelayHead,
-            );
-        } else {
-            record_skip(
-                cfg,
-                now,
-                jobs[cand.job].id.0,
-                &mut queue[i],
-                SkipReason::NoFreeNodes,
             );
         }
         i += 1;
@@ -656,6 +821,7 @@ fn conservative_pass(
     free: &mut u32,
     queue: &mut VecDeque<Queued>,
     running: &mut Vec<Option<Running>>,
+    part_busy: &mut [u32],
     events: &mut EventQueue<Ev>,
     jobs: &[Job],
     cfg: &BackfillConfig,
@@ -679,6 +845,20 @@ fn conservative_pass(
         let occupied = cfg.dispatch.occupation(nodes, q.limit);
         let start_at = profile.earliest_fit(now, nodes, occupied);
         profile.reserve(start_at, start_at + occupied, nodes);
+        if start_at == now && nodes > part_headroom(cfg, part_busy, q.part) {
+            // The cluster-wide profile found room now, but the job's
+            // partition is at capacity (reservations are partition-blind
+            // planning constructs; actual starts are not).
+            record_skip(
+                cfg,
+                now,
+                jobs[q.job].id.0,
+                &mut queue[i],
+                SkipReason::PartitionFull,
+            );
+            i += 1;
+            continue;
+        }
         if start_at == now {
             queue.remove(i);
             let (counter, kind) = if i == 0 {
@@ -703,7 +883,9 @@ fn conservative_pass(
                     },
                 );
             }
-            start(now, q, free, running, events, jobs, cfg, report, cursor);
+            start(
+                now, q, free, running, part_busy, events, jobs, cfg, report, cursor,
+            );
             continue;
         }
         if cfg.audit.enabled() {
@@ -751,6 +933,7 @@ fn start(
     q: Queued,
     free: &mut u32,
     running: &mut Vec<Option<Running>>,
+    part_busy: &mut [u32],
     events: &mut EventQueue<Ev>,
     jobs: &[Job],
     cfg: &BackfillConfig,
@@ -761,6 +944,7 @@ fn start(
     let nodes = job.nodes.min(cfg.nodes);
     debug_assert!(nodes <= *free);
     *free -= nodes;
+    part_busy[q.part as usize] += nodes;
 
     if cfg.audit.enabled() {
         cursor.forget(job.id.0);
@@ -798,6 +982,7 @@ fn start(
         nodes,
         planned_end: now + planned,
         job_id: job.id.0,
+        part: q.part,
     });
     events.push(
         now + occupied,

@@ -23,9 +23,18 @@ use std::collections::HashSet;
 /// paper reports < 2 % failed nodes while > 50 % of positions are leaves),
 /// the overflow stays in internal positions.
 pub fn rearrange(nodelist: &[u32], suspects: &HashSet<u32>, w: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(nodelist.len());
+    rearrange_into(nodelist, suspects, w, &mut out);
+    out
+}
+
+/// [`rearrange`] into a caller-provided buffer (appended, not cleared),
+/// so hot relay loops can reuse one allocation across many trees — the
+/// same contract as [`crate::tree::split_balanced_into`].
+pub fn rearrange_into(nodelist: &[u32], suspects: &HashSet<u32>, w: usize, out: &mut Vec<u32>) {
     let n = nodelist.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let leaves = leaf_positions(n, w);
     // Two order-preserving queues over the input.
@@ -60,7 +69,7 @@ pub fn rearrange(nodelist: &[u32], suspects: &HashSet<u32>, w: usize) -> Vec<u32
         }
     }
 
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     for (p, is_leaf) in leaves.iter().enumerate() {
         let pick = if *is_leaf && failed_slot[p] {
             failed.pop().or_else(|| healthy.pop())
@@ -72,7 +81,6 @@ pub fn rearrange(nodelist: &[u32], suspects: &HashSet<u32>, w: usize) -> Vec<u32
         };
         out.push(pick.expect("queues jointly hold exactly n nodes"));
     }
-    out
 }
 
 /// Statistics of one FP-Tree construction.

@@ -5,17 +5,16 @@
 
 use eslurm_suite::emu::NodeId;
 use eslurm_suite::eslurm::{EslurmConfig, EslurmSystemBuilder};
-use eslurm_suite::rm::{build_cluster, inject_job, RmProfile};
+use eslurm_suite::rm::{RmClusterBuilder, RmProfile};
 use eslurm_suite::simclock::{SimSpan, SimTime};
 
 const N: usize = 512;
 const HORIZON_S: u64 = 1800;
 
 fn run_centralized(profile: RmProfile) -> (SimSpan, u64, u32, u64) {
-    let mut h = build_cluster(profile, N + 1, 7, None);
+    let mut h = RmClusterBuilder::new(profile, N + 1).seed(7).build();
     for j in 0..20u64 {
-        inject_job(
-            &mut h,
+        h.submit(
             SimTime::from_secs(30 + j * 60),
             j,
             (1..=256).collect(),
