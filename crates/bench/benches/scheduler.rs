@@ -2,7 +2,7 @@
 //! jobs/second of simulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sched::{simulate, BackfillConfig, UserLimit};
+use sched::prelude::{simulate, BackfillConfig, UserLimit};
 use std::hint::black_box;
 use workload::TraceConfig;
 

@@ -20,6 +20,7 @@
 use emu::NodeId;
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, print_table, ExpArgs};
+use obs::{EngineProfiler, EngineReport};
 use serde::{Number, Value};
 use simclock::rng::{exponential, stream_rng};
 use simclock::{SimSpan, SimTime};
@@ -55,9 +56,11 @@ struct RunResult {
     fingerprint: u64,
     jobs_submitted: u64,
     jobs_recorded: u64,
+    /// Wall-clock engine profile, present under `--profile`.
+    profile: Option<EngineReport>,
 }
 
-fn run_once(scale: &Scale, seed: u64, shards: usize) -> RunResult {
+fn run_once(scale: &Scale, seed: u64, shards: usize, profile: bool) -> RunResult {
     let cfg = EslurmConfig {
         n_satellites: scale.satellites,
         eq1_width: 64,
@@ -66,8 +69,14 @@ fn run_once(scale: &Scale, seed: u64, shards: usize) -> RunResult {
         sat_hb_interval: SimSpan::from_secs(30),
         ..Default::default()
     };
+    let profiler = if profile {
+        EngineProfiler::enabled()
+    } else {
+        EngineProfiler::disabled()
+    };
     let mut sys = EslurmSystemBuilder::new(cfg, scale.n_slaves, seed)
         .shards(shards)
+        .engine_profile(profiler.clone())
         .build();
     let parallel = sys.sim.parallel_enabled();
 
@@ -136,6 +145,7 @@ fn run_once(scale: &Scale, seed: u64, shards: usize) -> RunResult {
         fingerprint: h,
         jobs_submitted: jobs,
         jobs_recorded: sys.master().records.len() as u64,
+        profile: profiler.report(),
     }
 }
 
@@ -176,7 +186,7 @@ fn main() {
         print!("  shards={shards} ... ");
         use std::io::Write as _;
         std::io::stdout().flush().ok();
-        let r = run_once(&scale, args.seed, shards);
+        let r = run_once(&scale, args.seed, shards, args.profile);
         println!(
             "{} events in {:.2} s ({:.0} ev/s{})",
             r.events,
@@ -184,6 +194,16 @@ fn main() {
             r.events as f64 / r.wall_s.max(1e-9),
             if r.parallel { ", workers" } else { ", merged" }
         );
+        if let Some(p) = &r.profile {
+            println!(
+                "    profile: sync {:.1}%, imbalance {:.2}x, {:.1} ev/window, \
+                 {} cross-shard msgs",
+                p.sync_fraction() * 100.0,
+                p.imbalance(),
+                p.events_per_window(),
+                p.cross_shard_total()
+            );
+        }
         results.push(r);
     }
 
@@ -264,6 +284,7 @@ fn main() {
         Value::Number(Number::U64(host_par as u64)),
     );
     root.insert("outcomes_match".to_string(), Value::Bool(outcomes_match));
+    root.insert("profiled".to_string(), Value::Bool(args.profile));
     let runs: Vec<Value> = results
         .iter()
         .map(|r| {
@@ -286,6 +307,37 @@ fn main() {
                 "speedup_vs_serial".to_string(),
                 Value::Number(Number::F64(serial.wall_s / r.wall_s.max(1e-9))),
             );
+            if let Some(p) = &r.profile {
+                o.insert(
+                    "sync_fraction".to_string(),
+                    Value::Number(Number::F64(p.sync_fraction())),
+                );
+                o.insert(
+                    "imbalance".to_string(),
+                    Value::Number(Number::F64(p.imbalance())),
+                );
+                o.insert(
+                    "null_window_fraction".to_string(),
+                    Value::Number(Number::F64(p.null_window_fraction())),
+                );
+                o.insert(
+                    "events_per_window".to_string(),
+                    Value::Number(Number::F64(p.events_per_window())),
+                );
+                o.insert(
+                    "cross_shard_msgs".to_string(),
+                    Value::Number(Number::U64(p.cross_shard_total())),
+                );
+                o.insert(
+                    "shard_events_per_sec".to_string(),
+                    Value::Array(
+                        p.shards
+                            .iter()
+                            .map(|s| Value::Number(Number::F64(s.events_per_sec())))
+                            .collect(),
+                    ),
+                );
+            }
             Value::Object(o)
         })
         .collect();

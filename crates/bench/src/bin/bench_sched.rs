@@ -11,7 +11,7 @@ use eslurm::PredictiveLimit;
 use eslurm_bench::{f, print_table, ExpArgs};
 use estimate::EstimatorConfig;
 use obs::audit::{AuditReport, Decision, DecisionLog};
-use sched::{simulate, BackfillConfig, SchedAlgo, ScheduleReport};
+use sched::prelude::{simulate, BackfillConfig, SchedAlgo, ScheduleReport};
 use serde::{Number, Value};
 use std::collections::BTreeMap;
 use std::path::Path;

@@ -16,7 +16,7 @@ use eslurm::PredictiveLimit;
 use eslurm_bench::{f, print_table, results_dir, write_csv, ExpArgs};
 use estimate::EstimatorConfig;
 use obs::Sampler;
-use sched::{simulate, BackfillConfig, DispatchModel, LimitPolicy, UserLimit};
+use sched::prelude::{simulate, BackfillConfig, DispatchModel, LimitPolicy, UserLimit};
 use simclock::{SimSpan, SimTime};
 use workload::{Job, TraceConfig};
 

@@ -16,19 +16,24 @@ pub struct ExpArgs {
     pub quick: bool,
     /// Master seed.
     pub seed: u64,
+    /// Arm the wall-clock engine profiler (binaries that drive the DES
+    /// report sync overhead and load imbalance when set).
+    pub profile: bool,
 }
 
 impl ExpArgs {
-    /// Parse from `std::env::args` (`--quick`, `--seed <n>`).
+    /// Parse from `std::env::args` (`--quick`, `--seed <n>`, `--profile`).
     pub fn parse() -> Self {
         let mut args = ExpArgs {
             quick: false,
             seed: 42,
+            profile: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
+                "--profile" => args.profile = true,
                 "--seed" => {
                     args.seed = match it.next().and_then(|v| v.parse().ok()) {
                         Some(s) => s,
@@ -39,7 +44,10 @@ impl ExpArgs {
                     };
                 }
                 "--help" | "-h" => {
-                    eprintln!("options: --quick (reduced scale), --seed <n>");
+                    eprintln!(
+                        "options: --quick (reduced scale), --seed <n>, \
+                         --profile (wall-clock engine profiler)"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -130,11 +138,13 @@ mod tests {
         let a = ExpArgs {
             quick: true,
             seed: 1,
+            profile: false,
         };
         assert_eq!(a.scale(100, 10), 10);
         let b = ExpArgs {
             quick: false,
             seed: 1,
+            profile: false,
         };
         assert_eq!(b.scale(100, 10), 100);
     }

@@ -11,12 +11,12 @@ use estimate::{
 use obs::audit::{render_report, render_timeline, AuditReport};
 use obs::causal::{render_critical_path, render_flow_summaries, render_tree};
 use obs::{
-    build_traces, compare_csv, flow_summaries, DecisionLog, DiffOptions, FlightConfig, FlowKind,
-    Recorder, Sampler, TraceTree,
+    build_traces, compare_csv, flow_summaries, DecisionLog, DiffOptions, EngineProfiler,
+    FlightConfig, FlowKind, Recorder, Sampler, SeriesStore, TraceTree,
 };
 use sched::prelude::{
     simulate as run_schedule, BackfillConfig, FairShareLedger, LimitPolicy, MultifactorPriority,
-    OracleLimit, SchedAlgo, SchedPolicies, UserLimit,
+    OracleLimit, SchedAlgo, SchedPolicies, ScheduleReport, UserLimit,
 };
 use simclock::{SimSpan, SimTime};
 use std::path::Path;
@@ -150,9 +150,24 @@ pub const COMMANDS: &[CmdSpec] = &[
         ],
     },
     CmdSpec {
+        name: "engine-report",
+        summary: "wall-clock per-shard profile of the simulation engine",
+        flags: &[
+            "nodes",
+            "satellites",
+            "minutes",
+            "jobs",
+            "seed",
+            "faults",
+            "shards",
+            "csv",
+            "trace",
+        ],
+    },
+    CmdSpec {
         name: "diff",
         summary: "compare two metrics CSVs and gate footprint regressions",
-        flags: &["threshold-pct", "thresholds", "all"],
+        flags: &["threshold-pct", "thresholds", "all", "include-wallclock"],
     },
     CmdSpec {
         name: "convert",
@@ -199,6 +214,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Option<Result<(), CliError>> {
         "critical-path" => critical_path(rest),
         "why-job" => why_job(rest),
         "sched-report" => sched_report(rest),
+        "engine-report" => engine_report(rest),
         "diff" => diff(rest),
         "convert" => convert(rest),
         _ => return None,
@@ -491,6 +507,8 @@ fn run_emulation(
     fault_events: usize,
     rec: Recorder,
     sampler: Sampler,
+    shards: usize,
+    engine: EngineProfiler,
 ) -> EslurmSystem {
     let cfg = EslurmConfig {
         n_satellites: satellites,
@@ -500,7 +518,9 @@ fn run_emulation(
     };
     let mut builder = EslurmSystemBuilder::new(cfg, nodes, seed)
         .obs(rec)
-        .sampler(sampler);
+        .sampler(sampler)
+        .shards(shards)
+        .engine_profile(engine);
     if fault_events > 0 {
         builder = builder.faults(compute_fault_plan(
             nodes,
@@ -583,6 +603,8 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
         fault_events,
         rec.clone(),
         Sampler::disabled(),
+        1,
+        EngineProfiler::disabled(),
     );
 
     let master = sys.master();
@@ -643,6 +665,8 @@ pub fn trace_cmd(args: &[String]) -> Result<(), CliError> {
         fault_events,
         rec.clone(),
         Sampler::disabled(),
+        1,
+        EngineProfiler::disabled(),
     );
     let n = write_obs(&rec, out, format)?;
     println!(
@@ -697,6 +721,8 @@ pub fn metrics(args: &[String]) -> Result<(), CliError> {
         fault_events,
         rec.clone(),
         sampler.clone(),
+        1,
+        EngineProfiler::disabled(),
     );
 
     let store = sampler.store();
@@ -763,6 +789,8 @@ fn causal_run(cmd: &'static str, o: &Opts) -> Result<Vec<TraceTree>, CliError> {
         fault_events,
         rec.clone(),
         Sampler::disabled(),
+        1,
+        EngineProfiler::disabled(),
     );
     Ok(build_traces(&rec.causal_records()))
 }
@@ -887,7 +915,7 @@ struct AuditRun {
     algo: SchedAlgo,
     policy_name: String,
     log: DecisionLog,
-    report: sched::ScheduleReport,
+    report: ScheduleReport,
     rec: Recorder,
 }
 
@@ -1055,13 +1083,98 @@ pub fn sched_report(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `eslurm engine-report --nodes N --satellites M --minutes T --jobs J
+/// --seed S [--faults K] [--shards P] [--csv FILE] [--trace FILE]`
+///
+/// Runs the same emulation as `simulate` with the wall-clock engine
+/// profiler armed and prints the per-shard efficiency table: where each
+/// shard's wall time went (event execution, queue ops, barrier waits,
+/// mailbox drains), window efficiency (events per window, null-window
+/// rate, realized lookahead vs. the `min_hop()` bound), cross-shard
+/// message traffic, and the load-imbalance / sync-overhead summary.
+///
+/// The profiler observes only host monotonic clocks, so outcomes and all
+/// virtual-time exports are bit-identical with it on or off. `--csv`
+/// writes the report as `engine_wall_*` series (excluded from `diff`
+/// gates by default); `--trace` writes a Chrome trace whose wall-clock
+/// engine track (pid 2) sits beside the virtual-time node lanes — note
+/// that full tracing forces the merged engine, so use `--trace` to study
+/// serial behaviour and plain `--shards P` for the parallel engine.
+pub fn engine_report(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "engine-report";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let nodes = flag_or(CMD, &o, "nodes", 256usize)?;
+    let satellites = flag_or(CMD, &o, "satellites", 4usize)?;
+    let minutes = flag_or(CMD, &o, "minutes", 10u64)?;
+    let n_jobs = flag_or(CMD, &o, "jobs", 20u64)?;
+    let seed = flag_or(CMD, &o, "seed", 42u64)?;
+    let fault_events = flag_or(CMD, &o, "faults", 0usize)?;
+    let shards = flag_or(CMD, &o, "shards", 4usize)?;
+
+    // Recording an execution trace pins the engine to merged mode, so only
+    // arm the recorder when the caller actually asked for a trace file.
+    let rec = if o.get("trace").is_some() {
+        Recorder::full()
+    } else {
+        Recorder::disabled()
+    };
+    let profiler = EngineProfiler::enabled();
+    let sys = run_emulation(
+        nodes,
+        satellites,
+        minutes,
+        n_jobs,
+        seed,
+        fault_events,
+        rec.clone(),
+        Sampler::disabled(),
+        shards,
+        profiler.clone(),
+    );
+    let report = profiler
+        .report()
+        .expect("enabled profiler is attached by SimCluster::new");
+    print!("{}", report.render());
+    println!(
+        "jobs completed: {}/{n_jobs}; engine events: {}",
+        sys.master().records.len(),
+        sys.sim.events_processed()
+    );
+    if let Some(path) = o.get("csv") {
+        let mut store = SeriesStore::new();
+        report.to_series(&mut store, SimTime::ZERO + SimSpan::from_secs(minutes * 60));
+        std::fs::write(path, store.to_csv())
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("csv:    {} series -> {path}", store.len());
+    }
+    if let Some(path) = o.get("trace") {
+        let body = obs::export::to_chrome_trace_full(
+            &rec.events(),
+            &rec.causal_records(),
+            &[],
+            &profiler.spans(),
+        );
+        std::fs::write(path, body).map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("trace:  virtual-time lanes + wall-clock engine track -> {path}");
+    }
+    Ok(())
+}
+
 /// `eslurm diff BASE.csv NEW.csv [--threshold-pct P]
-/// [--thresholds metric=P,metric=P] [--all true]`
+/// [--thresholds metric=P,metric=P] [--all true]
+/// [--include-wallclock true]`
 ///
 /// Compares two sampler CSVs and exits 3 when any gated metric's mean or
 /// max grew past its threshold. `footprint_*` metrics are gated by
 /// default; `--thresholds` gates the listed metrics with their own
-/// limits, and `--all true` gates every shared metric.
+/// limits, and `--all true` gates every shared metric. Wall-clock
+/// `engine_wall_*` series are never gated unless `--include-wallclock
+/// true` (or an explicit `--thresholds` entry) opts them in — host timing
+/// jitter must not fail a virtual-time determinism gate.
 pub fn diff(args: &[String]) -> Result<(), CliError> {
     const CMD: &str = "diff";
     let o = parse_opts(CMD, args)?;
@@ -1078,6 +1191,7 @@ pub fn diff(args: &[String]) -> Result<(), CliError> {
     let mut opts = DiffOptions {
         default_threshold_pct: flag_or(CMD, &o, "threshold-pct", 5.0f64)?,
         gate_all: flag_or(CMD, &o, "all", false)?,
+        include_wallclock: flag_or(CMD, &o, "include-wallclock", false)?,
         ..DiffOptions::default()
     };
     if let Some(list) = o.get("thresholds") {

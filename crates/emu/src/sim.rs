@@ -42,13 +42,17 @@ use crate::meter::{Meter, SampleSeries};
 use crate::network::LatencyModel;
 use crate::node::NodeId;
 use crate::state::NodeStore;
+use obs::engine::{EngineMode, EnginePhase, EngineSpan, ShardSlot};
 use obs::{
-    CausalRecord, Counter, EventKind, FlowKind, Hist, HopSend, Recorder, Sampler, TraceContext,
+    CausalRecord, Counter, EngineProfiler, EventKind, FlowKind, Hist, HopSend, Recorder, Sampler,
+    TraceContext,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use simclock::{EventKey, KeyedQueue, SimSpan, SimTime};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a simulated cluster.
 #[derive(Clone, Debug)]
@@ -85,6 +89,12 @@ pub struct SimConfig {
     /// depends on the partition — only locality does — because the
     /// synchronization window comes from the global link model.
     pub partition: Option<Vec<u32>>,
+    /// Wall-clock engine profiler. Disabled by default; when enabled the
+    /// engine attributes *real* time per shard (execution, barrier waits,
+    /// mailbox drains, queue ops) and counts window efficiency. Strictly
+    /// outside the virtual-time path: it writes only to its own atomics,
+    /// so enabling it changes no outcome and no virtual-time export byte.
+    pub engine: EngineProfiler,
 }
 
 /// Periodic meter sampling configuration.
@@ -110,6 +120,7 @@ impl SimConfig {
             sampler: Sampler::disabled(),
             shards: 1,
             partition: None,
+            engine: EngineProfiler::disabled(),
         }
     }
 }
@@ -191,6 +202,8 @@ struct SimShared {
     /// Conservative window width; see [`LatencyModel::min_hop`].
     lookahead: SimSpan,
     nshards: usize,
+    /// Wall-clock profiler (disabled by default; never read by handlers).
+    engine: EngineProfiler,
 }
 
 /// How a context reaches simulation state: the single-threaded modes hold
@@ -237,6 +250,18 @@ impl<M: Payload> DesCtx<'_, M> {
 
     /// Route an event to the shard that owns its execution.
     fn push_event(&mut self, key: EventKey, dst_shard: u32, ev: Ev<M>) {
+        if self.shared.engine.is_enabled() {
+            // Cross-shard traffic gauge: which shard pairs talk, and how
+            // much. Same counting in both engines (merged included), so
+            // the profile answers partition-locality questions even from
+            // a single-threaded run.
+            let src = self.shared.map[self.me.index()].0;
+            if src != dst_shard {
+                self.shared
+                    .engine
+                    .count_cross_shard(src as usize, dst_shard as usize);
+            }
+        }
         match &mut self.access {
             Access::Global(shards) => shards[dst_shard as usize].queue.push(key, ev),
             Access::Local { shard, sid, mail } => {
@@ -762,6 +787,9 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
             }
         }
 
+        config
+            .engine
+            .attach(nshards, config.latency.min_hop().as_micros());
         SimCluster {
             actors: groups,
             shards,
@@ -772,6 +800,7 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 obs: config.obs,
                 map,
                 nshards,
+                engine: config.engine,
             },
             sampler: config.sampler,
             sampling,
@@ -837,8 +866,25 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         let before: u64 = self.shards.iter().map(|s| s.events).sum();
         let mut ticks = 0u64;
         match self.pick_mode() {
-            Mode::Merged => self.run_merged(horizon, &mut ticks),
-            Mode::Parallel => self.run_parallel(horizon, &mut ticks),
+            Mode::Merged => {
+                self.shared.engine.set_mode(EngineMode::Merged);
+                self.run_merged(horizon, &mut ticks);
+            }
+            Mode::Parallel => {
+                self.shared.engine.set_mode(EngineMode::Workers);
+                self.run_parallel(horizon, &mut ticks);
+            }
+        }
+        if self.shared.engine.is_enabled() {
+            // Queue-depth and slab-occupancy gauges, read once per run:
+            // the queues track their own high-water marks, so sampling at
+            // run end loses nothing.
+            for (si, sh) in self.shards.iter().enumerate() {
+                if let Some(slot) = self.shared.engine.shard_slot(si) {
+                    slot.observe_queue_depth(sh.queue.high_water() as u64);
+                    slot.set_pool(sh.queue.slab_slots() as u64, sh.queue.free_slots() as u64);
+                }
+            }
         }
         let after: u64 = self.shards.iter().map(|s| s.events).sum();
         let n = after - before + ticks;
@@ -892,6 +938,12 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
     /// was supplied via [`SimConfig`]).
     pub fn sampler(&self) -> &Sampler {
         &self.sampler
+    }
+
+    /// The wall-clock engine profiler this cluster reports into (disabled
+    /// unless one was supplied via [`SimConfig`]).
+    pub fn engine_profiler(&self) -> &EngineProfiler {
+        &self.shared.engine
     }
 
     /// Total events processed so far (queue events plus sampling ticks).
@@ -979,6 +1031,7 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
     /// shard queues. With one shard this *is* the serial engine; with
     /// several it is the reference merge the parallel mode must match.
     fn run_merged(&mut self, horizon: SimTime, ticks: &mut u64) {
+        let mut prof = MergedProf::new(&self.shared.engine, self.shared.nshards);
         loop {
             let mut best: Option<(EventKey, usize)> = None;
             for (si, sh) in self.shards.iter().enumerate() {
@@ -993,6 +1046,10 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 if st <= horizon && best.is_none_or(|(bk, _)| st <= bk.time) {
                     self.fire_sample(st);
                     *ticks += 1;
+                    if let Some(p) = prof.as_mut() {
+                        // Tick time belongs to the sampler, not a shard.
+                        p.resync();
+                    }
                     continue;
                 }
             }
@@ -1001,6 +1058,7 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 break;
             }
             let (key, ev) = self.shards[si].queue.pop().expect("peeked event vanished");
+            let t_pop = prof.as_ref().map(|_| Instant::now());
             debug_assert!(key.time >= self.now, "event time went backwards");
             self.now = key.time;
             let dropped = exec_event(
@@ -1010,12 +1068,18 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 &mut self.actors[si],
                 &self.shared,
             );
+            if let (Some(p), Some(t_pop)) = (prof.as_mut(), t_pop) {
+                p.on_event(si, t_pop);
+            }
             let sh = &mut self.shards[si];
             sh.events += 1;
             sh.last_time = key.time;
             if dropped {
                 sh.drops += 1;
             }
+        }
+        if let Some(p) = prof.as_mut() {
+            p.finish();
         }
     }
 
@@ -1077,6 +1141,136 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
     }
 }
 
+/// Wall-clock bookkeeping for the merged loop: splits each iteration into
+/// queue time (best-key scan + pop) and busy time (handler execution),
+/// attributed to the shard that owned the event, and batches contiguous
+/// same-shard stretches into one `exec` span for the engine track.
+///
+/// `None` when profiling is off, so the disabled loop pays one `Option`
+/// discriminant check per event and reads no clocks.
+struct MergedProf {
+    slots: Vec<Arc<ShardSlot>>,
+    span_cap: usize,
+    /// Maps `Instant`s onto the profiler's epoch-relative nanoseconds
+    /// without re-reading the profiler clock per event.
+    base_ns: u64,
+    base: Instant,
+    /// End of the previous attribution (exec end, loop start, or sampler
+    /// resync): the next event's queue time starts here.
+    last: Instant,
+    /// Open exec-span batch: `(shard, span start, events in batch)`.
+    batch: Option<(usize, Instant, u32)>,
+}
+
+/// Contiguous same-shard events folded into one engine-track span before
+/// a flush (also flushed on any shard switch).
+const MERGED_SPAN_BATCH: u32 = 8_192;
+
+impl MergedProf {
+    fn new(engine: &EngineProfiler, nshards: usize) -> Option<MergedProf> {
+        if !engine.is_enabled() {
+            return None;
+        }
+        let slots: Option<Vec<Arc<ShardSlot>>> =
+            (0..nshards).map(|si| engine.shard_slot(si)).collect();
+        let base_ns = engine.now_ns();
+        let now = Instant::now();
+        Some(MergedProf {
+            slots: slots?,
+            span_cap: engine.span_cap(),
+            base_ns,
+            base: now,
+            last: now,
+            batch: None,
+        })
+    }
+
+    fn ns_of(&self, t: Instant) -> u64 {
+        self.base_ns + (t - self.base).as_nanos() as u64
+    }
+
+    /// Drop wall time that belongs to no shard (sampling ticks).
+    fn resync(&mut self) {
+        self.flush_span();
+        self.last = Instant::now();
+    }
+
+    /// Account one executed event: popped at `t_pop`, finished now.
+    fn on_event(&mut self, si: usize, t_pop: Instant) {
+        let t_done = Instant::now();
+        let slot = &self.slots[si];
+        slot.add_queue((t_pop - self.last).as_nanos() as u64);
+        slot.add_busy((t_done - t_pop).as_nanos() as u64);
+        slot.add_wall((t_done - self.last).as_nanos() as u64);
+        slot.add_events(1);
+        match &mut self.batch {
+            Some((shard, _, n)) if *shard == si && *n < MERGED_SPAN_BATCH => *n += 1,
+            _ => {
+                self.flush_span();
+                self.batch = Some((si, self.last, 1));
+            }
+        }
+        self.last = t_done;
+    }
+
+    fn flush_span(&mut self) {
+        if let Some((si, start, _)) = self.batch.take() {
+            let start_ns = self.ns_of(start);
+            self.slots[si].push_span(
+                self.span_cap,
+                EngineSpan {
+                    shard: si as u32,
+                    phase: EnginePhase::Exec,
+                    start_ns,
+                    dur_ns: self.ns_of(self.last).saturating_sub(start_ns),
+                },
+            );
+        }
+    }
+
+    fn finish(&mut self) {
+        self.flush_span();
+    }
+}
+
+/// Wall-clock bookkeeping for one parallel worker: per-round phase
+/// durations (mail drain, barrier waits, window execution) recorded into
+/// the worker's own [`ShardSlot`] — no cross-thread contention — plus one
+/// engine-track span per phase. `None` when profiling is off.
+struct WorkerProf {
+    shard: u32,
+    slot: Arc<ShardSlot>,
+    span_cap: usize,
+    base_ns: u64,
+    base: Instant,
+}
+
+impl WorkerProf {
+    fn new(engine: &EngineProfiler, sid: u32) -> Option<WorkerProf> {
+        let slot = engine.shard_slot(sid as usize)?;
+        let base_ns = engine.now_ns();
+        Some(WorkerProf {
+            shard: sid,
+            slot,
+            span_cap: engine.span_cap(),
+            base_ns,
+            base: Instant::now(),
+        })
+    }
+
+    fn span(&self, phase: EnginePhase, start: Instant, end: Instant) {
+        self.slot.push_span(
+            self.span_cap,
+            EngineSpan {
+                shard: self.shard,
+                phase,
+                start_ns: self.base_ns + (start - self.base).as_nanos() as u64,
+                dur_ns: (end - start).as_nanos() as u64,
+            },
+        );
+    }
+}
+
 /// One shard worker's life within a segment: window rounds of
 /// drain-mail → apply-socks → agree-on-min → process-window → publish.
 fn worker_loop<M: Payload, A: Actor<M>>(
@@ -1091,7 +1285,12 @@ fn worker_loop<M: Payload, A: Actor<M>>(
     let la = shared.lookahead.as_micros();
     let me = sid as usize;
     let mut slot = 0usize;
+    // Per-worker wall-clock profile. Timestamps are read only when enabled
+    // and written only to this shard's own atomics: the virtual-time path
+    // (queues, handlers, recorder) never sees them.
+    let prof = WorkerProf::new(&shared.engine, sid);
     loop {
+        let t0 = prof.as_ref().map(|_| Instant::now());
         // Drain inbound mail (published before the previous round's final
         // barrier, so fully visible here).
         for row in mail.iter() {
@@ -1119,6 +1318,7 @@ fn worker_loop<M: Payload, A: Actor<M>>(
             }
         }
         // Agree on the global minimum pending time.
+        let t1 = prof.as_ref().map(|_| Instant::now());
         let local_min = shard
             .queue
             .peek_key()
@@ -1129,15 +1329,26 @@ fn worker_loop<M: Payload, A: Actor<M>>(
         if sid == 0 {
             ctl.next[1 - slot].store(u64::MAX, Ordering::Release);
         }
+        let t2 = prof.as_ref().map(|_| Instant::now());
+        if let (Some(p), Some(t0), Some(t1), Some(t2)) = (&prof, t0, t1, t2) {
+            p.slot.add_drain((t1 - t0).as_nanos() as u64);
+            p.slot.add_barrier((t2 - t1).as_nanos() as u64);
+            p.span(EnginePhase::Drain, t0, t1);
+            p.span(EnginePhase::Barrier, t1, t2);
+        }
         if g >= seg_end.as_micros() {
             // Unanimous: every worker computes the same g. All mail was
             // drained above, so the segment ends fully applied.
+            if let (Some(p), Some(t0), Some(t2)) = (&prof, t0, t2) {
+                p.slot.add_wall((t2 - t0).as_nanos() as u64);
+            }
             break;
         }
         // Process this shard's events inside the conservative window. No
         // cross-shard message sent at time >= g can arrive before
         // g + lookahead + 1, so nothing a peer does this round lands in it.
         let wend = SimTime(g.saturating_add(la)).min(seg_end);
+        let events_before = shard.events;
         while let Some(pk) = shard.queue.peek_key() {
             if pk.time >= wend {
                 break;
@@ -1160,8 +1371,25 @@ fn worker_loop<M: Payload, A: Actor<M>>(
                 shard.drops += 1;
             }
         }
+        let t3 = prof.as_ref().map(|_| Instant::now());
         // Publish outbound mail before any peer starts its next drain.
         ctl.barrier.wait();
+        if let (Some(p), Some(t0), Some(t2), Some(t3)) = (&prof, t0, t2, t3) {
+            let t4 = Instant::now();
+            let wev = shard.events - events_before;
+            p.slot.add_busy((t3 - t2).as_nanos() as u64);
+            p.slot.add_barrier((t4 - t3).as_nanos() as u64);
+            p.slot.add_wall((t4 - t0).as_nanos() as u64);
+            p.slot.add_events(wev);
+            // Realized window width: how far this round actually advanced
+            // virtual time (clamped by the segment end), vs. the model's
+            // full `min_hop()` lookahead.
+            p.slot.add_window(wev, wend.as_micros() - g);
+            if wev > 0 {
+                p.span(EnginePhase::Exec, t2, t3);
+            }
+            p.span(EnginePhase::Barrier, t3, t4);
+        }
         slot ^= 1;
     }
 }

@@ -4,7 +4,7 @@
 
 use estimate::{EstimatorConfig, RuntimeEstimator};
 use obs::audit::{EstSource, EstimateRef};
-use sched::{LimitInfo, LimitPolicy};
+use sched::prelude::{LimitInfo, LimitPolicy};
 use simclock::{SimSpan, SimTime};
 use workload::Job;
 
@@ -136,7 +136,7 @@ impl LimitPolicy for PredictiveLimit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sched::{simulate, BackfillConfig, UserLimit};
+    use sched::prelude::{simulate, BackfillConfig, UserLimit};
     use workload::{JobId, TraceConfig, UserId};
 
     fn job(est: Option<u64>, actual: u64) -> Job {

@@ -10,7 +10,7 @@ use crate::master::EslurmMaster;
 use crate::satellite::SatelliteDaemon;
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
 use monitoring::FailurePredictor;
-use obs::{Recorder, Sampler};
+use obs::{EngineProfiler, Recorder, Sampler};
 use rm::proto::{NodeSlice, RmMsg};
 use rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use sched::prelude::*;
@@ -78,6 +78,7 @@ pub struct EslurmSystemBuilder {
     sampler: Sampler,
     shards: usize,
     policies: SchedPolicies,
+    engine: EngineProfiler,
 }
 
 impl EslurmSystemBuilder {
@@ -95,6 +96,7 @@ impl EslurmSystemBuilder {
             sampler: Sampler::disabled(),
             shards: 1,
             policies: SchedPolicies::default(),
+            engine: EngineProfiler::disabled(),
         }
     }
 
@@ -138,6 +140,18 @@ impl EslurmSystemBuilder {
     /// activity, and every satellite traces task service times.
     pub fn obs(mut self, recorder: Recorder) -> Self {
         self.obs = recorder;
+        self
+    }
+
+    /// Profile the engine's *wall-clock* behaviour into `profiler`
+    /// (mirrored on `RmClusterBuilder`): per-shard busy/barrier/drain/queue
+    /// time, window-efficiency counters, and cross-shard traffic. Unlike
+    /// every other sink on this builder the profiler measures real time —
+    /// it never touches the virtual-time path, so enabling it changes no
+    /// outcome and no trace/CSV byte. Read it back via
+    /// [`SimCluster::engine_profiler`] after the run.
+    pub fn engine_profile(mut self, profiler: EngineProfiler) -> Self {
+        self.engine = profiler;
         self
     }
 
@@ -220,6 +234,7 @@ impl EslurmSystemBuilder {
             config.partition = Some(part);
         }
         config.obs = self.obs;
+        config.engine = self.engine;
         if self.sampler.enabled() {
             self.sampler.name_node(NodeId::MASTER.0, "master");
             for (i, &s) in sat_ids.iter().enumerate() {

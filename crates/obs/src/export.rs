@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use crate::audit::{Decision, DecisionRecord};
 use crate::causal::CausalRecord;
+use crate::engine::{EngineSpan, ENGINE_TRACK_PID};
 use crate::event::TraceEvent;
 use crate::metric::{Counter, Gauge, Hist, HistSnapshot};
 use crate::recorder::{LabeledValue, MetricsSummary, Recorder};
@@ -71,8 +72,24 @@ pub fn to_chrome_trace_with_flows_and_jobs(
     causal: &[CausalRecord],
     audit: &[DecisionRecord],
 ) -> String {
+    to_chrome_trace_full(events, causal, audit, &[])
+}
+
+/// Like [`to_chrome_trace_with_flows_and_jobs`], but also rendering the
+/// wall-clock engine profile as a third Chrome process
+/// ([`crate::engine::ENGINE_TRACK_PID`], one thread per shard). The engine
+/// track measures *wall* microseconds while every other lane measures
+/// *virtual* microseconds; the separate process id is what keeps Perfetto
+/// from interleaving the two clock domains on one track. With no engine
+/// spans the output is byte-identical to the virtual-time-only export.
+pub fn to_chrome_trace_full(
+    events: &[TraceEvent],
+    causal: &[CausalRecord],
+    audit: &[DecisionRecord],
+    engine: &[EngineSpan],
+) -> String {
     let mut items: Vec<(u64, String)> =
-        Vec::with_capacity(events.len() + causal.len() * 2 + audit.len());
+        Vec::with_capacity(events.len() + causal.len() * 2 + audit.len() + engine.len());
     for e in events {
         let mut s = String::with_capacity(96);
         push_chrome_event(&mut s, e);
@@ -108,6 +125,7 @@ pub fn to_chrome_trace_with_flows_and_jobs(
         }
     }
     push_job_lane_items(&mut items, audit);
+    push_engine_track_items(&mut items, engine);
     items.sort_by_key(|(ts, _)| *ts);
     let mut out = String::with_capacity(items.len() * 96 + 64);
     out.push_str("{\"traceEvents\":[");
@@ -191,6 +209,49 @@ fn push_job_lane_items(items: &mut Vec<(u64, String)>, audit: &[DecisionRecord])
             }
             _ => {}
         }
+    }
+}
+
+/// Fold wall-clock engine spans into their own Chrome process
+/// ([`ENGINE_TRACK_PID`], one thread per shard). Timestamps are wall
+/// microseconds since the profiler's monotonic epoch — a different time
+/// base from every other lane, which is exactly why they get their own
+/// process id.
+fn push_engine_track_items(items: &mut Vec<(u64, String)>, engine: &[EngineSpan]) {
+    if engine.is_empty() {
+        return;
+    }
+    items.push((
+        0,
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{ENGINE_TRACK_PID},\
+             \"args\":{{\"name\":\"engine (wall-clock)\"}}}}"
+        ),
+    ));
+    let mut named: Vec<u32> = engine.iter().map(|s| s.shard).collect();
+    named.sort_unstable();
+    named.dedup();
+    for shard in named {
+        items.push((
+            0,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{ENGINE_TRACK_PID},\
+                 \"tid\":{shard},\"args\":{{\"name\":\"shard {shard}\"}}}}"
+            ),
+        ));
+    }
+    for s in engine {
+        let ts = s.start_ns / 1_000;
+        let dur = (s.dur_ns / 1_000).max(1);
+        items.push((
+            ts,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"engine\",\"ph\":\"X\",\"pid\":{ENGINE_TRACK_PID},\
+                 \"tid\":{},\"ts\":{ts},\"dur\":{dur},\"args\":{{}}}}",
+                s.phase.as_str(),
+                s.shard,
+            ),
+        ));
     }
 }
 

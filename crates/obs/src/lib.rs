@@ -52,6 +52,7 @@
 
 pub mod audit;
 pub mod causal;
+pub mod engine;
 pub mod event;
 pub mod export;
 pub mod expose;
@@ -69,6 +70,10 @@ pub use audit::{
 pub use causal::{
     build_traces, flow_summaries, CausalRecord, CriticalPath, FlowKind, FlowSummary, Hop, HopSend,
     PathStep, TraceContext, TraceTree,
+};
+pub use engine::{
+    EngineMode, EnginePhase, EngineProfiler, EngineReport, EngineSpan, ShardReport,
+    WALLCLOCK_PREFIX,
 };
 pub use event::{EventKind, TraceEvent};
 pub use flight::{FlightConfig, FlightRecorder};

@@ -284,6 +284,11 @@ pub struct DiffOptions {
     pub per_metric: BTreeMap<String, f64>,
     /// Gate every shared metric instead of only footprint metrics.
     pub gate_all: bool,
+    /// Also gate wall-clock engine metrics ([`crate::engine::WALLCLOCK_PREFIX`]).
+    /// Off by default: wall-clock timings vary run-to-run by design, so
+    /// gating them (even under `gate_all`) would make the regression gate
+    /// flaky. A per-metric override still wins over this exclusion.
+    pub include_wallclock: bool,
 }
 
 impl Default for DiffOptions {
@@ -292,6 +297,7 @@ impl Default for DiffOptions {
             default_threshold_pct: 5.0,
             per_metric: BTreeMap::new(),
             gate_all: false,
+            include_wallclock: false,
         }
     }
 }
@@ -300,6 +306,9 @@ impl DiffOptions {
     fn gates(&self, metric: &str) -> Option<f64> {
         if let Some(&t) = self.per_metric.get(metric) {
             return Some(t);
+        }
+        if !self.include_wallclock && metric.starts_with(crate::engine::WALLCLOCK_PREFIX) {
+            return None;
         }
         if self.gate_all || metric.starts_with("footprint_") {
             return Some(self.default_threshold_pct);
@@ -536,6 +545,56 @@ mod tests {
         // The improvement direction never regresses.
         let improved = compare_csv(&b, &a, &DiffOptions::default()).expect("diff runs");
         assert!(improved.regressions().is_empty());
+    }
+
+    /// Wall-clock engine metrics vary run-to-run by design: even under
+    /// `gate_all` they stay out of the gate unless `include_wallclock` (or
+    /// a per-metric override, which always wins) opts them in.
+    #[test]
+    fn wallclock_metrics_are_ungated_by_default() {
+        let mk = |v: f64| {
+            let mut store = SeriesStore::new();
+            store.record(
+                MetricId::new("engine_wall_barrier_ns").with("shard", "0"),
+                t(1),
+                v,
+            );
+            store.record(MetricId::new("footprint_sockets"), t(1), 3.0);
+            store.to_csv()
+        };
+        let a = mk(100.0);
+        let b = mk(900.0); // 9x wall-clock jitter: must not trip the gate
+        let strict = DiffOptions {
+            gate_all: true,
+            ..DiffOptions::default()
+        };
+        let report = compare_csv(&a, &b, &strict).expect("diff runs");
+        assert!(
+            report.regressions().is_empty(),
+            "wall-clock metric tripped the gate"
+        );
+        let included = DiffOptions {
+            gate_all: true,
+            include_wallclock: true,
+            ..DiffOptions::default()
+        };
+        let report = compare_csv(&a, &b, &included).expect("diff runs");
+        assert!(report
+            .regressions()
+            .iter()
+            .all(|d| d.metric.starts_with(crate::engine::WALLCLOCK_PREFIX)));
+        assert!(!report.regressions().is_empty());
+        let overridden = DiffOptions {
+            per_metric: [("engine_wall_barrier_ns{shard=\"0\"}".to_string(), 5.0)]
+                .into_iter()
+                .collect(),
+            ..DiffOptions::default()
+        };
+        let report = compare_csv(&a, &b, &overridden).expect("diff runs");
+        assert!(
+            !report.regressions().is_empty(),
+            "per-metric override must win"
+        );
     }
 
     /// A gated metric present in only one of the two runs is a named gate

@@ -7,7 +7,7 @@ use crate::profile::{HeartbeatMode, RmProfile};
 use crate::proto::{NodeSlice, RmMsg};
 use crate::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
-use obs::{Recorder, Sampler};
+use obs::{EngineProfiler, Recorder, Sampler};
 use rand::RngExt;
 use sched::prelude::*;
 use simclock::rng::stream_rng;
@@ -69,8 +69,7 @@ impl ClusterHarness {
         cfg
     }
 
-    /// Submit a job to the master at `at` (the harness-method form of the
-    /// deprecated free function `inject_job`).
+    /// Submit a job to the master at `at`.
     pub fn submit(&mut self, at: SimTime, job: u64, nodes: Vec<u32>, runtime: SimSpan) {
         self.sim.inject(
             at,
@@ -131,6 +130,7 @@ pub struct RmClusterBuilder {
     obs: Recorder,
     sampler: Sampler,
     policies: SchedPolicies,
+    engine: EngineProfiler,
 }
 
 impl RmClusterBuilder {
@@ -146,6 +146,7 @@ impl RmClusterBuilder {
             obs: Recorder::disabled(),
             sampler: Sampler::disabled(),
             policies: SchedPolicies::default(),
+            engine: EngineProfiler::disabled(),
         }
     }
 
@@ -204,6 +205,15 @@ impl RmClusterBuilder {
         self
     }
 
+    /// Profile the engine's wall-clock behaviour into `profiler`, exactly
+    /// as `EslurmSystemBuilder::engine_profile` does for the distributed
+    /// stack. Non-perturbing: outcomes and virtual-time exports are
+    /// unchanged with the profiler on or off.
+    pub fn engine_profile(mut self, profiler: EngineProfiler) -> Self {
+        self.engine = profiler;
+        self
+    }
+
     /// Materialize the cluster.
     pub fn build(self) -> ClusterHarness {
         let n = self.n;
@@ -235,6 +245,7 @@ impl RmClusterBuilder {
         }
         let mut config = SimConfig::new(n, self.seed);
         config.obs = self.obs;
+        config.engine = self.engine;
         if self.sampler.enabled() {
             self.sampler.name_node(NodeId::MASTER.0, "master");
             config.sampler = self.sampler;
@@ -254,62 +265,6 @@ impl RmClusterBuilder {
             policies: self.policies,
         }
     }
-}
-
-/// Build a cluster of `n` nodes (node 0 = master, 1..n = slaves) running
-/// `profile`. `sample_until` turns on 1 Hz master metering until the given
-/// time. Thin wrapper over [`RmClusterBuilder`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use RmClusterBuilder::new(..).seed(..).build()"
-)]
-pub fn build_cluster(
-    profile: RmProfile,
-    n: usize,
-    seed: u64,
-    sample_until: Option<SimTime>,
-) -> ClusterHarness {
-    let mut b = RmClusterBuilder::new(profile, n).seed(seed);
-    if let Some(until) = sample_until {
-        b = b.sample_until(until);
-    }
-    b.build()
-}
-
-/// Submit a job to the master at `at`.
-#[deprecated(since = "0.1.0", note = "use ClusterHarness::submit")]
-pub fn inject_job(
-    h: &mut ClusterHarness,
-    at: SimTime,
-    job: u64,
-    nodes: Vec<u32>,
-    runtime: SimSpan,
-) {
-    h.submit(at, job, nodes, runtime);
-}
-
-/// A synthetic job stream for the resource-usage experiments: `rate_per_hour`
-/// jobs arriving Poisson-style, sizes log-uniform in `1..=max_nodes`,
-/// runtimes exponential with the given mean.
-#[deprecated(since = "0.1.0", note = "use ClusterHarness::submit_stream")]
-#[allow(clippy::too_many_arguments)]
-pub fn inject_job_stream(
-    h: &mut ClusterHarness,
-    n_slaves: u32,
-    horizon: SimSpan,
-    rate_per_hour: f64,
-    max_nodes: u32,
-    mean_runtime: SimSpan,
-    seed: u64,
-) -> u64 {
-    h.submit_stream(
-        n_slaves,
-        horizon,
-        rate_per_hour,
-        max_nodes,
-        mean_runtime,
-        seed,
-    )
 }
 
 #[cfg(test)]
@@ -345,21 +300,6 @@ mod tests {
         assert_eq!(series.samples.len(), 60);
         // Memory allocated at start shows up in every sample.
         assert!(series.samples[0].virt_mem > 1 << 30);
-    }
-
-    #[test]
-    fn deprecated_shims_route_through_the_harness() {
-        #![allow(deprecated)]
-        let mut h = build_cluster(RmProfile::slurm(), 9, 1, None);
-        inject_job(
-            &mut h,
-            SimTime::from_secs(1),
-            7,
-            vec![1, 2],
-            SimSpan::from_secs(5),
-        );
-        h.sim.run_until(SimTime::from_secs(60));
-        assert_eq!(h.master_actor().records.len(), 1);
     }
 
     #[test]

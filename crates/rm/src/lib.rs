@@ -20,8 +20,6 @@ pub mod profile;
 pub mod proto;
 pub mod slave;
 
-#[allow(deprecated)] // re-exported for one release alongside the harness methods
-pub use driver::{build_cluster, inject_job, inject_job_stream};
 pub use driver::{ClusterHarness, RmClusterBuilder, RmNode};
 pub use master::{CentralizedMaster, JobRecord};
 pub use profile::{Fanout, HeartbeatMode, RmProfile};

@@ -209,7 +209,7 @@ enum Ev {
 /// walltime limits from `policy`.
 ///
 /// ```
-/// use sched::{simulate, BackfillConfig, UserLimit};
+/// use sched::prelude::{simulate, BackfillConfig, UserLimit};
 /// use workload::TraceConfig;
 ///
 /// let jobs = TraceConfig::small(200, 7).generate();

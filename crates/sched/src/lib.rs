@@ -42,13 +42,9 @@ pub mod policy;
 pub mod priority;
 pub mod profile_resv;
 
-pub use backfill::{simulate, BackfillConfig, DispatchModel, SchedAlgo};
-pub use fairshare::FairShareLedger;
-pub use metrics::{bounded_slowdown, ScheduleReport};
-pub use partition::{Partition, PartitionSet};
-pub use policy::{LimitInfo, LimitPolicy, OracleLimit, UserLimit};
-pub use priority::{MultifactorPriority, PriorityFactor};
-pub use profile_resv::AvailabilityProfile;
+use fairshare::FairShareLedger;
+use partition::PartitionSet;
+use priority::MultifactorPriority;
 
 /// The composable multi-tenant policy layers of one scheduler: partition
 /// routing, fair-share accounting, and queue-ordering priority. Each
@@ -105,5 +101,6 @@ pub mod prelude {
         AgeFactor, FactorCtx, FactorShare, FairShareFactor, MultifactorPriority, PriorityFactor,
         QosFactor, SizeFactor,
     };
+    pub use crate::profile_resv::AvailabilityProfile;
     pub use crate::SchedPolicies;
 }

@@ -90,6 +90,10 @@ pub struct KeyedQueue<E> {
     heap: BinaryHeap<Entry>,
     slab: Vec<Option<E>>,
     free: Vec<u32>,
+    /// Most events ever pending at once (never reset by `pop`/`clear`):
+    /// the queue-depth gauge the wall-clock engine profiler reads. Plain
+    /// bookkeeping on the owner's thread — it cannot affect event order.
+    high_water: usize,
 }
 
 impl<E> Default for KeyedQueue<E> {
@@ -105,6 +109,7 @@ impl<E> KeyedQueue<E> {
             heap: BinaryHeap::new(),
             slab: Vec::new(),
             free: Vec::new(),
+            high_water: 0,
         }
     }
 
@@ -114,6 +119,7 @@ impl<E> KeyedQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             slab: Vec::with_capacity(cap),
             free: Vec::new(),
+            high_water: 0,
         }
     }
 
@@ -131,6 +137,9 @@ impl<E> KeyedQueue<E> {
             }
         };
         self.heap.push(Entry(key, slot));
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Remove and return the minimum-key event.
@@ -157,6 +166,22 @@ impl<E> KeyedQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Most events ever pending at once over the queue's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total payload slots the slab arena has ever allocated (its memory
+    /// footprint in events; slots are recycled, never returned).
+    pub fn slab_slots(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Slab slots currently on the free list (allocated but unoccupied).
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
     }
 
     /// Reserve space for at least `additional` more events.
@@ -223,6 +248,27 @@ mod tests {
             // After the first round the slab never grows again.
             assert!(q.slab.len() <= 100);
         }
+    }
+
+    #[test]
+    fn gauges_track_depth_and_slab_occupancy() {
+        let mut q = KeyedQueue::new();
+        assert_eq!((q.high_water(), q.slab_slots(), q.free_slots()), (0, 0, 0));
+        for i in 0..8u64 {
+            q.push(EventKey::for_node(SimTime(i), 0, i), i);
+        }
+        assert_eq!(q.high_water(), 8);
+        for _ in 0..5 {
+            q.pop();
+        }
+        // Draining never lowers the high-water mark; freed slots are listed.
+        assert_eq!(q.high_water(), 8);
+        assert_eq!(q.slab_slots(), 8);
+        assert_eq!(q.free_slots(), 5);
+        q.push(EventKey::for_node(SimTime(99), 0, 99), 99);
+        assert_eq!(q.high_water(), 8, "refill below peak keeps the mark");
+        assert_eq!(q.free_slots(), 4, "push reuses a recycled slot");
+        assert_eq!(q.slab_slots(), 8);
     }
 
     #[test]

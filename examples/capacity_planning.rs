@@ -8,7 +8,7 @@
 
 use eslurm_suite::eslurm::PredictiveLimit;
 use eslurm_suite::estimate::EstimatorConfig;
-use eslurm_suite::sched::{
+use eslurm_suite::sched::prelude::{
     simulate, BackfillConfig, DispatchModel, LimitPolicy, OracleLimit, UserLimit,
 };
 use eslurm_suite::simclock::{SimSpan, SimTime};

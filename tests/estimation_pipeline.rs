@@ -4,7 +4,7 @@
 
 use eslurm_suite::eslurm::PredictiveLimit;
 use eslurm_suite::estimate::{evaluate, EslurmPredictor, EstimatorConfig, Last2, UserEstimate};
-use eslurm_suite::sched::{simulate, BackfillConfig, UserLimit};
+use eslurm_suite::sched::prelude::{simulate, BackfillConfig, UserLimit};
 use eslurm_suite::workload::{trace, TraceConfig};
 
 #[test]

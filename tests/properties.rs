@@ -2,7 +2,7 @@
 
 use eslurm_suite::eslurm::satellites_needed;
 use eslurm_suite::rm::{decode, encode, CtlKind, NodeSlice, RmMsg};
-use eslurm_suite::sched::{simulate, BackfillConfig, UserLimit};
+use eslurm_suite::sched::prelude::{simulate, BackfillConfig, UserLimit};
 use eslurm_suite::topology::{
     broadcast, leaf_positions, rearrange, relay_depth, split_balanced, BcastParams, Structure,
 };

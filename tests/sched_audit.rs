@@ -9,7 +9,7 @@ use eslurm_suite::estimate::{signed_error_percentiles, EstimatorConfig};
 use eslurm_suite::obs::audit::{
     AuditReport, Decision, DecisionLog, DecisionRecord, EstSource, SkipReason,
 };
-use eslurm_suite::sched::{simulate, BackfillConfig, SchedAlgo, ScheduleReport};
+use eslurm_suite::sched::prelude::{simulate, BackfillConfig, SchedAlgo, ScheduleReport};
 use eslurm_suite::workload::TraceConfig;
 
 /// The pinned audit scenario: the same fixed-seed workload the CLI's
