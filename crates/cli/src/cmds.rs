@@ -12,7 +12,7 @@ use obs::audit::{render_report, render_timeline, AuditReport};
 use obs::causal::{render_critical_path, render_flow_summaries, render_tree};
 use obs::{
     build_traces, compare_csv, flow_summaries, DecisionLog, DiffOptions, EngineProfiler,
-    FlightConfig, FlowKind, Recorder, Sampler, SeriesStore, TraceTree,
+    FlightConfig, FlowKind, Recorder, Sampler, SeriesStore, SloEngine, TraceTree,
 };
 use sched::prelude::{
     simulate as run_schedule, BackfillConfig, FairShareLedger, LimitPolicy, MultifactorPriority,
@@ -165,6 +165,25 @@ pub const COMMANDS: &[CmdSpec] = &[
         ],
     },
     CmdSpec {
+        name: "slo-report",
+        summary: "evaluate SLOs online over an emulated run and gate breaches",
+        flags: &[
+            "nodes",
+            "satellites",
+            "minutes",
+            "jobs",
+            "seed",
+            "faults",
+            "sweep-p99",
+            "queue-wait-p90",
+            "inbox-depth",
+            "format",
+            "out",
+            "flight",
+            "check",
+        ],
+    },
+    CmdSpec {
         name: "diff",
         summary: "compare two metrics CSVs and gate footprint regressions",
         flags: &["threshold-pct", "thresholds", "all", "include-wallclock"],
@@ -194,9 +213,21 @@ pub fn usage() -> String {
         out.push_str(&format!("    {:<width$}  {}\n", c.name, c.summary));
     }
     out.push_str(&format!("    {:<width$}  show this message\n", "help"));
+    out.push_str("\nEXIT CODES:\n");
+    out.push_str(EXIT_CODES);
     out.push_str("\nRun `eslurm <COMMAND> --help` for per-command options.");
     out
 }
+
+/// The one exit-code table, rendered into the generated help. Commands
+/// that gate (`diff`, `slo-report --check`) document their codes here,
+/// nowhere else — a unit test asserts each listed code matches what
+/// [`CliError::exit_code`] actually returns.
+pub const EXIT_CODES: &str = "    0  success\n    \
+     1  runtime failure (I/O, malformed input)\n    \
+     2  command-line usage error\n    \
+     3  footprint-regression gate tripped (`diff`)\n    \
+     4  SLO gate tripped (`slo-report --check`)\n";
 
 /// Route a subcommand name to its implementation. Returns `None` for
 /// names not in [`COMMANDS`], so `main` treats them as usage errors; a
@@ -215,6 +246,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Option<Result<(), CliError>> {
         "why-job" => why_job(rest),
         "sched-report" => sched_report(rest),
         "engine-report" => engine_report(rest),
+        "slo-report" => slo_report(rest),
         "diff" => diff(rest),
         "convert" => convert(rest),
         _ => return None,
@@ -509,6 +541,7 @@ fn run_emulation(
     sampler: Sampler,
     shards: usize,
     engine: EngineProfiler,
+    slo: SloEngine,
 ) -> EslurmSystem {
     let cfg = EslurmConfig {
         n_satellites: satellites,
@@ -520,7 +553,8 @@ fn run_emulation(
         .obs(rec)
         .sampler(sampler)
         .shards(shards)
-        .engine_profile(engine);
+        .engine_profile(engine)
+        .slo(slo);
     if fault_events > 0 {
         builder = builder.faults(compute_fault_plan(
             nodes,
@@ -605,6 +639,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
         Sampler::disabled(),
         1,
         EngineProfiler::disabled(),
+        SloEngine::disabled(),
     );
 
     let master = sys.master();
@@ -667,6 +702,7 @@ pub fn trace_cmd(args: &[String]) -> Result<(), CliError> {
         Sampler::disabled(),
         1,
         EngineProfiler::disabled(),
+        SloEngine::disabled(),
     );
     let n = write_obs(&rec, out, format)?;
     println!(
@@ -723,6 +759,7 @@ pub fn metrics(args: &[String]) -> Result<(), CliError> {
         sampler.clone(),
         1,
         EngineProfiler::disabled(),
+        SloEngine::disabled(),
     );
 
     let store = sampler.store();
@@ -791,6 +828,7 @@ fn causal_run(cmd: &'static str, o: &Opts) -> Result<Vec<TraceTree>, CliError> {
         Sampler::disabled(),
         1,
         EngineProfiler::disabled(),
+        SloEngine::disabled(),
     );
     Ok(build_traces(&rec.causal_records()))
 }
@@ -1134,6 +1172,7 @@ pub fn engine_report(args: &[String]) -> Result<(), CliError> {
         Sampler::disabled(),
         shards,
         profiler.clone(),
+        SloEngine::disabled(),
     );
     let report = profiler
         .report()
@@ -1160,6 +1199,94 @@ pub fn engine_report(args: &[String]) -> Result<(), CliError> {
         );
         std::fs::write(path, body).map_err(|e| CliError::io(format!("writing {path}"), e))?;
         println!("trace:  virtual-time lanes + wall-clock engine track -> {path}");
+    }
+    Ok(())
+}
+
+/// `eslurm slo-report [--nodes N --satellites M --minutes T --jobs J
+/// --seed S --faults K] [--sweep-p99 US] [--queue-wait-p90 S]
+/// [--inbox-depth D] [--format table|csv|json] [--out FILE]
+/// [--flight FILE] [--check true]`
+///
+/// Runs the reference emulation with the online SLO engine armed on a 1 s
+/// evaluation cadence: sweep-completion p99, queue-wait p90, and master
+/// inbox depth against the given targets (multi-window burn-rate
+/// detection, so transient spikes don't breach but sustained ones do).
+/// `--flight` arms the bounded flight ring with a 60 s dump cooldown —
+/// each breach dumps a reason-tagged forensic snapshot there. `--check`
+/// exits 4 when any spec recorded a breach, mirroring `diff`'s exit 3.
+pub fn slo_report(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "slo-report";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let nodes = flag_or(CMD, &o, "nodes", 128usize)?;
+    let satellites = flag_or(CMD, &o, "satellites", 2usize)?;
+    let minutes = flag_or(CMD, &o, "minutes", 10u64)?;
+    let n_jobs = flag_or(CMD, &o, "jobs", 20u64)?;
+    let seed = flag_or(CMD, &o, "seed", 42u64)?;
+    let fault_events = flag_or(CMD, &o, "faults", 0usize)?;
+    let sweep_p99_us = flag_or(CMD, &o, "sweep-p99", 10_000_000f64)?;
+    let queue_wait_p90_s = flag_or(CMD, &o, "queue-wait-p90", 600f64)?;
+    let inbox_depth = flag_or(CMD, &o, "inbox-depth", 10_000f64)?;
+    let format = o.get("format").unwrap_or("table");
+    let check = flag_or(CMD, &o, "check", false)?;
+
+    let rec = match o.get("flight") {
+        Some(path) => Recorder::with_flight(
+            FlightConfig::dumping_to(path).with_cooldown(SimSpan::from_secs(60)),
+        ),
+        None => Recorder::metrics_only(),
+    };
+    let horizon = SimTime::ZERO + SimSpan::from_secs(minutes * 60);
+    let sampler = Sampler::every_until(SimSpan::from_secs(1), horizon);
+    let slo = SloEngine::paper_presets(sweep_p99_us, queue_wait_p90_s, inbox_depth);
+    let sys = run_emulation(
+        nodes,
+        satellites,
+        minutes,
+        n_jobs,
+        seed,
+        fault_events,
+        rec.clone(),
+        sampler,
+        1,
+        EngineProfiler::disabled(),
+        slo,
+    );
+    let report = sys
+        .sim
+        .slo_engine()
+        .report()
+        .expect("engine armed above is enabled");
+    let body = match format {
+        "table" => report.render(),
+        "csv" => report.to_csv(),
+        "json" => report.to_json(),
+        other => {
+            return Err(CliError::usage(
+                CMD,
+                format!("unknown --format {other} (table | csv | json)"),
+            ))
+        }
+    };
+    match o.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| CliError::io(format!("writing {path}"), e))?;
+            println!("slo report ({format}) -> {path}");
+        }
+        None => print!("{body}"),
+    }
+    println!(
+        "jobs completed: {}/{n_jobs}; engine events: {}",
+        sys.master().records.len(),
+        sys.sim.events_processed()
+    );
+    let unmet = report.unmet();
+    if check && unmet > 0 {
+        return Err(CliError::SloUnmet { count: unmet });
     }
     Ok(())
 }
@@ -1297,6 +1424,28 @@ mod tests {
         }
         assert!(dispatch("no-such-command", &help).is_none());
         assert!(usage_text.contains("help"));
+    }
+
+    /// The generated help carries the one exit-code table, and every code
+    /// it documents is the code [`CliError::exit_code`] actually returns —
+    /// so the docs cannot drift from the behaviour.
+    #[test]
+    fn usage_documents_every_exit_code() {
+        let text = usage();
+        assert!(text.contains("EXIT CODES:"), "help is missing the table");
+        for line in [
+            "0  success",
+            "1  runtime failure (I/O, malformed input)",
+            "2  command-line usage error",
+            "3  footprint-regression gate tripped (`diff`)",
+            "4  SLO gate tripped (`slo-report --check`)",
+        ] {
+            assert!(text.contains(line), "help is missing `{line}`");
+        }
+        assert_eq!(CliError::usage("x", "y").exit_code(), 2);
+        assert_eq!(CliError::Regression { count: 1 }.exit_code(), 3);
+        assert_eq!(CliError::SloUnmet { count: 1 }.exit_code(), 4);
+        assert_eq!(CliError::parse("f", "bad").exit_code(), 1);
     }
 
     /// Spec names are unique — duplicate registration would shadow one

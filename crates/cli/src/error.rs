@@ -37,6 +37,12 @@ pub enum CliError {
         /// How many metric statistics exceeded their thresholds.
         count: usize,
     },
+    /// The SLO gate tripped: specs recorded breaches during the run
+    /// (`eslurm slo-report --check`).
+    SloUnmet {
+        /// How many SLO specs recorded at least one breach.
+        count: usize,
+    },
 }
 
 impl CliError {
@@ -69,6 +75,7 @@ impl CliError {
         match self {
             CliError::Usage { .. } => 2,
             CliError::Regression { .. } => 3,
+            CliError::SloUnmet { .. } => 4,
             _ => 1,
         }
     }
@@ -86,6 +93,9 @@ impl fmt::Display for CliError {
             CliError::Usage { command, message } => write!(f, "{command}: {message}"),
             CliError::Regression { count } => {
                 write!(f, "{count} metric statistic(s) regressed past threshold")
+            }
+            CliError::SloUnmet { count } => {
+                write!(f, "{count} SLO spec(s) recorded breaches")
             }
         }
     }
@@ -109,6 +119,7 @@ mod tests {
         assert_eq!(CliError::usage("replay", "bad flag").exit_code(), 2);
         assert_eq!(CliError::parse("t.jsonl", "empty").exit_code(), 1);
         assert_eq!(CliError::Regression { count: 2 }.exit_code(), 3);
+        assert_eq!(CliError::SloUnmet { count: 1 }.exit_code(), 4);
         let io = CliError::io(
             "loading x",
             std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),

@@ -13,6 +13,7 @@
 //! eslurm critical-path --flow sweep
 //! eslurm why-job 17 --jobs 400 --seed 42
 //! eslurm sched-report --policy predictive --audit decisions.jsonl
+//! eslurm slo-report --faults 3 --sweep-p99 2000000 --check true
 //! eslurm diff base.csv new.csv --threshold-pct 5
 //! eslurm convert trace.jsonl trace.swf
 //! ```
@@ -21,8 +22,9 @@
 //! drives dispatch and per-command help ([`cmds::usage`]), so a new
 //! subcommand cannot be silently omitted from `eslurm --help`.
 //!
-//! Exit codes: 0 success, 1 runtime failure (I/O, malformed input),
-//! 2 command-line usage error, 3 footprint-regression gate tripped.
+//! Exit codes are documented in one place — the [`cmds::EXIT_CODES`]
+//! table rendered into `eslurm --help` — and asserted against
+//! [`error::CliError::exit_code`] by a unit test.
 
 mod cmds;
 mod error;

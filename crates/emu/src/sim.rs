@@ -45,7 +45,7 @@ use crate::state::NodeStore;
 use obs::engine::{EngineMode, EnginePhase, EngineSpan, ShardSlot};
 use obs::{
     CausalRecord, Counter, EngineProfiler, EventKind, FlowKind, Hist, HopSend, Recorder, Sampler,
-    TraceContext,
+    SloEngine, TraceContext,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -95,6 +95,12 @@ pub struct SimConfig {
     /// outside the virtual-time path: it writes only to its own atomics,
     /// so enabling it changes no outcome and no virtual-time export byte.
     pub engine: EngineProfiler,
+    /// Online SLO engine. Disabled by default; when enabled it evaluates
+    /// its specs on every sampling tick (it needs the sampling cadence to
+    /// run — configure a [`Sampling`] or an end-bounded sampler). It reads
+    /// the recorder and sampler and writes only its own state, so enabling
+    /// it perturbs no outcome and no base export byte.
+    pub slo: SloEngine,
 }
 
 /// Periodic meter sampling configuration.
@@ -121,6 +127,7 @@ impl SimConfig {
             shards: 1,
             partition: None,
             engine: EngineProfiler::disabled(),
+            slo: SloEngine::disabled(),
         }
     }
 }
@@ -679,6 +686,7 @@ pub struct SimCluster<M: Payload, A: Actor<M>> {
     shards: Vec<Shard<M>>,
     shared: SimShared,
     sampler: Sampler,
+    slo: SloEngine,
     sampling: Option<Sampling>,
     /// One series per entry of `sampling.tracked`, in the same order, so
     /// the per-sample hot path is a plain index instead of a hash lookup.
@@ -803,6 +811,7 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
                 engine: config.engine,
             },
             sampler: config.sampler,
+            slo: config.slo,
             sampling,
             series,
             sample_next,
@@ -946,6 +955,12 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         &self.shared.engine
     }
 
+    /// The online SLO engine this cluster evaluates on each sampling tick
+    /// (disabled unless one was supplied via [`SimConfig`]).
+    pub fn slo_engine(&self) -> &SloEngine {
+        &self.slo
+    }
+
     /// Total events processed so far (queue events plus sampling ticks).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -1024,6 +1039,10 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         if feed {
             self.sampler.snapshot(t, &self.shared.obs);
         }
+        // SLO evaluation rides the sampling cadence: always on the main
+        // thread (ticks fire between segments in both engine modes), after
+        // the snapshot so hist/gauge signals see this tick's state.
+        self.slo.evaluate(t, &self.shared.obs, &self.sampler);
         self.sample_next = Some(t + s.interval);
     }
 

@@ -10,7 +10,7 @@ use crate::master::EslurmMaster;
 use crate::satellite::SatelliteDaemon;
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
 use monitoring::FailurePredictor;
-use obs::{EngineProfiler, Recorder, Sampler};
+use obs::{EngineProfiler, Recorder, Sampler, SloEngine};
 use rm::proto::{NodeSlice, RmMsg};
 use rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use sched::prelude::*;
@@ -79,6 +79,7 @@ pub struct EslurmSystemBuilder {
     shards: usize,
     policies: SchedPolicies,
     engine: EngineProfiler,
+    slo: SloEngine,
 }
 
 impl EslurmSystemBuilder {
@@ -97,6 +98,7 @@ impl EslurmSystemBuilder {
             shards: 1,
             policies: SchedPolicies::default(),
             engine: EngineProfiler::disabled(),
+            slo: SloEngine::disabled(),
         }
     }
 
@@ -152,6 +154,18 @@ impl EslurmSystemBuilder {
     /// [`SimCluster::engine_profiler`] after the run.
     pub fn engine_profile(mut self, profiler: EngineProfiler) -> Self {
         self.engine = profiler;
+        self
+    }
+
+    /// Evaluate SLO specs online against this run's telemetry (mirrored on
+    /// `RmClusterBuilder`). The engine runs on the sampling cadence, so a
+    /// sampler or `sample_until` bound must also be configured for it to
+    /// tick. Like the profiler it is strictly observational: it reads the
+    /// recorder/sampler and writes only its own state, so enabling it
+    /// changes no outcome and no base trace/CSV byte. Read results back
+    /// via [`SimCluster::slo_engine`] after the run.
+    pub fn slo(mut self, engine: SloEngine) -> Self {
+        self.slo = engine;
         self
     }
 
@@ -235,6 +249,7 @@ impl EslurmSystemBuilder {
         }
         config.obs = self.obs;
         config.engine = self.engine;
+        config.slo = self.slo;
         if self.sampler.enabled() {
             self.sampler.name_node(NodeId::MASTER.0, "master");
             for (i, &s) in sat_ids.iter().enumerate() {

@@ -72,6 +72,21 @@ impl AlertBus {
         raised
     }
 
+    /// Raise one alert directly (the SLO engine's path: a breach is a
+    /// suspicion about a node even without a sensor reading behind it).
+    /// Routed through the hierarchy and counted exactly like an ingested
+    /// alarming reading.
+    pub fn raise(&mut self, node: NodeId, kind: SensorKind, at: SimTime) {
+        self.alerts.push(Alert {
+            node,
+            kind,
+            at,
+            bmu: self.hierarchy.bmu_of(node),
+            cmu: self.hierarchy.cmu_of(node),
+        });
+        self.obs.add(Counter::AlertsRaised, 1);
+    }
+
     /// Drop alerts older than the TTL relative to `now`.
     pub fn expire(&mut self, now: SimTime) {
         let ttl = self.ttl;
@@ -144,5 +159,61 @@ mod tests {
         let mut b = bus();
         b.ingest(&[reading(7, 99.0, 1), reading(7, 120.0, 2)]);
         assert_eq!(b.suspects(SimTime::from_secs(3)).len(), 1);
+    }
+
+    #[test]
+    fn ttl_boundary_is_inclusive() {
+        // An alert exactly `ttl` old is still live; one microsecond past
+        // is not — both for the suspect set and for expiry.
+        let mut b = bus();
+        b.ingest(&[reading(3, 99.0, 0)]);
+        assert!(b.suspects(SimTime::from_secs(300)).contains(&3));
+        assert!(!b
+            .suspects(SimTime::from_secs(300) + simclock::SimSpan::from_micros(1))
+            .contains(&3));
+        b.expire(SimTime::from_secs(300));
+        assert_eq!(b.alerts().len(), 1);
+        b.expire(SimTime::from_secs(300) + simclock::SimSpan::from_micros(1));
+        assert!(b.alerts().is_empty());
+    }
+
+    #[test]
+    fn expire_then_reingest_ages_independently() {
+        let mut b = bus();
+        b.ingest(&[reading(1, 99.0, 0)]);
+        b.expire(SimTime::from_secs(400));
+        assert!(b.alerts().is_empty());
+        // A fresh alert after expiry gets its own full TTL.
+        b.ingest(&[reading(1, 99.0, 500)]);
+        assert!(b.suspects(SimTime::from_secs(799)).contains(&1));
+        assert!(!b.suspects(SimTime::from_secs(1200)).contains(&1));
+    }
+
+    #[test]
+    fn with_obs_mirrors_raised_counts() {
+        let rec = Recorder::metrics_only();
+        let mut b = bus().with_obs(rec.clone());
+        b.ingest(&[reading(5, 100.0, 10), reading(6, 55.0, 10)]);
+        assert_eq!(rec.counter(Counter::AlertsRaised), 1);
+        b.ingest(&[reading(7, 100.0, 11), reading(8, 100.0, 11)]);
+        assert_eq!(rec.counter(Counter::AlertsRaised), 3);
+        // Expiry drops live alerts but never rolls the counter back.
+        b.expire(SimTime::from_secs(10_000));
+        assert!(b.alerts().is_empty());
+        assert_eq!(rec.counter(Counter::AlertsRaised), 3);
+    }
+
+    #[test]
+    fn raise_routes_and_counts_like_ingest() {
+        let rec = Recorder::metrics_only();
+        let mut b = bus().with_obs(rec.clone());
+        b.raise(NodeId(5), SensorKind::Temperature, SimTime::from_secs(10));
+        assert_eq!(b.alerts().len(), 1);
+        assert_eq!(b.alerts()[0].bmu, BmuId(1));
+        assert_eq!(b.alerts()[0].cmu, b.hierarchy.cmu_of(NodeId(5)));
+        assert_eq!(rec.counter(Counter::AlertsRaised), 1);
+        assert!(b.suspects(SimTime::from_secs(10)).contains(&5));
+        b.expire(SimTime::from_secs(400));
+        assert!(b.alerts().is_empty());
     }
 }

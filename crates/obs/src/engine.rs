@@ -723,6 +723,72 @@ mod tests {
     }
 
     #[test]
+    fn zero_window_report_renders_cleanly() {
+        // An attached profiler whose run never happened (or a merged run,
+        // which counts no windows): render and to_series must not divide
+        // by zero or emit a windows line.
+        let p = EngineProfiler::enabled();
+        p.attach(2, 50);
+        let r = p.report().unwrap();
+        assert_eq!(r.total_windows(), 0);
+        assert_eq!(r.total_events(), 0);
+        assert_eq!(r.sync_fraction(), 0.0);
+        assert_eq!(r.imbalance(), 1.0, "no busy time means balanced");
+        assert_eq!(r.null_window_fraction(), 0.0);
+        assert_eq!(r.events_per_window(), 0.0);
+        let text = r.render();
+        assert!(text.contains("mode=idle"));
+        assert!(text.contains("imbalance=1.00x"));
+        assert!(
+            !text.contains("windows:"),
+            "zero-window report must skip the windows line: {text}"
+        );
+        assert!(
+            !text.contains("cross-shard traffic"),
+            "no traffic means no cross-shard section: {text}"
+        );
+        for line in text.lines() {
+            assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        }
+        let mut store = crate::series::SeriesStore::new();
+        r.to_series(&mut store, simclock::SimTime::ZERO);
+        for (_, pts) in store.iter() {
+            for pt in pts {
+                assert!(pt.value.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_report_has_no_empty_matrix_rows() {
+        let p = EngineProfiler::enabled();
+        p.attach(1, 50);
+        p.set_mode(EngineMode::Merged);
+        let s = p.shard_slot(0).unwrap();
+        s.add_busy(100);
+        s.add_wall(200);
+        s.add_events(7);
+        let r = p.report().unwrap();
+        assert_eq!(r.shards.len(), 1);
+        assert_eq!(r.pairs.len(), 1, "1-shard matrix is 1x1");
+        assert_eq!(r.imbalance(), 1.0, "one shard is balanced by definition");
+        assert!(r.top_pairs(8).is_empty(), "diagonal never counts as a pair");
+        let text = r.render();
+        assert!(text.contains("mode=merged"));
+        assert!(!text.contains("cross-shard traffic"));
+        assert!(!text.contains("->"), "no pair rows for a single shard");
+        let mut store = crate::series::SeriesStore::new();
+        r.to_series(&mut store, simclock::SimTime::ZERO);
+        // 9 per-shard series for the one shard, plus the 3 globals.
+        assert_eq!(store.len(), 12);
+        for (_, pts) in store.iter() {
+            for pt in pts {
+                assert!(pt.value.is_finite());
+            }
+        }
+    }
+
+    #[test]
     fn series_emission_uses_wallclock_prefix() {
         let p = EngineProfiler::enabled();
         p.attach(1, 50);

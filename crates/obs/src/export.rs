@@ -15,6 +15,7 @@ use crate::engine::{EngineSpan, ENGINE_TRACK_PID};
 use crate::event::TraceEvent;
 use crate::metric::{Counter, Gauge, Hist, HistSnapshot};
 use crate::recorder::{LabeledValue, MetricsSummary, Recorder};
+use crate::slo::{SloEvent, SLO_TRACK_PID};
 
 /// Append one event as a Chrome-trace JSON object. Spans use ph "X"
 /// (complete), instants ph "i" with process scope.
@@ -88,8 +89,25 @@ pub fn to_chrome_trace_full(
     audit: &[DecisionRecord],
     engine: &[EngineSpan],
 ) -> String {
-    let mut items: Vec<(u64, String)> =
-        Vec::with_capacity(events.len() + causal.len() * 2 + audit.len() + engine.len());
+    to_chrome_trace_with_slo(events, causal, audit, engine, &[])
+}
+
+/// Like [`to_chrome_trace_full`], but also stamping SLO breach / clear /
+/// anomaly transitions as instants on their own track
+/// ([`crate::slo::SLO_TRACK_PID`], one thread per spec). SLO events are
+/// virtual-time stamped like the node lanes; the separate process id
+/// groups them as one "slo" strip in Perfetto. With no SLO events the
+/// output is byte-identical to [`to_chrome_trace_full`].
+pub fn to_chrome_trace_with_slo(
+    events: &[TraceEvent],
+    causal: &[CausalRecord],
+    audit: &[DecisionRecord],
+    engine: &[EngineSpan],
+    slo: &[SloEvent],
+) -> String {
+    let mut items: Vec<(u64, String)> = Vec::with_capacity(
+        events.len() + causal.len() * 2 + audit.len() + engine.len() + slo.len(),
+    );
     for e in events {
         let mut s = String::with_capacity(96);
         push_chrome_event(&mut s, e);
@@ -126,6 +144,7 @@ pub fn to_chrome_trace_full(
     }
     push_job_lane_items(&mut items, audit);
     push_engine_track_items(&mut items, engine);
+    push_slo_track_items(&mut items, slo);
     items.sort_by_key(|(ts, _)| *ts);
     let mut out = String::with_capacity(items.len() * 96 + 64);
     out.push_str("{\"traceEvents\":[");
@@ -253,6 +272,82 @@ fn push_engine_track_items(items: &mut Vec<(u64, String)>, engine: &[EngineSpan]
             ),
         ));
     }
+}
+
+/// Fold SLO transitions into their own Chrome process
+/// ([`SLO_TRACK_PID`], one thread per spec name, in first-seen order).
+/// Virtual-time instants, process-scoped so Perfetto draws a full-height
+/// marker at each breach.
+fn push_slo_track_items(items: &mut Vec<(u64, String)>, slo: &[SloEvent]) {
+    if slo.is_empty() {
+        return;
+    }
+    items.push((
+        0,
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{SLO_TRACK_PID},\
+             \"args\":{{\"name\":\"slo\"}}}}"
+        ),
+    ));
+    let mut tids: Vec<&str> = Vec::new();
+    for e in slo {
+        if !tids.iter().any(|n| *n == e.name) {
+            let tid = tids.len();
+            tids.push(&e.name);
+            items.push((
+                0,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{SLO_TRACK_PID},\
+                     \"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                    e.name
+                ),
+            ));
+        }
+    }
+    for e in slo {
+        let tid = tids.iter().position(|n| *n == e.name).unwrap_or(0);
+        items.push((
+            e.t_us,
+            format!(
+                "{{\"name\":\"{}:{}\",\"cat\":\"slo\",\"ph\":\"i\",\"s\":\"p\",\
+                 \"pid\":{SLO_TRACK_PID},\"tid\":{tid},\"ts\":{},\
+                 \"args\":{{\"value\":{},\"target\":{}}}}}",
+                e.kind.as_str(),
+                e.name,
+                e.t_us,
+                chrome_f64(e.value),
+                chrome_f64(e.target),
+            ),
+        ));
+    }
+}
+
+/// Finite-only `f64` rendering for hand-built JSON (NaN/inf are not valid
+/// JSON numbers; clamp them to 0 rather than corrupt the document).
+fn chrome_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Render SLO transitions as JSONL, one object per line in firing order —
+/// the streaming companion to the Chrome SLO track.
+pub fn slo_to_jsonl(events: &[SloEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{{\"ts_us\":{},\"kind\":\"{}\",\"slo\":\"{}\",\"value\":{},\"target\":{}}}",
+            e.t_us,
+            e.kind.as_str(),
+            e.name,
+            chrome_f64(e.value),
+            chrome_f64(e.target),
+        );
+    }
+    out
 }
 
 /// Render events as JSONL: one flat object per line, in recording order

@@ -29,6 +29,10 @@ pub struct FlightConfig {
     /// Where to dump on a `node_down` event or panic (no auto-dump when
     /// unset; manual dumps still work).
     pub dump_path: Option<PathBuf>,
+    /// Dedupe window for triggered dumps, µs of virtual time: a tagged
+    /// dump within this span of the previous one is skipped (the earlier
+    /// dump already holds the interesting ring). 0 disables dedupe.
+    pub cooldown_us: u64,
 }
 
 impl Default for FlightConfig {
@@ -37,6 +41,7 @@ impl Default for FlightConfig {
             per_node: 256,
             max_bytes: 256 * 1024,
             dump_path: None,
+            cooldown_us: 0,
         }
     }
 }
@@ -48,6 +53,12 @@ impl FlightConfig {
             dump_path: Some(path.into()),
             ..FlightConfig::default()
         }
+    }
+
+    /// Set the triggered-dump dedupe window.
+    pub fn with_cooldown(mut self, cooldown: simclock::SimSpan) -> Self {
+        self.cooldown_us = cooldown.as_micros();
+        self
     }
 }
 
@@ -147,6 +158,41 @@ impl FlightRecorder {
         f.write_all(export::to_jsonl(&events).as_bytes())?;
         Ok(events.len())
     }
+
+    /// Like [`FlightRecorder::dump_to`], but prefixed with a header line
+    /// identifying what triggered the dump and when (virtual µs), so a
+    /// post-mortem can tell an SLO-breach snapshot from a node-down one:
+    ///
+    /// ```text
+    /// {"flight_dump":{"reason":"slo_breach:sweep_p99_us","t_us":90000000,"events":412}}
+    /// ```
+    pub fn dump_tagged(&self, path: &Path, reason: &str, t_us: u64) -> std::io::Result<usize> {
+        let events = self.events();
+        let mut f = std::fs::File::create(path)?;
+        writeln!(
+            f,
+            "{{\"flight_dump\":{{\"reason\":\"{}\",\"t_us\":{},\"events\":{}}}}}",
+            escape_json(reason),
+            t_us,
+            events.len()
+        )?;
+        f.write_all(export::to_jsonl(&events).as_bytes())?;
+        Ok(events.len())
+    }
+}
+
+/// Minimal JSON string escaping for the dump-header reason tag.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Install a process-wide panic hook that dumps `rec`'s flight ring (if it
@@ -175,7 +221,7 @@ mod tests {
         let cfg = FlightConfig {
             per_node: 1_000,
             max_bytes: 10 * EVENT_BYTES,
-            dump_path: None,
+            ..FlightConfig::default()
         };
         let mut fr = FlightRecorder::new(&cfg);
         for i in 0..500 {
@@ -190,7 +236,7 @@ mod tests {
         let cfg = FlightConfig {
             per_node: 3,
             max_bytes: usize::MAX,
-            dump_path: None,
+            ..FlightConfig::default()
         };
         let mut fr = FlightRecorder::new(&cfg);
         for i in 0..5 {
@@ -206,7 +252,7 @@ mod tests {
         let cfg = FlightConfig {
             per_node: 1_000,
             max_bytes: 4 * EVENT_BYTES,
-            dump_path: None,
+            ..FlightConfig::default()
         };
         let mut fr = FlightRecorder::new(&cfg);
         // Interleave nodes so the oldest events alternate between rings.
@@ -225,14 +271,14 @@ mod tests {
         let mut fr = FlightRecorder::new(&FlightConfig {
             per_node: 0,
             max_bytes: usize::MAX,
-            dump_path: None,
+            ..FlightConfig::default()
         });
         fr.record(ev(1, 0));
         assert!(fr.is_empty());
         let mut fr = FlightRecorder::new(&FlightConfig {
             per_node: 10,
             max_bytes: EVENT_BYTES - 1,
-            dump_path: None,
+            ..FlightConfig::default()
         });
         fr.record(ev(1, 0));
         assert!(fr.is_empty());
@@ -253,5 +299,33 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[1].contains("node_down"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tagged_dump_prefixes_a_reason_header() {
+        let mut fr = FlightRecorder::new(&FlightConfig::default());
+        fr.record(ev(10, 3));
+        let dir = std::env::temp_dir().join("obs-flight-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("tagged.jsonl");
+        let n = fr
+            .dump_tagged(&path, "slo_breach:sweep_p99_us", 90_000_000)
+            .expect("dump writes");
+        assert_eq!(n, 1);
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "header plus one event");
+        assert_eq!(
+            lines[0],
+            "{\"flight_dump\":{\"reason\":\"slo_breach:sweep_p99_us\",\"t_us\":90000000,\"events\":1}}"
+        );
+        assert!(lines[1].contains("msg_recv"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reason_tags_are_json_escaped() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("tab\there"), "tab\\u0009here");
     }
 }

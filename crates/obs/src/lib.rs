@@ -62,6 +62,7 @@ pub mod metric;
 pub mod recorder;
 pub mod sampler;
 pub mod series;
+pub mod slo;
 
 pub use audit::{
     AccuracyStats, AuditReport, Decision, DecisionLog, DecisionRecord, EstSource, EstimateRef,
@@ -86,4 +87,8 @@ pub use sampler::Sampler;
 pub use series::{
     compare_csv, parse_csv, DiffOptions, DiffReport, MetricDelta, SeriesPoint, SeriesStore,
     SeriesSummary,
+};
+pub use slo::{
+    AnomalySpec, HealthScore, SloEngine, SloEvent, SloEventKind, SloOp, SloReport, SloSignal,
+    SloSpec, SloStat, SLO_TRACK_PID,
 };

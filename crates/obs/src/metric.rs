@@ -214,10 +214,13 @@ pub enum Hist {
     QueryLatencyUs,
     /// Scheduler wait time (submission → final start), seconds.
     JobWaitS,
+    /// Bounded slowdown of a completed job, milli-units (1000 = 1.0; the
+    /// fair-metric denominator floors runtime at τ=10s).
+    BoundedSlowdownMilli,
 }
 
 /// Number of histogram ids.
-pub const N_HISTS: usize = Hist::JobWaitS as usize + 1;
+pub const N_HISTS: usize = Hist::BoundedSlowdownMilli as usize + 1;
 
 /// Shared bucket ladder for microsecond-scale latencies.
 const US_BOUNDS: &[u64] = &[
@@ -230,6 +233,11 @@ const S_BOUNDS: &[u64] = &[
     1, 5, 15, 60, 300, 900, 1_800, 3_600, 7_200, 14_400, 43_200, 86_400,
 ];
 
+/// Bucket ladder for bounded slowdown in milli-units (1.0x .. 100x).
+const SLOWDOWN_MILLI_BOUNDS: &[u64] = &[
+    1_000, 1_200, 1_500, 2_000, 3_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+];
+
 impl Hist {
     /// Stable snake_case name used in exports.
     pub fn name(self) -> &'static str {
@@ -240,6 +248,7 @@ impl Hist {
             Hist::TaskServiceUs => "task_service_us",
             Hist::QueryLatencyUs => "query_latency_us",
             Hist::JobWaitS => "job_wait_s",
+            Hist::BoundedSlowdownMilli => "bounded_slowdown_milli",
         }
     }
 
@@ -252,6 +261,7 @@ impl Hist {
             Hist::TaskServiceUs => "Satellite task service time, microseconds.",
             Hist::QueryLatencyUs => "User status-query response latency, microseconds.",
             Hist::JobWaitS => "Scheduler job wait time, seconds.",
+            Hist::BoundedSlowdownMilli => "Bounded slowdown of completed jobs, milli-units.",
         }
     }
 
@@ -265,6 +275,7 @@ impl Hist {
             | Hist::TaskServiceUs
             | Hist::QueryLatencyUs => US_BOUNDS,
             Hist::JobWaitS => S_BOUNDS,
+            Hist::BoundedSlowdownMilli => SLOWDOWN_MILLI_BOUNDS,
         }
     }
 
@@ -277,6 +288,7 @@ impl Hist {
             Hist::TaskServiceUs,
             Hist::QueryLatencyUs,
             Hist::JobWaitS,
+            Hist::BoundedSlowdownMilli,
         ]
     }
 }

@@ -43,6 +43,10 @@ impl LabeledCell {
 struct FlightState {
     ring: Mutex<FlightRecorder>,
     dump_path: Option<PathBuf>,
+    /// Triggered-dump dedupe window, µs of virtual time (0 = off).
+    cooldown_us: u64,
+    /// Virtual time of the last triggered dump; `u64::MAX` = never.
+    last_dump_t_us: AtomicU64,
 }
 
 struct Shared {
@@ -79,6 +83,8 @@ impl Shared {
             flight: flight.map(|cfg| FlightState {
                 ring: Mutex::new(FlightRecorder::new(&cfg)),
                 dump_path: cfg.dump_path,
+                cooldown_us: cfg.cooldown_us,
+                last_dump_t_us: AtomicU64::new(u64::MAX),
             }),
             causal: Mutex::new(Vec::new()),
             next_trace: AtomicU64::new(1),
@@ -93,11 +99,9 @@ impl Shared {
         if let Some(fl) = &self.flight {
             fl.ring.lock().record(e);
             if e.kind == EventKind::NodeDown {
-                if let Some(path) = &fl.dump_path {
-                    // Post-mortem context beats hot-path purity here: a
-                    // node just died, write what we have.
-                    let _ = fl.ring.lock().dump_to(path);
-                }
+                // Post-mortem context beats hot-path purity here: a node
+                // just died, write what we have (tagged, cooldown-deduped).
+                let _ = fl.dump_triggered("node_down", e.ts_us);
             }
         }
     }
@@ -107,6 +111,23 @@ impl Shared {
 /// same sink; the default is disabled.
 #[derive(Clone, Default)]
 pub struct Recorder(Option<Arc<Shared>>);
+
+impl FlightState {
+    /// Shared triggered-dump path: tagged header, cooldown dedupe. The
+    /// cooldown compares virtual times, so it is deterministic for a
+    /// seed; `None` means skipped or unconfigured.
+    fn dump_triggered(&self, reason: &str, t_us: u64) -> Option<usize> {
+        let path = self.dump_path.as_ref()?;
+        if self.cooldown_us > 0 {
+            let last = self.last_dump_t_us.load(Ordering::Relaxed);
+            if last != u64::MAX && t_us.saturating_sub(last) < self.cooldown_us {
+                return None;
+            }
+        }
+        self.last_dump_t_us.store(t_us, Ordering::Relaxed);
+        self.ring.lock().dump_tagged(path, reason, t_us).ok()
+    }
+}
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -430,11 +451,24 @@ impl Recorder {
 
     /// Dump the flight ring to its configured path now. Returns the event
     /// count written, or `None` when there is no ring or no dump path.
+    /// Manual dumps are headerless and ignore the cooldown (the panic
+    /// hook must always write).
     pub fn flight_dump(&self) -> Option<std::io::Result<usize>> {
         let s = self.0.as_ref()?;
         let fl = s.flight.as_ref()?;
         let path = fl.dump_path.as_ref()?;
         Some(fl.ring.lock().dump_to(path))
+    }
+
+    /// Dump the flight ring with a `reason` header at virtual time `t_us`
+    /// (the externally-triggered shape: SLO breaches, operator requests).
+    /// Honors the [`FlightConfig::cooldown_us`] dedupe window — returns
+    /// `false` when skipped (disabled, no ring/path, or within cooldown
+    /// of the previous triggered dump).
+    pub fn flight_dump_tagged(&self, reason: &str, t_us: u64) -> bool {
+        let Some(s) = &self.0 else { return false };
+        let Some(fl) = &s.flight else { return false };
+        fl.dump_triggered(reason, t_us).is_some()
     }
 
     /// Current value of a counter.
@@ -694,7 +728,7 @@ mod tests {
         let r = Recorder::with_flight(FlightConfig {
             per_node: 2,
             max_bytes: usize::MAX,
-            dump_path: None,
+            ..FlightConfig::default()
         });
         assert!(r.events_enabled());
         for i in 0..5 {
@@ -717,6 +751,46 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("auto-dump written");
         assert!(text.contains("node_down"));
         assert!(text.contains("msg_recv"));
+        // Auto-dumps carry the triggered-dump header shape.
+        assert!(
+            text.starts_with("{\"flight_dump\":{\"reason\":\"node_down\""),
+            "missing reason header: {text}"
+        );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tagged_dumps_dedupe_within_the_cooldown() {
+        let dir = std::env::temp_dir().join("obs-recorder-flight");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("cooldown.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cfg = FlightConfig::dumping_to(&path).with_cooldown(simclock::SimSpan::from_secs(10));
+        let r = Recorder::with_flight(cfg);
+        r.event(5, 1, EventKind::MsgRecv, 0, 0);
+        assert!(r.flight_dump_tagged("slo_breach:a", 1_000_000));
+        // 2s later: inside the 10s window, skipped.
+        assert!(!r.flight_dump_tagged("slo_breach:b", 3_000_000));
+        let text = std::fs::read_to_string(&path).expect("first dump written");
+        assert!(text.contains("slo_breach:a"), "first dump survives: {text}");
+        // 11s after the first: outside the window, dumps again.
+        assert!(r.flight_dump_tagged("slo_breach:c", 12_000_000));
+        let text = std::fs::read_to_string(&path).expect("third dump written");
+        assert!(text.contains("slo_breach:c"));
+        // Manual dumps ignore the cooldown and stay headerless.
+        assert!(matches!(r.flight_dump(), Some(Ok(1))));
+        let text = std::fs::read_to_string(&path).expect("manual dump written");
+        assert!(!text.contains("flight_dump"), "manual dump grew a header");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tagged_dump_without_a_ring_is_a_no_op() {
+        assert!(!Recorder::disabled().flight_dump_tagged("x", 0));
+        assert!(!Recorder::metrics_only().flight_dump_tagged("x", 0));
+        // A ring without a dump path records but never writes.
+        let r = Recorder::with_flight(FlightConfig::default());
+        r.event(1, 0, EventKind::MsgRecv, 0, 0);
+        assert!(!r.flight_dump_tagged("x", 0));
     }
 }

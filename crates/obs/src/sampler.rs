@@ -125,6 +125,14 @@ impl Sampler {
         }
     }
 
+    /// Run `f` against the live series store without cloning it (the SLO
+    /// engine's read path — a full [`Sampler::store`] clone per
+    /// evaluation tick would dwarf the evaluation itself). `None` when
+    /// disabled. Do not call [`Sampler`] methods from inside `f`.
+    pub fn with_store<R>(&self, f: impl FnOnce(&SeriesStore) -> R) -> Option<R> {
+        self.0.as_ref().map(|s| f(&s.inner.lock().store))
+    }
+
     /// Append one point to an arbitrary series.
     pub fn record(&self, t: SimTime, id: MetricId, value: f64) {
         if let Some(s) = &self.0 {

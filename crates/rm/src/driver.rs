@@ -7,7 +7,7 @@ use crate::profile::{HeartbeatMode, RmProfile};
 use crate::proto::{NodeSlice, RmMsg};
 use crate::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
-use obs::{EngineProfiler, Recorder, Sampler};
+use obs::{EngineProfiler, Recorder, Sampler, SloEngine};
 use rand::RngExt;
 use sched::prelude::*;
 use simclock::rng::stream_rng;
@@ -131,6 +131,7 @@ pub struct RmClusterBuilder {
     sampler: Sampler,
     policies: SchedPolicies,
     engine: EngineProfiler,
+    slo: SloEngine,
 }
 
 impl RmClusterBuilder {
@@ -147,6 +148,7 @@ impl RmClusterBuilder {
             sampler: Sampler::disabled(),
             policies: SchedPolicies::default(),
             engine: EngineProfiler::disabled(),
+            slo: SloEngine::disabled(),
         }
     }
 
@@ -214,6 +216,16 @@ impl RmClusterBuilder {
         self
     }
 
+    /// Evaluate SLO specs online against this run's telemetry, exactly as
+    /// `EslurmSystemBuilder::slo` does for the distributed stack. The
+    /// engine ticks on the sampling cadence (configure `sample_until` or
+    /// an end-bounded sampler) and is strictly observational — outcomes
+    /// and base exports are unchanged with it on or off.
+    pub fn slo(mut self, engine: SloEngine) -> Self {
+        self.slo = engine;
+        self
+    }
+
     /// Materialize the cluster.
     pub fn build(self) -> ClusterHarness {
         let n = self.n;
@@ -246,6 +258,7 @@ impl RmClusterBuilder {
         let mut config = SimConfig::new(n, self.seed);
         config.obs = self.obs;
         config.engine = self.engine;
+        config.slo = self.slo;
         if self.sampler.enabled() {
             self.sampler.name_node(NodeId::MASTER.0, "master");
             config.sampler = self.sampler;

@@ -386,7 +386,10 @@ pub fn simulate(
                     let e = report.per_user.entry(job.user.0).or_default();
                     e.0 += 1;
                     e.1 += wait;
-                    report.total_slowdown += bounded_slowdown(wait, job.actual_runtime);
+                    let sd = bounded_slowdown(wait, job.actual_runtime);
+                    report.total_slowdown += sd;
+                    cfg.obs
+                        .observe(Hist::BoundedSlowdownMilli, (sd * 1000.0) as u64);
                     // r.nodes is the clamped allocation actually held.
                     report.useful_node_secs += r.nodes as f64 * job.actual_runtime.as_secs_f64();
                     if cfg.audit.enabled() {
