@@ -20,7 +20,7 @@
 use emu::NodeId;
 use eslurm::{EslurmConfig, EslurmSystemBuilder};
 use eslurm_bench::{f, print_table, ExpArgs};
-use obs::{EngineProfiler, EngineReport};
+use obs::{mem_profile_compiled, EngineProfiler, EngineReport, MemProfiler, MemReport};
 use serde::{Number, Value};
 use simclock::rng::{exponential, stream_rng};
 use simclock::{SimSpan, SimTime};
@@ -58,9 +58,12 @@ struct RunResult {
     jobs_recorded: u64,
     /// Wall-clock engine profile, present under `--profile`.
     profile: Option<EngineReport>,
+    /// Tagged heap profile, present under `--mem` when the binary was
+    /// built with the `mem-profile` feature.
+    mem: Option<MemReport>,
 }
 
-fn run_once(scale: &Scale, seed: u64, shards: usize, profile: bool) -> RunResult {
+fn run_once(scale: &Scale, seed: u64, shards: usize, profile: bool, mem: bool) -> RunResult {
     let cfg = EslurmConfig {
         n_satellites: scale.satellites,
         eq1_width: 64,
@@ -74,9 +77,15 @@ fn run_once(scale: &Scale, seed: u64, shards: usize, profile: bool) -> RunResult
     } else {
         EngineProfiler::disabled()
     };
+    let mem_profiler = if mem {
+        MemProfiler::enabled()
+    } else {
+        MemProfiler::disabled()
+    };
     let mut sys = EslurmSystemBuilder::new(cfg, scale.n_slaves, seed)
         .shards(shards)
         .engine_profile(profiler.clone())
+        .mem_profile(mem_profiler.clone())
         .build();
     let parallel = sys.sim.parallel_enabled();
 
@@ -146,6 +155,7 @@ fn run_once(scale: &Scale, seed: u64, shards: usize, profile: bool) -> RunResult
         jobs_submitted: jobs,
         jobs_recorded: sys.master().records.len() as u64,
         profile: profiler.report(),
+        mem: mem_profiler.report(),
     }
 }
 
@@ -186,7 +196,7 @@ fn main() {
         print!("  shards={shards} ... ");
         use std::io::Write as _;
         std::io::stdout().flush().ok();
-        let r = run_once(&scale, args.seed, shards, args.profile);
+        let r = run_once(&scale, args.seed, shards, args.profile, args.mem);
         println!(
             "{} events in {:.2} s ({:.0} ev/s{})",
             r.events,
@@ -204,7 +214,21 @@ fn main() {
                 p.cross_shard_total()
             );
         }
+        if let Some(m) = &r.mem {
+            println!(
+                "    mem: {} peak across {} tag(s), {:.2} allocs/event",
+                eslurm_bench::fmt_bytes(m.total_peak()),
+                m.tags.len(),
+                m.total_allocs() as f64 / r.events.max(1) as f64
+            );
+        }
         results.push(r);
+    }
+    if args.mem && !mem_profile_compiled() {
+        println!(
+            "  (--mem requested but this binary lacks the `mem-profile` \
+             feature; heap numbers omitted)"
+        );
     }
 
     let serial = &results[0];
@@ -285,6 +309,31 @@ fn main() {
     );
     root.insert("outcomes_match".to_string(), Value::Bool(outcomes_match));
     root.insert("profiled".to_string(), Value::Bool(args.profile));
+    root.insert(
+        "mem_profiled".to_string(),
+        Value::Bool(args.mem && mem_profile_compiled()),
+    );
+    // The serial run's heap profile is the reference: per-tag peaks plus
+    // the allocations-per-event figure the mem-profile CI job gates on.
+    if let Some(m) = &serial.mem {
+        let mut o = BTreeMap::new();
+        o.insert(
+            "allocs_per_event".to_string(),
+            Value::Number(Number::F64(
+                m.total_allocs() as f64 / serial.events.max(1) as f64,
+            )),
+        );
+        o.insert(
+            "total_peak_bytes".to_string(),
+            Value::Number(Number::U64(m.total_peak())),
+        );
+        let mut peaks = BTreeMap::new();
+        for t in &m.tags {
+            peaks.insert(t.tag.clone(), Value::Number(Number::U64(t.peak_bytes)));
+        }
+        o.insert("peak_bytes".to_string(), Value::Object(peaks));
+        root.insert("mem".to_string(), Value::Object(o));
+    }
     let runs: Vec<Value> = results
         .iter()
         .map(|r| {
@@ -336,6 +385,18 @@ fn main() {
                             .map(|s| Value::Number(Number::F64(s.events_per_sec())))
                             .collect(),
                     ),
+                );
+            }
+            if let Some(m) = &r.mem {
+                o.insert(
+                    "allocs_per_event".to_string(),
+                    Value::Number(Number::F64(
+                        m.total_allocs() as f64 / r.events.max(1) as f64,
+                    )),
+                );
+                o.insert(
+                    "peak_bytes_total".to_string(),
+                    Value::Number(Number::U64(m.total_peak())),
                 );
             }
             Value::Object(o)

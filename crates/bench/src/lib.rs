@@ -19,21 +19,28 @@ pub struct ExpArgs {
     /// Arm the wall-clock engine profiler (binaries that drive the DES
     /// report sync overhead and load imbalance when set).
     pub profile: bool,
+    /// Arm the tagged tracking allocator (binaries that drive the DES
+    /// report per-tag heap peaks and allocations-per-event when set;
+    /// needs a binary built with `--features mem-profile` to measure).
+    pub mem: bool,
 }
 
 impl ExpArgs {
-    /// Parse from `std::env::args` (`--quick`, `--seed <n>`, `--profile`).
+    /// Parse from `std::env::args` (`--quick`, `--seed <n>`, `--profile`,
+    /// `--mem`).
     pub fn parse() -> Self {
         let mut args = ExpArgs {
             quick: false,
             seed: 42,
             profile: false,
+            mem: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
                 "--profile" => args.profile = true,
+                "--mem" => args.mem = true,
                 "--seed" => {
                     args.seed = match it.next().and_then(|v| v.parse().ok()) {
                         Some(s) => s,
@@ -46,7 +53,8 @@ impl ExpArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --quick (reduced scale), --seed <n>, \
-                         --profile (wall-clock engine profiler)"
+                         --profile (wall-clock engine profiler), \
+                         --mem (tagged heap profiler)"
                     );
                     std::process::exit(0);
                 }
@@ -139,12 +147,14 @@ mod tests {
             quick: true,
             seed: 1,
             profile: false,
+            mem: false,
         };
         assert_eq!(a.scale(100, 10), 10);
         let b = ExpArgs {
             quick: false,
             seed: 1,
             profile: false,
+            mem: false,
         };
         assert_eq!(b.scale(100, 10), 100);
     }

@@ -11,8 +11,9 @@ use estimate::{
 use obs::audit::{render_report, render_timeline, AuditReport};
 use obs::causal::{render_critical_path, render_flow_summaries, render_tree};
 use obs::{
-    build_traces, compare_csv, flow_summaries, DecisionLog, DiffOptions, EngineProfiler,
-    FlightConfig, FlowKind, Recorder, Sampler, SeriesStore, SloEngine, TraceTree,
+    build_traces, compare_csv, flow_summaries, mem_profile_compiled, DecisionLog, DiffOptions,
+    EngineProfiler, FlightConfig, FlowKind, MemProfiler, Recorder, Sampler, SeriesStore, SloEngine,
+    TraceTree,
 };
 use sched::prelude::{
     simulate as run_schedule, BackfillConfig, FairShareLedger, LimitPolicy, MultifactorPriority,
@@ -184,9 +185,31 @@ pub const COMMANDS: &[CmdSpec] = &[
         ],
     },
     CmdSpec {
+        name: "mem-report",
+        summary: "per-subsystem host-heap attribution of an emulated run",
+        flags: &[
+            "nodes",
+            "satellites",
+            "minutes",
+            "jobs",
+            "seed",
+            "faults",
+            "shards",
+            "format",
+            "out",
+            "csv",
+        ],
+    },
+    CmdSpec {
         name: "diff",
         summary: "compare two metrics CSVs and gate footprint regressions",
-        flags: &["threshold-pct", "thresholds", "all", "include-wallclock"],
+        flags: &[
+            "threshold-pct",
+            "thresholds",
+            "all",
+            "include-wallclock",
+            "include-domain",
+        ],
     },
     CmdSpec {
         name: "convert",
@@ -247,6 +270,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Option<Result<(), CliError>> {
         "sched-report" => sched_report(rest),
         "engine-report" => engine_report(rest),
         "slo-report" => slo_report(rest),
+        "mem-report" => mem_report(rest),
         "diff" => diff(rest),
         "convert" => convert(rest),
         _ => return None,
@@ -542,6 +566,7 @@ fn run_emulation(
     shards: usize,
     engine: EngineProfiler,
     slo: SloEngine,
+    mem: MemProfiler,
 ) -> EslurmSystem {
     let cfg = EslurmConfig {
         n_satellites: satellites,
@@ -554,7 +579,8 @@ fn run_emulation(
         .sampler(sampler)
         .shards(shards)
         .engine_profile(engine)
-        .slo(slo);
+        .slo(slo)
+        .mem_profile(mem);
     if fault_events > 0 {
         builder = builder.faults(compute_fault_plan(
             nodes,
@@ -640,6 +666,7 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
         1,
         EngineProfiler::disabled(),
         SloEngine::disabled(),
+        MemProfiler::disabled(),
     );
 
     let master = sys.master();
@@ -703,6 +730,7 @@ pub fn trace_cmd(args: &[String]) -> Result<(), CliError> {
         1,
         EngineProfiler::disabled(),
         SloEngine::disabled(),
+        MemProfiler::disabled(),
     );
     let n = write_obs(&rec, out, format)?;
     println!(
@@ -760,6 +788,7 @@ pub fn metrics(args: &[String]) -> Result<(), CliError> {
         1,
         EngineProfiler::disabled(),
         SloEngine::disabled(),
+        MemProfiler::disabled(),
     );
 
     let store = sampler.store();
@@ -829,6 +858,7 @@ fn causal_run(cmd: &'static str, o: &Opts) -> Result<Vec<TraceTree>, CliError> {
         1,
         EngineProfiler::disabled(),
         SloEngine::disabled(),
+        MemProfiler::disabled(),
     );
     Ok(build_traces(&rec.causal_records()))
 }
@@ -1173,6 +1203,7 @@ pub fn engine_report(args: &[String]) -> Result<(), CliError> {
         shards,
         profiler.clone(),
         SloEngine::disabled(),
+        MemProfiler::disabled(),
     );
     let report = profiler
         .report()
@@ -1255,6 +1286,7 @@ pub fn slo_report(args: &[String]) -> Result<(), CliError> {
         1,
         EngineProfiler::disabled(),
         slo,
+        MemProfiler::disabled(),
     );
     let report = sys
         .sim
@@ -1291,17 +1323,112 @@ pub fn slo_report(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `eslurm mem-report [--nodes N --satellites M --minutes T --jobs J
+/// --seed S --faults K --shards P] [--format table|csv|json] [--out FILE]
+/// [--csv FILE]`
+///
+/// Runs the same emulation as `simulate` with the tagged tracking
+/// allocator armed and prints the per-subsystem host-heap attribution:
+/// live and peak bytes, allocation counts and rates, and the size-class
+/// histogram for each tag (`master`, `satellite`, `sched`, `ml`, `obs`,
+/// `des-shard{n}`, `untagged`). Host-memory measurements live in their
+/// own domain (DESIGN §15): outcomes and all virtual-time exports are
+/// bit-identical with the profiler on or off, and the `mem_host_*` series
+/// written by `--csv` never reach the default `diff` gates. Requires a
+/// binary built with `--features mem-profile`; without it the command
+/// explains and exits 0.
+pub fn mem_report(args: &[String]) -> Result<(), CliError> {
+    const CMD: &str = "mem-report";
+    let o = parse_opts(CMD, args)?;
+    if o.wants_help() {
+        print_help(CMD);
+        return Ok(());
+    }
+    let nodes = flag_or(CMD, &o, "nodes", 128usize)?;
+    let satellites = flag_or(CMD, &o, "satellites", 2usize)?;
+    let minutes = flag_or(CMD, &o, "minutes", 5u64)?;
+    let n_jobs = flag_or(CMD, &o, "jobs", 10u64)?;
+    let seed = flag_or(CMD, &o, "seed", 42u64)?;
+    let fault_events = flag_or(CMD, &o, "faults", 0usize)?;
+    let shards = flag_or(CMD, &o, "shards", 1usize)?;
+    let format = o.get("format").unwrap_or("table");
+
+    if !mem_profile_compiled() {
+        println!(
+            "mem-report: this binary was built without the `mem-profile` \
+             feature, so the tracking allocator is compiled out.\n\
+             rebuild with `cargo build --features mem-profile` to measure \
+             the host heap."
+        );
+        return Ok(());
+    }
+    let horizon = SimTime::ZERO + SimSpan::from_secs(minutes * 60);
+    // The sampler drives the sampling tick that feeds `mem_host_*` series;
+    // arm it on the 1 Hz cadence whether or not `--csv` exports them.
+    let sampler = Sampler::every_until(SimSpan::from_secs(1), horizon);
+    let profiler = MemProfiler::enabled();
+    let sys = run_emulation(
+        nodes,
+        satellites,
+        minutes,
+        n_jobs,
+        seed,
+        fault_events,
+        Recorder::disabled(),
+        sampler.clone(),
+        shards,
+        EngineProfiler::disabled(),
+        SloEngine::disabled(),
+        profiler.clone(),
+    );
+    let report = profiler
+        .report()
+        .expect("mem_profile_compiled() checked above, so the handle is armed");
+    let body = match format {
+        "table" => report.render(),
+        "csv" => report.to_csv(),
+        "json" => report.to_json(),
+        other => {
+            return Err(CliError::usage(
+                CMD,
+                format!("unknown --format {other} (table | csv | json)"),
+            ))
+        }
+    };
+    match o.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| CliError::io(format!("writing {path}"), e))?;
+            println!("mem report ({format}) -> {path}");
+        }
+        None => print!("{body}"),
+    }
+    println!(
+        "jobs completed: {}/{n_jobs}; engine events: {}",
+        sys.master().records.len(),
+        sys.sim.events_processed()
+    );
+    if let Some(path) = o.get("csv") {
+        std::fs::write(path, sampler.host_csv())
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("csv:    mem_host_* series -> {path}");
+    }
+    Ok(())
+}
+
 /// `eslurm diff BASE.csv NEW.csv [--threshold-pct P]
 /// [--thresholds metric=P,metric=P] [--all true]
-/// [--include-wallclock true]`
+/// [--include-domain wallclock,host-mem]`
 ///
 /// Compares two sampler CSVs and exits 3 when any gated metric's mean or
 /// max grew past its threshold. `footprint_*` metrics are gated by
 /// default; `--thresholds` gates the listed metrics with their own
-/// limits, and `--all true` gates every shared metric. Wall-clock
-/// `engine_wall_*` series are never gated unless `--include-wallclock
-/// true` (or an explicit `--thresholds` entry) opts them in — host timing
-/// jitter must not fail a virtual-time determinism gate.
+/// limits, and `--all true` gates every shared metric. Metrics from the
+/// non-virtual measurement domains — wall-clock `engine_wall_*` and
+/// host-memory `mem_host_*` series — are never gated unless
+/// `--include-domain` (or an explicit `--thresholds` entry) opts their
+/// domain in: host timing and allocator jitter must not fail a
+/// virtual-time determinism gate. `--include-wallclock true` is kept as
+/// an alias for `--include-domain wallclock`.
 pub fn diff(args: &[String]) -> Result<(), CliError> {
     const CMD: &str = "diff";
     let o = parse_opts(CMD, args)?;
@@ -1321,6 +1448,20 @@ pub fn diff(args: &[String]) -> Result<(), CliError> {
         include_wallclock: flag_or(CMD, &o, "include-wallclock", false)?,
         ..DiffOptions::default()
     };
+    if let Some(list) = o.get("include-domain") {
+        for domain in list.split(',').filter(|p| !p.is_empty()) {
+            match domain {
+                "wallclock" => opts.include_wallclock = true,
+                "host-mem" => opts.include_hostmem = true,
+                other => {
+                    return Err(CliError::usage(
+                        CMD,
+                        format!("unknown --include-domain {other} (wallclock | host-mem)"),
+                    ))
+                }
+            }
+        }
+    }
     if let Some(list) = o.get("thresholds") {
         for part in list.split(',').filter(|p| !p.is_empty()) {
             // Split at the LAST `=`: rendered metric names may carry label
@@ -1345,18 +1486,21 @@ pub fn diff(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::parse(format!("{base_path} vs {new_path}"), e))?;
 
     println!(
-        "{:<44} {:>5} {:>14} {:>14} {:>9}  gate",
-        "metric", "stat", "base", "new", "delta%"
+        "{:<44} {:>9} {:>5} {:>14} {:>14} {:>9}  gate",
+        "metric", "domain", "stat", "base", "new", "delta%"
     );
     for d in &report.deltas {
+        // Gate verdicts name the metric's measurement domain so a failure
+        // line says which clock it was judged in (virtual determinism vs.
+        // opted-in wallclock/host noise).
         let gate = match (d.regressed, d.threshold_pct) {
-            (true, Some(t)) => format!("FAIL >{t}%"),
+            (true, Some(t)) => format!("FAIL >{t}% ({} domain)", d.domain),
             (false, Some(t)) => format!("ok <={t}%"),
             (_, None) => "-".to_string(),
         };
         println!(
-            "{:<44} {:>5} {:>14.4} {:>14.4} {:>9.2}  {gate}",
-            d.metric, d.stat, d.base, d.new, d.pct
+            "{:<44} {:>9} {:>5} {:>14.4} {:>14.4} {:>9.2}  {gate}",
+            d.metric, d.domain, d.stat, d.base, d.new, d.pct
         );
     }
     for m in &report.only_in_base {

@@ -44,8 +44,8 @@ use crate::node::NodeId;
 use crate::state::NodeStore;
 use obs::engine::{EngineMode, EnginePhase, EngineSpan, ShardSlot};
 use obs::{
-    CausalRecord, Counter, EngineProfiler, EventKind, FlowKind, Hist, HopSend, Recorder, Sampler,
-    SloEngine, TraceContext,
+    tag_scope, CausalRecord, Counter, EngineProfiler, EventKind, FlowKind, Hist, HopSend,
+    MemProfiler, MemTag, Recorder, Sampler, SloEngine, TraceContext,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -101,6 +101,13 @@ pub struct SimConfig {
     /// the recorder and sampler and writes only its own state, so enabling
     /// it perturbs no outcome and no base export byte.
     pub slo: SloEngine,
+    /// Host-memory profiler handle ([`obs::MemProfiler`]). Disabled by
+    /// default, and inert unless the `mem-profile` feature compiled the
+    /// tracking allocator in. When armed, each sampling tick also records
+    /// per-tag `mem_host_*` series into the sampler's *host* store —
+    /// never the default virtual-time store, so base exports stay
+    /// byte-identical with profiling on or off.
+    pub mem: MemProfiler,
 }
 
 /// Periodic meter sampling configuration.
@@ -128,6 +135,7 @@ impl SimConfig {
             partition: None,
             engine: EngineProfiler::disabled(),
             slo: SloEngine::disabled(),
+            mem: MemProfiler::disabled(),
         }
     }
 }
@@ -687,6 +695,7 @@ pub struct SimCluster<M: Payload, A: Actor<M>> {
     shared: SimShared,
     sampler: Sampler,
     slo: SloEngine,
+    mem: MemProfiler,
     sampling: Option<Sampling>,
     /// One series per entry of `sampling.tracked`, in the same order, so
     /// the per-sample hot path is a plain index instead of a hash lookup.
@@ -812,6 +821,7 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
             },
             sampler: config.sampler,
             slo: config.slo,
+            mem: config.mem,
             sampling,
             series,
             sample_next,
@@ -961,6 +971,12 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         &self.slo
     }
 
+    /// The host-memory profiler this cluster samples on each sampling
+    /// tick (disabled unless one was supplied via [`SimConfig`]).
+    pub fn mem_profiler(&self) -> &MemProfiler {
+        &self.mem
+    }
+
     /// Total events processed so far (queue events plus sampling ticks).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -1043,6 +1059,13 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
         // thread (ticks fire between segments in both engine modes), after
         // the snapshot so hist/gauge signals see this tick's state.
         self.slo.evaluate(t, &self.shared.obs, &self.sampler);
+        // Host-memory series ride the same cadence into the sampler's
+        // *host* store — the virtual-time store and its exports never see
+        // them, so base exports stay byte-identical under profiling.
+        if feed {
+            let _mem_scope = tag_scope(MemTag::Obs);
+            self.mem.sample_into(&self.sampler, t);
+        }
         self.sample_next = Some(t + s.interval);
     }
 
@@ -1080,13 +1103,19 @@ impl<M: Payload, A: Actor<M>> SimCluster<M, A> {
             let t_pop = prof.as_ref().map(|_| Instant::now());
             debug_assert!(key.time >= self.now, "event time went backwards");
             self.now = key.time;
-            let dropped = exec_event(
-                key,
-                ev,
-                Access::Global(&mut self.shards),
-                &mut self.actors[si],
-                &self.shared,
-            );
+            let dropped = {
+                // Heap traffic inside event execution belongs to the
+                // owning shard's `des-shard{n}` tag (FSM dispatch narrows
+                // it further); a no-op without `mem-profile`.
+                let _mem_scope = tag_scope(MemTag::DesShard(si));
+                exec_event(
+                    key,
+                    ev,
+                    Access::Global(&mut self.shards),
+                    &mut self.actors[si],
+                    &self.shared,
+                )
+            };
             if let (Some(p), Some(t_pop)) = (prof.as_mut(), t_pop) {
                 p.on_event(si, t_pop);
             }
@@ -1304,6 +1333,9 @@ fn worker_loop<M: Payload, A: Actor<M>>(
     let la = shared.lookahead.as_micros();
     let me = sid as usize;
     let mut slot = 0usize;
+    // All heap traffic on this worker thread defaults to the shard's tag
+    // (FSM dispatch narrows it); a no-op without `mem-profile`.
+    let _mem_scope = tag_scope(MemTag::DesShard(me));
     // Per-worker wall-clock profile. Timestamps are read only when enabled
     // and written only to this shard's own atomics: the virtual-time path
     // (queues, handlers, recorder) never sees them.

@@ -10,7 +10,7 @@ use crate::master::EslurmMaster;
 use crate::satellite::SatelliteDaemon;
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
 use monitoring::FailurePredictor;
-use obs::{EngineProfiler, Recorder, Sampler, SloEngine};
+use obs::{tag_scope, EngineProfiler, MemProfiler, MemTag, Recorder, Sampler, SloEngine};
 use rm::proto::{NodeSlice, RmMsg};
 use rm::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use sched::prelude::*;
@@ -29,24 +29,46 @@ pub enum EslurmNode {
 }
 
 impl Actor<RmMsg> for EslurmNode {
+    // Master and satellite FSMs are the management stack — their handlers
+    // run under their own heap tag. Compute-node daemons keep the ambient
+    // tag (the engine's `des-shard{n}` scope), so engine-vs-stack cost
+    // stays separable in `mem-report`.
     fn on_start(&mut self, ctx: &mut dyn Context<RmMsg>) {
         match self {
-            EslurmNode::Master(m) => m.on_start(ctx),
-            EslurmNode::Satellite(s) => s.on_start(ctx),
+            EslurmNode::Master(m) => {
+                let _mem = tag_scope(MemTag::Master);
+                m.on_start(ctx)
+            }
+            EslurmNode::Satellite(s) => {
+                let _mem = tag_scope(MemTag::Satellite);
+                s.on_start(ctx)
+            }
             EslurmNode::Slave(s) => s.on_start(ctx),
         }
     }
     fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, from: NodeId, msg: RmMsg) {
         match self {
-            EslurmNode::Master(m) => m.on_message(ctx, from, msg),
-            EslurmNode::Satellite(s) => s.on_message(ctx, from, msg),
+            EslurmNode::Master(m) => {
+                let _mem = tag_scope(MemTag::Master);
+                m.on_message(ctx, from, msg)
+            }
+            EslurmNode::Satellite(s) => {
+                let _mem = tag_scope(MemTag::Satellite);
+                s.on_message(ctx, from, msg)
+            }
             EslurmNode::Slave(s) => s.on_message(ctx, from, msg),
         }
     }
     fn on_timer(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64) {
         match self {
-            EslurmNode::Master(m) => m.on_timer(ctx, token),
-            EslurmNode::Satellite(s) => s.on_timer(ctx, token),
+            EslurmNode::Master(m) => {
+                let _mem = tag_scope(MemTag::Master);
+                m.on_timer(ctx, token)
+            }
+            EslurmNode::Satellite(s) => {
+                let _mem = tag_scope(MemTag::Satellite);
+                s.on_timer(ctx, token)
+            }
             EslurmNode::Slave(s) => s.on_timer(ctx, token),
         }
     }
@@ -80,6 +102,7 @@ pub struct EslurmSystemBuilder {
     policies: SchedPolicies,
     engine: EngineProfiler,
     slo: SloEngine,
+    mem: MemProfiler,
 }
 
 impl EslurmSystemBuilder {
@@ -99,6 +122,7 @@ impl EslurmSystemBuilder {
             policies: SchedPolicies::default(),
             engine: EngineProfiler::disabled(),
             slo: SloEngine::disabled(),
+            mem: MemProfiler::disabled(),
         }
     }
 
@@ -166,6 +190,18 @@ impl EslurmSystemBuilder {
     /// via [`SimCluster::slo_engine`] after the run.
     pub fn slo(mut self, engine: SloEngine) -> Self {
         self.slo = engine;
+        self
+    }
+
+    /// Profile the reproduction's *own heap* into `profiler` (host-memory
+    /// domain, DESIGN §15). Requires the `mem-profile` feature to measure
+    /// anything — without it the handle is inert. Like the wall-clock
+    /// profiler it never touches the virtual-time path: outcomes and base
+    /// exports are byte-identical with it armed or not; the per-tag
+    /// `mem_host_*` series land in the sampler's separate host store.
+    /// Read results back via [`SimCluster::mem_profiler`] after the run.
+    pub fn mem_profile(mut self, profiler: MemProfiler) -> Self {
+        self.mem = profiler;
         self
     }
 
@@ -250,6 +286,7 @@ impl EslurmSystemBuilder {
         config.obs = self.obs;
         config.engine = self.engine;
         config.slo = self.slo;
+        config.mem = self.mem;
         if self.sampler.enabled() {
             self.sampler.name_node(NodeId::MASTER.0, "master");
             for (i, &s) in sat_ids.iter().enumerate() {

@@ -103,6 +103,7 @@ impl<R: Regressor> WindowModel<R> {
         if self.history.len() < 10 {
             return;
         }
+        let _mem = obs::tag_scope(obs::MemTag::Ml);
         let raw: Vec<Vec<f64>> = self.history.iter().map(|(f, _)| f.clone()).collect();
         self.scaler = StandardScaler::fit(&raw);
         let x = self.scaler.transform_all(&raw);

@@ -175,6 +175,7 @@ impl RuntimeEstimator {
 
     /// Force a retrain on the current interest window.
     pub fn retrain(&mut self, now: SimTime) {
+        let _mem = obs::tag_scope(obs::MemTag::Ml);
         let window: Vec<&Job> = self.history.iter().rev().take(self.config.window).collect();
         if window.len() < 10 {
             return;

@@ -50,6 +50,7 @@
 //! assert!(doc.starts_with("{\"traceEvents\":["));
 //! ```
 
+pub mod alloc;
 pub mod audit;
 pub mod causal;
 pub mod engine;
@@ -64,6 +65,10 @@ pub mod sampler;
 pub mod series;
 pub mod slo;
 
+pub use alloc::{
+    mem_profile_compiled, tag_scope, MemProfiler, MemReport, MemTag, MemTagReport, TagScope,
+    HOSTMEM_PREFIX,
+};
 pub use audit::{
     AccuracyStats, AuditReport, Decision, DecisionLog, DecisionRecord, EstSource, EstimateRef,
     SkipReason,
@@ -85,10 +90,10 @@ pub use recorder::{
 };
 pub use sampler::Sampler;
 pub use series::{
-    compare_csv, parse_csv, DiffOptions, DiffReport, MetricDelta, SeriesPoint, SeriesStore,
-    SeriesSummary,
+    compare_csv, metric_domain, parse_csv, DiffOptions, DiffReport, MetricDelta, SeriesPoint,
+    SeriesStore, SeriesSummary,
 };
 pub use slo::{
-    AnomalySpec, HealthScore, SloEngine, SloEvent, SloEventKind, SloOp, SloReport, SloSignal,
-    SloSpec, SloStat, SLO_TRACK_PID,
+    AnomalySpec, HealthScore, HostMemStat, SloEngine, SloEvent, SloEventKind, SloOp, SloReport,
+    SloSignal, SloSpec, SloStat, SLO_TRACK_PID,
 };

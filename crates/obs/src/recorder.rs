@@ -785,6 +785,48 @@ mod tests {
     }
 
     #[test]
+    fn mixed_cause_dumps_in_one_window_share_one_snapshot() {
+        // An SLO breach and a `node_down` landing inside the same cooldown
+        // window must produce exactly one dump — the first cause wins and
+        // the second is deduped, never written as a duplicate — while the
+        // byte-capped ring behind both causes keeps evicting strictly
+        // oldest-first across nodes.
+        let dir = std::env::temp_dir().join("obs-recorder-flight");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("mixed.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cfg = FlightConfig {
+            per_node: 1_000,
+            max_bytes: 4 * crate::flight::EVENT_BYTES,
+            ..FlightConfig::dumping_to(&path).with_cooldown(simclock::SimSpan::from_secs(60))
+        };
+        let r = Recorder::with_flight(cfg);
+        // Interleave two nodes past the byte cap: only the 4 newest stay.
+        for i in 0..6u64 {
+            r.event(i + 1, (i % 2) as u32, EventKind::MsgRecv, 0, 0);
+        }
+        let kept: Vec<u64> = r.flight_events().iter().map(|e| e.ts_us).collect();
+        assert_eq!(kept, vec![3, 4, 5, 6], "eviction must be oldest-first");
+        // An SLO breach at t=30s dumps the ring...
+        assert!(r.flight_dump_tagged("slo_breach:sweep_p99_us", 30_000_000));
+        let first = std::fs::read_to_string(&path).expect("breach dump written");
+        assert!(first.starts_with("{\"flight_dump\":{\"reason\":\"slo_breach:sweep_p99_us\""));
+        // ...then a node goes down 10s later, inside the window: the
+        // auto-dump is deduped and the breach snapshot survives untouched.
+        r.event(40_000_000, 0, EventKind::NodeDown, 0, 0);
+        let after = std::fs::read_to_string(&path).expect("file still present");
+        assert_eq!(after, first, "node_down overwrote the in-window dump");
+        // Past the window the next cause dumps again, now with the
+        // node-down context in the (still byte-capped) ring.
+        assert!(r.flight_dump_tagged("slo_breach:queue_wait_p90_s", 95_000_000));
+        let third = std::fs::read_to_string(&path).expect("post-window dump");
+        assert!(third.contains("queue_wait_p90_s"));
+        assert!(third.contains("node_down"));
+        assert!(r.flight_events().len() <= 4, "byte cap held across causes");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn tagged_dump_without_a_ring_is_a_no_op() {
         assert!(!Recorder::disabled().flight_dump_tagged("x", 0));
         assert!(!Recorder::metrics_only().flight_dump_tagged("x", 0));

@@ -28,6 +28,11 @@ struct SamplerShared {
 #[derive(Default)]
 struct SamplerInner {
     store: SeriesStore,
+    /// Host-domain (`mem_host_*`) series, kept apart from the
+    /// virtual-time store so the default CSV/summaries stay
+    /// byte-identical whether or not host-memory profiling ran — the
+    /// same separation the wall-clock `engine_wall_*` CSV uses.
+    host_store: SeriesStore,
     node_names: BTreeMap<u32, String>,
 }
 
@@ -140,6 +145,15 @@ impl Sampler {
         }
     }
 
+    /// Append one point to a host-domain series. Host series live in
+    /// their own store (see [`Sampler::host_store`]); the default
+    /// virtual-time exports never include them.
+    pub fn record_host(&self, t: SimTime, id: MetricId, value: f64) {
+        if let Some(s) = &self.0 {
+            s.inner.lock().host_store.record(id, t, value);
+        }
+    }
+
     /// Append one point to `family{node=<name>}` for node `id`.
     pub fn record_node(&self, t: SimTime, id: u32, family: &'static str, value: f64) {
         if let Some(s) = &self.0 {
@@ -164,6 +178,7 @@ impl Sampler {
         if !rec.enabled() {
             return;
         }
+        let _mem = crate::alloc::tag_scope(crate::alloc::MemTag::Obs);
         let mut inner = s.inner.lock();
         let store = &mut inner.store;
         for c in crate::metric::Counter::all() {
@@ -209,6 +224,23 @@ impl Sampler {
     pub fn to_csv(&self) -> String {
         match &self.0 {
             Some(s) => s.inner.lock().store.to_csv(),
+            None => SeriesStore::new().to_csv(),
+        }
+    }
+
+    /// A copy of the host-domain (`mem_host_*`) series.
+    pub fn host_store(&self) -> SeriesStore {
+        match &self.0 {
+            Some(s) => s.inner.lock().host_store.clone(),
+            None => SeriesStore::new(),
+        }
+    }
+
+    /// Render the host-domain series as CSV — a separate document, like
+    /// the `engine_wall_*` CSV, so the virtual-time export stays pure.
+    pub fn host_csv(&self) -> String {
+        match &self.0 {
+            Some(s) => s.inner.lock().host_store.to_csv(),
             None => SeriesStore::new().to_csv(),
         }
     }
@@ -282,6 +314,26 @@ mod tests {
             .get(&MetricId::new("queue_depth"))
             .expect("gauge series");
         assert_eq!(q[0].value, 2.0);
+    }
+
+    #[test]
+    fn host_series_never_reach_the_default_exports() {
+        let s = Sampler::every(SimSpan::from_secs(1));
+        s.record(SimTime::from_secs(1), MetricId::new("footprint_rss"), 2.0);
+        let before = s.to_csv();
+        s.record_host(
+            SimTime::from_secs(1),
+            MetricId::new("mem_host_live_bytes_total"),
+            123.0,
+        );
+        assert_eq!(s.to_csv(), before, "host point leaked into the default CSV");
+        assert_eq!(s.store().len(), 1);
+        let host = s.host_store();
+        assert_eq!(host.len(), 1);
+        assert!(s.host_csv().contains("mem_host_live_bytes_total"));
+        assert!(Sampler::disabled()
+            .host_csv()
+            .starts_with("metric,t_us,value"));
     }
 
     #[test]

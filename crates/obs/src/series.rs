@@ -289,6 +289,11 @@ pub struct DiffOptions {
     /// gating them (even under `gate_all`) would make the regression gate
     /// flaky. A per-metric override still wins over this exclusion.
     pub include_wallclock: bool,
+    /// Also gate host-memory metrics ([`crate::alloc::HOSTMEM_PREFIX`]).
+    /// Off by default for the same reason as wall clock: real heap sizes
+    /// vary run-to-run (allocator, OS, concurrency), so only an explicit
+    /// opt-in (or a per-metric override) puts them in the gate.
+    pub include_hostmem: bool,
 }
 
 impl Default for DiffOptions {
@@ -298,6 +303,7 @@ impl Default for DiffOptions {
             per_metric: BTreeMap::new(),
             gate_all: false,
             include_wallclock: false,
+            include_hostmem: false,
         }
     }
 }
@@ -310,10 +316,28 @@ impl DiffOptions {
         if !self.include_wallclock && metric.starts_with(crate::engine::WALLCLOCK_PREFIX) {
             return None;
         }
+        if !self.include_hostmem && metric.starts_with(crate::alloc::HOSTMEM_PREFIX) {
+            return None;
+        }
         if self.gate_all || metric.starts_with("footprint_") {
             return Some(self.default_threshold_pct);
         }
         None
+    }
+}
+
+/// The measurement domain a metric name belongs to: `"wallclock"` for
+/// [`crate::engine::WALLCLOCK_PREFIX`] series, `"host"` for
+/// [`crate::alloc::HOSTMEM_PREFIX`] series, `"virtual"` for everything
+/// else (DESIGN §15). Gate-failure messages carry this so a tripped gate
+/// says which clock it came from.
+pub fn metric_domain(name: &str) -> &'static str {
+    if name.starts_with(crate::engine::WALLCLOCK_PREFIX) {
+        "wallclock"
+    } else if name.starts_with(crate::alloc::HOSTMEM_PREFIX) {
+        "host"
+    } else {
+        "virtual"
     }
 }
 
@@ -322,6 +346,8 @@ impl DiffOptions {
 pub struct MetricDelta {
     /// Rendered metric name.
     pub metric: String,
+    /// Measurement domain of the metric (see [`metric_domain`]).
+    pub domain: &'static str,
     /// Which statistic was compared (`mean` or `max`).
     pub stat: &'static str,
     /// Baseline value (run A).
@@ -388,6 +414,7 @@ pub fn compare_csv(a: &str, b: &str, opts: &DiffOptions) -> Result<DiffReport, S
             if let Some(t) = opts.gates(name) {
                 report.deltas.push(MetricDelta {
                     metric: name.clone(),
+                    domain: metric_domain(name),
                     stat: "presence",
                     base: bv,
                     new: cv,
@@ -416,6 +443,7 @@ pub fn compare_csv(a: &str, b: &str, opts: &DiffOptions) -> Result<DiffReport, S
             let regressed = threshold.is_some_and(|t| pct > t);
             report.deltas.push(MetricDelta {
                 metric: name.clone(),
+                domain: metric_domain(name),
                 stat,
                 base: bv,
                 new: cv,
@@ -595,6 +623,69 @@ mod tests {
             !report.regressions().is_empty(),
             "per-metric override must win"
         );
+    }
+
+    /// Host-memory metrics are the third excluded-by-default domain: real
+    /// heap sizes vary run-to-run, so only `include_hostmem` (or a
+    /// per-metric override) gates them — and every delta names its
+    /// domain.
+    #[test]
+    fn hostmem_metrics_are_ungated_by_default() {
+        let mk = |v: f64| {
+            let mut store = SeriesStore::new();
+            store.record(
+                MetricId::new("mem_host_live_bytes").with("tag", "master"),
+                t(1),
+                v,
+            );
+            store.record(MetricId::new("footprint_sockets"), t(1), 3.0);
+            store.to_csv()
+        };
+        let a = mk(1e6);
+        let b = mk(9e6); // 9x host jitter: must not trip the gate
+        let strict = DiffOptions {
+            gate_all: true,
+            ..DiffOptions::default()
+        };
+        let report = compare_csv(&a, &b, &strict).expect("diff runs");
+        assert!(
+            report.regressions().is_empty(),
+            "host-memory metric tripped the gate"
+        );
+        let included = DiffOptions {
+            gate_all: true,
+            include_hostmem: true,
+            ..DiffOptions::default()
+        };
+        let report = compare_csv(&a, &b, &included).expect("diff runs");
+        let regs = report.regressions();
+        assert!(!regs.is_empty());
+        assert!(regs
+            .iter()
+            .all(|d| d.metric.starts_with(crate::alloc::HOSTMEM_PREFIX)));
+        assert!(regs.iter().all(|d| d.domain == "host"));
+    }
+
+    #[test]
+    fn deltas_carry_their_metric_domain() {
+        assert_eq!(metric_domain("footprint_sockets"), "virtual");
+        assert_eq!(metric_domain("engine_wall_barrier_ns"), "wallclock");
+        assert_eq!(metric_domain("mem_host_live_bytes"), "host");
+        let mk = |v: f64| {
+            let mut store = SeriesStore::new();
+            store.record(MetricId::new("footprint_sockets"), t(1), v);
+            store.record(MetricId::new("engine_wall_exec_ns"), t(1), v);
+            store.to_csv()
+        };
+        let report = compare_csv(&mk(1.0), &mk(2.0), &DiffOptions::default()).expect("diff runs");
+        for d in &report.deltas {
+            assert_eq!(
+                d.domain,
+                metric_domain(&d.metric),
+                "{} mislabeled",
+                d.metric
+            );
+        }
     }
 
     /// A gated metric present in only one of the two runs is a named gate

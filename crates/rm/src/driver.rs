@@ -7,7 +7,7 @@ use crate::profile::{HeartbeatMode, RmProfile};
 use crate::proto::{NodeSlice, RmMsg};
 use crate::slave::{SlaveConfig, SlaveDaemon, SlaveHeartbeat};
 use emu::{Actor, Context, FaultPlan, NodeId, Sampling, SimCluster, SimConfig};
-use obs::{EngineProfiler, Recorder, Sampler, SloEngine};
+use obs::{tag_scope, EngineProfiler, MemProfiler, MemTag, Recorder, Sampler, SloEngine};
 use rand::RngExt;
 use sched::prelude::*;
 use simclock::rng::stream_rng;
@@ -23,18 +23,21 @@ pub enum RmNode {
 
 impl Actor<RmMsg> for RmNode {
     fn on_start(&mut self, ctx: &mut dyn Context<RmMsg>) {
+        let _mem = tag_scope(MemTag::Rm);
         match self {
             RmNode::Master(m) => m.on_start(ctx),
             RmNode::Slave(s) => s.on_start(ctx),
         }
     }
     fn on_message(&mut self, ctx: &mut dyn Context<RmMsg>, from: NodeId, msg: RmMsg) {
+        let _mem = tag_scope(MemTag::Rm);
         match self {
             RmNode::Master(m) => m.on_message(ctx, from, msg),
             RmNode::Slave(s) => s.on_message(ctx, from, msg),
         }
     }
     fn on_timer(&mut self, ctx: &mut dyn Context<RmMsg>, token: u64) {
+        let _mem = tag_scope(MemTag::Rm);
         match self {
             RmNode::Master(m) => m.on_timer(ctx, token),
             RmNode::Slave(s) => s.on_timer(ctx, token),
@@ -132,6 +135,7 @@ pub struct RmClusterBuilder {
     policies: SchedPolicies,
     engine: EngineProfiler,
     slo: SloEngine,
+    mem: MemProfiler,
 }
 
 impl RmClusterBuilder {
@@ -149,6 +153,7 @@ impl RmClusterBuilder {
             policies: SchedPolicies::default(),
             engine: EngineProfiler::disabled(),
             slo: SloEngine::disabled(),
+            mem: MemProfiler::disabled(),
         }
     }
 
@@ -226,6 +231,15 @@ impl RmClusterBuilder {
         self
     }
 
+    /// Attribute the reproduction's own heap into `profiler`, exactly as
+    /// `EslurmSystemBuilder::mem_profile` does for the distributed stack
+    /// (host-memory domain, DESIGN §15; inert without the `mem-profile`
+    /// feature). Centralized-RM FSMs all run under the `rm` tag.
+    pub fn mem_profile(mut self, profiler: MemProfiler) -> Self {
+        self.mem = profiler;
+        self
+    }
+
     /// Materialize the cluster.
     pub fn build(self) -> ClusterHarness {
         let n = self.n;
@@ -259,6 +273,7 @@ impl RmClusterBuilder {
         config.obs = self.obs;
         config.engine = self.engine;
         config.slo = self.slo;
+        config.mem = self.mem;
         if self.sampler.enabled() {
             self.sampler.name_node(NodeId::MASTER.0, "master");
             config.sampler = self.sampler;

@@ -222,6 +222,7 @@ pub fn simulate(
     policy: &mut dyn LimitPolicy,
     cfg: &BackfillConfig,
 ) -> ScheduleReport {
+    let _mem = obs::tag_scope(obs::MemTag::Sched);
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| jobs[i].submit);
 
